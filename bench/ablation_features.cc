@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Feature ablation: quantifies each TOL design choice the paper's
+ * §III-E discussion calls out — chaining, the IBTC, the BBM "simple
+ * optimizations", the full SBM pass pipeline, and instruction
+ * scheduling — by toggling one at a time on a representative
+ * benchmark subset and reporting the cycle cost of losing it.
+ */
+
+#include "bench_util.hh"
+
+using namespace darco;
+using bench::BenchArgs;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    void (*apply)(tol::TolConfig &);
+};
+
+const Variant kVariants[] = {
+    {"baseline", [](tol::TolConfig &) {}},
+    {"no chaining",
+     [](tol::TolConfig &cfg) { cfg.enableChaining = false; }},
+    {"no IBTC", [](tol::TolConfig &cfg) { cfg.enableIbtc = false; }},
+    {"no BBM opts",
+     [](tol::TolConfig &cfg) { cfg.enableBbmOpts = false; }},
+    {"no SBM opts",
+     [](tol::TolConfig &cfg) { cfg.enableSbmOpts = false; }},
+    {"no scheduling",
+     [](tol::TolConfig &cfg) { cfg.enableScheduling = false; }},
+    {"2-way IBTC", [](tol::TolConfig &cfg) { cfg.ibtcWays = 2; }},
+    {"SB code partition",
+     [](tol::TolConfig &cfg) { cfg.sbPartitionPercent = 50; }},
+    {"no prefetcher", [](tol::TolConfig &) {}},  // timing-side toggle
+};
+
+const char *kBenchmarks[] = {
+    "400.perlbench", "401.bzip2", "464.h264ref", "470.lbm",
+    "000.cjpeg", "007.jpg2000enc",
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    if (args.budget > 2'000'000)
+        args.budget = 2'000'000;  // 7 variants x 6 benchmarks
+
+    std::printf("=== Feature ablation (cycles, relative to baseline) "
+                "===\n");
+    Table t({"benchmark", "variant", "cycles", "vs baseline",
+             "overhead%"});
+
+    for (const char *name : kBenchmarks) {
+        const workloads::BenchParams *params =
+            workloads::findBenchmark(name);
+        fatal_if(!params, "unknown benchmark %s", name);
+
+        uint64_t baseline_cycles = 0;
+        for (const Variant &variant : kVariants) {
+            sim::MetricsOptions options;
+            options.guestBudget = args.budget;
+            options.tolConfig.bbToSbThreshold =
+                sim::scaledSbThreshold(args.budget);
+            variant.apply(options.tolConfig);
+            if (std::string(variant.name) == "no prefetcher")
+                options.timingConfig.prefetcherEnabled = false;
+
+            std::fprintf(stderr, "  %s / %s\n", name, variant.name);
+            const sim::BenchMetrics m =
+                sim::runBenchmark(*params, options);
+            if (std::string(variant.name) == "baseline")
+                baseline_cycles = m.cycles;
+
+            t.beginRow();
+            t.add(name);
+            t.add(variant.name);
+            t.addf("%llu", static_cast<unsigned long long>(m.cycles));
+            t.addf("%+.1f%%",
+                   100.0 * (static_cast<double>(m.cycles) /
+                                static_cast<double>(baseline_cycles) -
+                            1.0));
+            t.addf("%.1f", 100.0 * m.tolOverheadFrac());
+        }
+    }
+    bench::renderTable(t, args);
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared harness for the figure-regeneration benches: argument
+ * parsing (budget, suite filter, CSV output) and suite sweeps with
+ * per-suite averages, matching the paper's figure layout (per-
+ * benchmark bars in suite order followed by the four suite averages).
+ */
+
+#ifndef DARCO_BENCH_BENCH_UTIL_HH
+#define DARCO_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/metrics.hh"
+#include "workloads/params.hh"
+
+namespace darco::bench {
+
+struct BenchArgs
+{
+    uint64_t budget = 4'000'000;
+    std::string suite;      ///< empty = all suites
+    std::string benchmark;  ///< empty = all benchmarks
+    bool csv = false;
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs args;
+        if (const char *env = std::getenv("DARCO_BUDGET"))
+            args.budget = std::strtoull(env, nullptr, 10);
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto value = [&](const char *prefix) -> const char * {
+                const size_t len = std::strlen(prefix);
+                if (arg.rfind(prefix, 0) == 0)
+                    return arg.c_str() + len;
+                return nullptr;
+            };
+            if (const char *v = value("--budget="))
+                args.budget = std::strtoull(v, nullptr, 10);
+            else if (const char *v2 = value("--suite="))
+                args.suite = v2;
+            else if (const char *v3 = value("--benchmark="))
+                args.benchmark = v3;
+            else if (arg == "--csv")
+                args.csv = true;
+            else if (arg == "--help" || arg == "-h") {
+                std::printf(
+                    "options: --budget=N --suite=NAME --benchmark=NAME "
+                    "--csv\n  suites: 'SPEC INT', 'SPEC FP', 'Physics', "
+                    "'Media'\n  env: DARCO_BUDGET\n");
+                std::exit(0);
+            } else {
+                fatal("unknown argument: %s", arg.c_str());
+            }
+        }
+        return args;
+    }
+};
+
+/** Benchmarks selected by the args, in figure order. */
+inline std::vector<const workloads::BenchParams *>
+selectBenchmarks(const BenchArgs &args)
+{
+    std::vector<const workloads::BenchParams *> selected;
+    for (const workloads::BenchParams &p : workloads::allBenchmarks()) {
+        if (!args.suite.empty() && p.suite != args.suite)
+            continue;
+        if (!args.benchmark.empty() && p.name != args.benchmark)
+            continue;
+        selected.push_back(&p);
+    }
+    fatal_if(selected.empty(), "no benchmarks match the filters");
+    return selected;
+}
+
+/** Run the selected benchmarks and append the four suite averages. */
+inline std::vector<sim::BenchMetrics>
+runSweep(const BenchArgs &args, sim::MetricsOptions options,
+         bool progress = true)
+{
+    options.guestBudget = args.budget;
+    options.tolConfig.bbToSbThreshold =
+        sim::scaledSbThreshold(args.budget);
+    std::vector<sim::BenchMetrics> all;
+    for (const workloads::BenchParams *p : selectBenchmarks(args)) {
+        if (progress)
+            std::fprintf(stderr, "  running %-24s ...\n", p->name.c_str());
+        all.push_back(sim::runBenchmark(*p, options));
+    }
+
+    // Suite averages (only when the full suite ran).
+    for (const char *suite : {"SPEC INT", "SPEC FP", "Physics", "Media"}) {
+        std::vector<sim::BenchMetrics> members;
+        for (const sim::BenchMetrics &m : all) {
+            if (m.suite == suite)
+                members.push_back(m);
+        }
+        if (!members.empty() &&
+            members.size() == workloads::suiteBenchmarks(suite).size()) {
+            all.push_back(sim::averageMetrics(
+                members, std::string("AVG ") + suite));
+        }
+    }
+    return all;
+}
+
+inline void
+renderTable(const Table &table, const BenchArgs &args)
+{
+    if (args.csv)
+        table.renderCsv();
+    else
+        table.render();
+}
+
+} // namespace darco::bench
+
+#endif // DARCO_BENCH_BENCH_UTIL_HH

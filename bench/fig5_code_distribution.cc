@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 5 regeneration: static (5a) and dynamic (5b) guest-code
+ * distribution across the three TOL execution modes (IM, BBM, SBM)
+ * for every benchmark plus suite averages.
+ *
+ * Paper shapes to look for: a large minority of static code never
+ * leaves IM; only a small static fraction reaches SBM, yet ~97% of
+ * the *dynamic* instruction stream executes in SBM.
+ */
+
+#include "bench_util.hh"
+
+using namespace darco;
+using bench::BenchArgs;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    sim::MetricsOptions options;
+    const auto all = bench::runSweep(args, options);
+
+    std::printf("=== Figure 5a: static x86 code distribution (%%) ===\n");
+    Table a({"benchmark", "suite", "static insts", "IM%", "BBM%",
+             "SBM%"});
+    for (const sim::BenchMetrics &m : all) {
+        const double total =
+            std::max<double>(1.0, static_cast<double>(m.staticTotal()));
+        a.beginRow();
+        a.add(m.name);
+        a.add(m.suite);
+        a.addf("%llu", static_cast<unsigned long long>(m.staticTotal()));
+        a.addf("%.1f", 100.0 * static_cast<double>(m.staticIm) / total);
+        a.addf("%.1f", 100.0 * static_cast<double>(m.staticBbm) / total);
+        a.addf("%.1f", 100.0 * static_cast<double>(m.staticSbm) / total);
+    }
+    bench::renderTable(a, args);
+
+    std::printf("\n=== Figure 5b: dynamic x86 code distribution (%%) ===\n");
+    Table b({"benchmark", "suite", "dyn insts", "IM%", "BBM%", "SBM%"});
+    for (const sim::BenchMetrics &m : all) {
+        const double total =
+            std::max<double>(1.0, static_cast<double>(m.dynTotal()));
+        b.beginRow();
+        b.add(m.name);
+        b.add(m.suite);
+        b.addf("%llu", static_cast<unsigned long long>(m.dynTotal()));
+        b.addf("%.2f", 100.0 * static_cast<double>(m.dynIm) / total);
+        b.addf("%.2f", 100.0 * static_cast<double>(m.dynBbm) / total);
+        b.addf("%.2f", 100.0 * static_cast<double>(m.dynSbm) / total);
+    }
+    bench::renderTable(b, args);
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 6 regeneration: breakdown of execution time into TOL
+ * overhead and application time, with the secondary-axis series
+ * (dynamic/static instruction ratio, log scale in the paper, and the
+ * number of SBM invocations).
+ *
+ * Paper shapes: average overhead ~28% MediaBench, ~22% Physicsbench
+ * and SPEC INT, ~12% SPEC FP; overhead anti-correlates with the
+ * dynamic/static ratio; applications whose repetition sits close to
+ * the promotion threshold (many superblocks, little reuse) pay the
+ * most SBM overhead.
+ */
+
+#include "bench_util.hh"
+
+using namespace darco;
+using bench::BenchArgs;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    sim::MetricsOptions options;
+    const auto all = bench::runSweep(args, options);
+
+    std::printf("=== Figure 6: execution-time breakdown ===\n");
+    Table t({"benchmark", "suite", "overhead%", "app%", "dyn/static",
+             "SBM invocations", "cycles"});
+    for (const sim::BenchMetrics &m : all) {
+        t.beginRow();
+        t.add(m.name);
+        t.add(m.suite);
+        t.addf("%.1f", 100.0 * m.tolOverheadFrac());
+        t.addf("%.1f", 100.0 * (1.0 - m.tolOverheadFrac()));
+        t.addf("%.0f", m.dynStaticRatio);
+        t.addf("%llu", static_cast<unsigned long long>(m.sbInvocations));
+        t.addf("%llu", static_cast<unsigned long long>(m.cycles));
+    }
+    bench::renderTable(t, args);
+    return 0;
+}

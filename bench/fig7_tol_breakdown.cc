@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 7 regeneration: breakdown of execution time into the main
+ * TOL modules — TOL others (dispatch/transitions), IM (interpreter),
+ * BBM (translation + profiling), SBM (superblock optimization),
+ * Chaining, and Code-cache lookups — plus the secondary-axis series
+ * (dynamic guest indirect branches, log scale in the paper).
+ *
+ * Paper shapes: indirect-branch-heavy applications (perlbench-like)
+ * are dominated by Code$ lookups + TOL-others; low-repetition
+ * applications by IM/BBM; near-threshold applications by SBM.
+ */
+
+#include "bench_util.hh"
+
+using namespace darco;
+using bench::BenchArgs;
+using timing::Module;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    sim::MetricsOptions options;
+    const auto all = bench::runSweep(args, options);
+
+    std::printf("=== Figure 7: TOL execution-time breakdown "
+                "(%% of TOL time) ===\n");
+    Table t({"benchmark", "suite", "TOLothers%", "IM%", "BBM%", "SBM%",
+             "Chain%", "Code$lookup%", "TOL-of-total%",
+             "indirect branches"});
+    for (const sim::BenchMetrics &m : all) {
+        double tol_total = 0;
+        for (unsigned mod = 1; mod < timing::kNumModules; ++mod)
+            tol_total += m.moduleCycles[mod];
+        const double denom = std::max(tol_total, 1.0);
+        auto pct = [&](Module mod) {
+            return 100.0 * m.moduleCycles[static_cast<unsigned>(mod)] /
+                   denom;
+        };
+        t.beginRow();
+        t.add(m.name);
+        t.add(m.suite);
+        t.addf("%.1f", pct(Module::TolOther));
+        t.addf("%.1f", pct(Module::IM));
+        t.addf("%.1f", pct(Module::BBM));
+        t.addf("%.1f", pct(Module::SBM));
+        t.addf("%.1f", pct(Module::Chaining));
+        t.addf("%.1f", pct(Module::Lookup));
+        t.addf("%.1f", 100.0 * m.tolOverheadFrac());
+        t.addf("%llu", static_cast<unsigned long long>(m.guestIndirect));
+    }
+    bench::renderTable(t, args);
+    return 0;
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Command-line benchmark runner — the "controller" a DARCO user would
+ * drive by hand: run any of the 48 workloads (or list them), set the
+ * budget and thresholds, toggle TOL features, enable co-simulation,
+ * and dump full statistics or the disassembly of the hottest
+ * translated region.
+ *
+ *   $ ./run_benchmark --list
+ *   $ ./run_benchmark 462.libquantum --budget=1000000 --cosim
+ *   $ ./run_benchmark 400.perlbench --no-ibtc --dump-hottest
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "host/disasm.hh"
+#include "sim/metrics.hh"
+#include "sim/system.hh"
+
+using namespace darco;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: run_benchmark <name> [options]\n"
+        "       run_benchmark --list\n"
+        "options:\n"
+        "  --budget=N        guest instructions (default 2000000)\n"
+        "  --sb-threshold=N  BB->SB threshold (default: budget-scaled)\n"
+        "  --cosim           verify against the authoritative emulator\n"
+        "  --no-chaining --no-ibtc --no-bbm-opts --no-sbm-opts\n"
+        "  --no-scheduling --ibtc-2way --sb-partition --no-prefetcher\n"
+        "  --isolation       also run TOL-only/APP-only instances\n"
+        "  --dump-hottest    disassemble the most-executed region\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string name;
+    sim::SimConfig cfg;
+    cfg.guestBudget = 2'000'000;
+    bool dump_hottest = false;
+    bool threshold_set = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") {
+            for (const auto &p : workloads::allBenchmarks())
+                std::printf("%-24s %s\n", p.name.c_str(),
+                            p.suite.c_str());
+            return 0;
+        } else if (arg.rfind("--budget=", 0) == 0) {
+            cfg.guestBudget = std::strtoull(arg.c_str() + 9, nullptr, 10);
+        } else if (arg.rfind("--sb-threshold=", 0) == 0) {
+            cfg.tol.bbToSbThreshold = static_cast<uint32_t>(
+                std::strtoul(arg.c_str() + 15, nullptr, 10));
+            threshold_set = true;
+        } else if (arg == "--cosim") {
+            cfg.cosim = true;
+        } else if (arg == "--no-chaining") {
+            cfg.tol.enableChaining = false;
+        } else if (arg == "--no-ibtc") {
+            cfg.tol.enableIbtc = false;
+        } else if (arg == "--no-bbm-opts") {
+            cfg.tol.enableBbmOpts = false;
+        } else if (arg == "--no-sbm-opts") {
+            cfg.tol.enableSbmOpts = false;
+        } else if (arg == "--no-scheduling") {
+            cfg.tol.enableScheduling = false;
+        } else if (arg == "--ibtc-2way") {
+            cfg.tol.ibtcWays = 2;
+        } else if (arg == "--sb-partition") {
+            cfg.tol.sbPartitionPercent = 50;
+        } else if (arg == "--no-prefetcher") {
+            cfg.timing.prefetcherEnabled = false;
+        } else if (arg == "--isolation") {
+            cfg.tolOnlyPipe = true;
+            cfg.appOnlyPipe = true;
+            cfg.tolModulePipe = true;
+        } else if (arg == "--dump-hottest") {
+            dump_hottest = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-') {
+            name = arg;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+
+    if (name.empty()) {
+        usage();
+        return 1;
+    }
+    const workloads::BenchParams *params =
+        workloads::findBenchmark(name);
+    if (!params) {
+        std::fprintf(stderr,
+                     "unknown benchmark '%s' (see --list)\n",
+                     name.c_str());
+        return 1;
+    }
+    if (!threshold_set) {
+        cfg.tol.bbToSbThreshold =
+            sim::scaledSbThreshold(cfg.guestBudget);
+    }
+
+    sim::System sys(cfg);
+    sys.load(workloads::buildBenchmark(*params));
+    const sim::SystemResult res = sys.run();
+
+    const tol::TolStats &ts = sys.tolStats();
+    const timing::PipeStats &ps = sys.combinedStats();
+    const double cycles = std::max(1.0, static_cast<double>(ps.cycles));
+
+    std::printf("== %s (%s) ==\n", params->name.c_str(),
+                params->suite.c_str());
+    std::printf("guest insts  %-12llu halted %-5s cycles %llu "
+                "(guest IPC %.3f)\n",
+                static_cast<unsigned long long>(res.guestRetired),
+                res.halted ? "yes" : "no",
+                static_cast<unsigned long long>(res.cycles),
+                static_cast<double>(res.guestRetired) / cycles);
+    std::printf("modes        IM %llu / BBM %llu / SBM %llu dynamic; "
+                "static %zu insts\n",
+                static_cast<unsigned long long>(ts.dynIm),
+                static_cast<unsigned long long>(ts.dynBbm),
+                static_cast<unsigned long long>(ts.dynSbm),
+                ts.staticMode.size());
+    std::printf("translation  %llu BBs, %llu SBs, %llu chains, "
+                "%llu flushes\n",
+                static_cast<unsigned long long>(ts.bbsTranslated),
+                static_cast<unsigned long long>(ts.sbsCreated),
+                static_cast<unsigned long long>(ts.chainsPatched),
+                static_cast<unsigned long long>(ts.codeCacheFlushes));
+    std::printf("indirects    %llu executed, %llu IBTC misses, "
+                "%llu map lookups\n",
+                static_cast<unsigned long long>(ts.guestIndirectBranches),
+                static_cast<unsigned long long>(ts.ibtcMisses),
+                static_cast<unsigned long long>(ts.mapLookups));
+    std::printf("time split   app %.1f%% / TOL %.1f%%\n",
+                100.0 * ps.appCycles() / cycles,
+                100.0 * ps.tolCycles() / cycles);
+    std::printf("caches       L1D miss %.2f%%  L1I miss %.2f%%  "
+                "L2 miss %.2f%%  BP mispredict %.2f%%\n",
+                100.0 * ps.l1d.missRate(), 100.0 * ps.l1i.missRate(),
+                100.0 * ps.l2.missRate(), 100.0 * ps.bp.mispredictRate());
+    std::printf("bubbles      D$ %.1f%%  I$ %.1f%%  branch %.1f%%  "
+                "sched %.1f%%\n",
+                100.0 * ps.bucketTotal(timing::Bucket::DcacheBubble) /
+                    cycles,
+                100.0 * ps.bucketTotal(timing::Bucket::IcacheBubble) /
+                    cycles,
+                100.0 * ps.bucketTotal(timing::Bucket::BranchBubble) /
+                    cycles,
+                100.0 * ps.bucketTotal(timing::Bucket::SchedBubble) /
+                    cycles);
+    if (cfg.cosim) {
+        std::printf("cosim        %llu commits checked: %s\n",
+                    static_cast<unsigned long long>(
+                        sys.checker()->commits()),
+                    res.memoryDiff.empty() && sys.checker()->failures()
+                                                  .empty()
+                        ? "OK"
+                        : "MISMATCH");
+    }
+    if (sys.tolModuleStats()) {
+        const timing::PipeStats *tp = sys.tolModuleStats();
+        std::printf("TOL isolated IPC %.2f  D$ %.2f%%  I$ %.2f%%  "
+                    "BP %.2f%%\n",
+                    tp->ipc(), 100.0 * tp->l1d.missRate(),
+                    100.0 * tp->l1i.missRate(),
+                    100.0 * tp->bp.mispredictRate());
+    }
+
+    if (dump_hottest) {
+        // Walk the code cache for the most-executed region.
+        host::CodeRegion *hottest = nullptr;
+        for (uint32_t pc = host::amap::kCodeCacheBase;
+             pc < host::amap::kCodeCacheLimit;) {
+            host::CodeRegion *region =
+                sys.tolRuntime().codeStore().find(pc);
+            if (!region)
+                break;
+            if (!hottest || region->execCount > hottest->execCount)
+                hottest = region;
+            pc = region->hostLimit() + 16;
+        }
+        if (hottest) {
+            std::printf("\nhottest region (executed %u times):\n%s",
+                        hottest->execCount,
+                        host::disassembleRegion(*hottest).c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the simulator.
+ */
+
+#ifndef DARCO_COMMON_BITUTILS_HH
+#define DARCO_COMMON_BITUTILS_HH
+
+#include <cstdint>
+#include <type_traits>
+
+namespace darco {
+
+/** Sign-extend the low @p bits bits of @p value to 64 bits. */
+constexpr int64_t
+sext(uint64_t value, unsigned bits)
+{
+    const unsigned shift = 64 - bits;
+    return static_cast<int64_t>(value << shift) >> shift;
+}
+
+/** Sign-extend the low @p bits bits of @p value to 32 bits. */
+constexpr int32_t
+sext32(uint32_t value, unsigned bits)
+{
+    const unsigned shift = 32 - bits;
+    return static_cast<int32_t>(value << shift) >> shift;
+}
+
+/** Extract bits [hi:lo] (inclusive) of @p value. */
+constexpr uint64_t
+bits(uint64_t value, unsigned hi, unsigned lo)
+{
+    return (value >> lo) & ((uint64_t(1) << (hi - lo + 1)) - 1);
+}
+
+/** True iff @p value is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)); value must be non-zero. */
+constexpr unsigned
+floorLog2(uint64_t value)
+{
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** Round @p value up to the next multiple of @p align (power of two). */
+constexpr uint64_t
+alignUp(uint64_t value, uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round @p value down to a multiple of @p align (power of two). */
+constexpr uint64_t
+alignDown(uint64_t value, uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+/** Population count for flag masks. */
+constexpr unsigned
+popCount(uint64_t value)
+{
+    unsigned count = 0;
+    while (value) {
+        value &= value - 1;
+        ++count;
+    }
+    return count;
+}
+
+} // namespace darco
+
+#endif // DARCO_COMMON_BITUTILS_HH

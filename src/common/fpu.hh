@@ -1,0 +1,44 @@
+/**
+ * @file
+ * FP helpers shared by the guest emulator, the host executor and the
+ * IR evaluator.
+ *
+ * GX86 and HRISC define FP arithmetic to produce the *canonical*
+ * quiet NaN (0x7FF8000000000000) whenever the result is NaN, like
+ * RISC-V. Rationale: C++ compiles `a * b` with either operand order,
+ * and SSE NaN propagation returns the first operand's payload — so
+ * NaN payloads would otherwise not be reproducible between the
+ * independently-compiled authoritative and co-design execution paths,
+ * breaking bit-exact co-simulation. Pure bit operations (moves,
+ * loads/stores, FABS, FNEG) still preserve payloads.
+ */
+
+#ifndef DARCO_COMMON_FPU_HH
+#define DARCO_COMMON_FPU_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace darco {
+
+/** The canonical quiet NaN all FP arithmetic results collapse to. */
+inline double
+canonicalNan()
+{
+    const uint64_t bits = 0x7FF8000000000000ull;
+    double d;
+    std::memcpy(&d, &bits, 8);
+    return d;
+}
+
+/** Canonicalize an FP arithmetic result. */
+inline double
+canonFp(double value)
+{
+    return std::isnan(value) ? canonicalNan() : value;
+}
+
+} // namespace darco
+
+#endif // DARCO_COMMON_FPU_HH

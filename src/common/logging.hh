@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Status-message and error-exit helpers, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * Conventions (matching gem5):
+ *  - panic():  a simulator bug — something that should never happen
+ *              regardless of user input. Calls std::abort().
+ *  - fatal():  a user error (bad configuration, invalid workload) — the
+ *              simulation cannot continue. Calls std::exit(1).
+ *  - warn():   functionality may be imperfect but execution continues.
+ *  - inform(): purely informational status output.
+ */
+
+#ifndef DARCO_COMMON_LOGGING_HH
+#define DARCO_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace darco {
+
+/** Printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Internal: print a message with a severity prefix and location. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Global switch for warn()/inform() output (benches silence them). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace darco
+
+#define panic(...) \
+    ::darco::panicImpl(__FILE__, __LINE__, ::darco::strprintf(__VA_ARGS__))
+
+#define fatal(...) \
+    ::darco::fatalImpl(__FILE__, __LINE__, ::darco::strprintf(__VA_ARGS__))
+
+#define warn(...) \
+    ::darco::warnImpl(::darco::strprintf(__VA_ARGS__))
+
+#define inform(...) \
+    ::darco::informImpl(::darco::strprintf(__VA_ARGS__))
+
+/**
+ * panic_if: assert-like guard for conditions that indicate simulator
+ * bugs. Always enabled (independent of NDEBUG) — the simulator relies
+ * on these invariants for correctness of reported results.
+ */
+#define panic_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond) {                                                    \
+            ::darco::panicImpl(__FILE__, __LINE__,                     \
+                               ::darco::strprintf(__VA_ARGS__));       \
+        }                                                              \
+    } while (0)
+
+#define fatal_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond) {                                                    \
+            ::darco::fatalImpl(__FILE__, __LINE__,                     \
+                               ::darco::strprintf(__VA_ARGS__));       \
+        }                                                              \
+    } while (0)
+
+#endif // DARCO_COMMON_LOGGING_HH

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Sparse paged memory used for both the authoritative guest space
+ * (32-bit addresses) and the co-design component's host space (64-bit
+ * addresses, which embeds the emulated guest memory in its low 4 GiB).
+ *
+ * Semantics:
+ *  - loads from unmapped pages return zero and do not allocate,
+ *  - stores allocate pages on demand and mark them dirty,
+ *  - accesses may straddle page boundaries.
+ *
+ * Dirty-page tracking supports the co-simulation state checker, which
+ * compares only pages either side has written.
+ */
+
+#ifndef DARCO_COMMON_PAGED_MEMORY_HH
+#define DARCO_COMMON_PAGED_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace darco {
+
+template <typename AddrT>
+class PagedMemory
+{
+  public:
+    static constexpr unsigned kPageBits = 12;
+    static constexpr AddrT kPageSize = AddrT(1) << kPageBits;
+    static constexpr AddrT kOffsetMask = kPageSize - 1;
+
+    using Addr = AddrT;
+    using Page = std::array<uint8_t, kPageSize>;
+
+    /** Load @p size (1/2/4/8) bytes, little-endian, zero-extended. */
+    uint64_t
+    load(AddrT addr, unsigned size) const
+    {
+        if (inPage(addr, size)) {
+            const Page *page = findPage(addr);
+            if (!page)
+                return 0;
+            uint64_t value = 0;
+            std::memcpy(&value, page->data() + offsetOf(addr), size);
+            return value;
+        }
+        uint64_t value = 0;
+        for (unsigned i = 0; i < size; ++i)
+            value |= uint64_t(loadByte(addr + i)) << (8 * i);
+        return value;
+    }
+
+    /** Store the low @p size bytes of @p value, little-endian. */
+    void
+    store(AddrT addr, uint64_t value, unsigned size)
+    {
+        if (inPage(addr, size)) {
+            Page &page = getPage(addr);
+            std::memcpy(page.data() + offsetOf(addr), &value, size);
+            return;
+        }
+        for (unsigned i = 0; i < size; ++i)
+            storeByte(addr + i, uint8_t(value >> (8 * i)));
+    }
+
+    uint8_t load8(AddrT addr) const { return uint8_t(load(addr, 1)); }
+    uint32_t load32(AddrT addr) const { return uint32_t(load(addr, 4)); }
+    uint64_t load64(AddrT addr) const { return load(addr, 8); }
+
+    void store8(AddrT addr, uint8_t v) { store(addr, v, 1); }
+    void store32(AddrT addr, uint32_t v) { store(addr, v, 4); }
+    void store64(AddrT addr, uint64_t v) { store(addr, v, 8); }
+
+    double
+    loadDouble(AddrT addr) const
+    {
+        const uint64_t bits = load64(addr);
+        double d;
+        std::memcpy(&d, &bits, 8);
+        return d;
+    }
+
+    void
+    storeDouble(AddrT addr, double d)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &d, 8);
+        store64(addr, bits);
+    }
+
+    /** Bulk write (used by the loader). */
+    void
+    writeBytes(AddrT addr, const uint8_t *data, size_t len)
+    {
+        for (size_t i = 0; i < len; ++i)
+            storeByte(addr + AddrT(i), data[i]);
+    }
+
+    /** Bulk read. Unmapped bytes read as zero. */
+    void
+    readBytes(AddrT addr, uint8_t *data, size_t len) const
+    {
+        for (size_t i = 0; i < len; ++i)
+            data[i] = loadByte(addr + AddrT(i));
+    }
+
+    /** Pages written at least once (page base addresses). */
+    const std::unordered_set<AddrT> &dirtyPages() const { return dirty; }
+
+    /** Forget dirty-page info (not the data). */
+    void clearDirty() { dirty.clear(); }
+
+    /** Number of mapped pages. */
+    size_t numPages() const { return pages.size(); }
+
+    /** Drop all contents. */
+    void
+    clear()
+    {
+        pages.clear();
+        dirty.clear();
+    }
+
+  private:
+    static AddrT pageBase(AddrT addr) { return addr & ~kOffsetMask; }
+    static size_t offsetOf(AddrT addr) { return size_t(addr & kOffsetMask); }
+
+    static bool
+    inPage(AddrT addr, unsigned size)
+    {
+        return offsetOf(addr) + size <= kPageSize;
+    }
+
+    uint8_t
+    loadByte(AddrT addr) const
+    {
+        const Page *page = findPage(addr);
+        return page ? (*page)[offsetOf(addr)] : 0;
+    }
+
+    void
+    storeByte(AddrT addr, uint8_t value)
+    {
+        getPage(addr)[offsetOf(addr)] = value;
+    }
+
+    const Page *
+    findPage(AddrT addr) const
+    {
+        auto it = pages.find(pageBase(addr));
+        return it == pages.end() ? nullptr : it->second.get();
+    }
+
+    Page &
+    getPage(AddrT addr)
+    {
+        const AddrT base = pageBase(addr);
+        auto it = pages.find(base);
+        if (it == pages.end()) {
+            auto page = std::make_unique<Page>();
+            page->fill(0);
+            it = pages.emplace(base, std::move(page)).first;
+        }
+        dirty.insert(base);
+        return *it->second;
+    }
+
+    std::unordered_map<AddrT, std::unique_ptr<Page>> pages;
+    std::unordered_set<AddrT> dirty;
+};
+
+} // namespace darco
+
+#endif // DARCO_COMMON_PAGED_MEMORY_HH

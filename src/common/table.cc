@@ -1,0 +1,87 @@
+#include "common/table.hh"
+
+#include <cstdarg>
+
+#include "common/logging.hh"
+
+namespace darco {
+
+void
+Table::add(std::string cell)
+{
+    panic_if(rows.empty(), "Table::add before beginRow");
+    panic_if(rows.back().size() >= columns.size(),
+             "Table row has more cells than columns (%zu)", columns.size());
+    rows.back().push_back(std::move(cell));
+}
+
+void
+Table::addf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    char buf[256];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    add(std::string(buf));
+}
+
+void
+Table::render(std::FILE *out) const
+{
+    std::vector<size_t> widths(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c)
+        widths[c] = columns[c].size();
+    for (const auto &row : rows) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (row[c].size() > widths[c])
+                widths[c] = row[c].size();
+        }
+    }
+
+    auto print_sep = [&]() {
+        for (size_t c = 0; c < columns.size(); ++c) {
+            std::fputc('+', out);
+            for (size_t i = 0; i < widths[c] + 2; ++i)
+                std::fputc('-', out);
+        }
+        std::fputs("+\n", out);
+    };
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < columns.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c]
+                                                       : std::string();
+            std::fprintf(out, "| %-*s ", static_cast<int>(widths[c]),
+                         cell.c_str());
+        }
+        std::fputs("|\n", out);
+    };
+
+    print_sep();
+    print_row(columns);
+    print_sep();
+    for (const auto &row : rows)
+        print_row(row);
+    print_sep();
+}
+
+void
+Table::renderCsv(std::FILE *out) const
+{
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < columns.size(); ++c) {
+            if (c)
+                std::fputc(',', out);
+            const std::string &cell = c < cells.size() ? cells[c]
+                                                       : std::string();
+            std::fputs(cell.c_str(), out);
+        }
+        std::fputc('\n', out);
+    };
+    print_row(columns);
+    for (const auto &row : rows)
+        print_row(row);
+}
+
+} // namespace darco

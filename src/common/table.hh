@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Column-aligned plain-text / CSV table writer used by the benchmark
+ * harnesses to print paper-style result rows.
+ */
+
+#ifndef DARCO_COMMON_TABLE_HH
+#define DARCO_COMMON_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace darco {
+
+/**
+ * A simple results table. Columns are declared up front; rows are
+ * appended as formatted strings. render() prints an aligned text
+ * table, renderCsv() prints comma-separated values.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : columns(std::move(headers))
+    {}
+
+    /** Start a new row. */
+    void
+    beginRow()
+    {
+        rows.emplace_back();
+        rows.back().reserve(columns.size());
+    }
+
+    /** Append a cell to the current row. */
+    void add(std::string cell);
+
+    /** Append a printf-formatted cell to the current row. */
+    void addf(const char *fmt, ...) __attribute__((format(printf, 2, 3)));
+
+    /** Number of data rows so far. */
+    size_t numRows() const { return rows.size(); }
+
+    /** Render as an aligned text table to @p out. */
+    void render(std::FILE *out = stdout) const;
+
+    /** Render as CSV to @p out. */
+    void renderCsv(std::FILE *out = stdout) const;
+
+  private:
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace darco
+
+#endif // DARCO_COMMON_TABLE_HH

@@ -1,0 +1,90 @@
+#include "guest/emulator.hh"
+
+#include "common/logging.hh"
+
+namespace darco::guest {
+
+const Inst &
+Emulator::decodeAt(uint32_t addr)
+{
+    auto it = decodeCache.find(addr);
+    if (it != decodeCache.end())
+        return it->second;
+
+    uint8_t buf[kMaxInstLength];
+    mem.readBytes(addr, buf, sizeof(buf));
+    Inst inst;
+    const DecodeStatus status = decode(buf, sizeof(buf), inst);
+    panic_if(status != DecodeStatus::Ok,
+             "x86 component: undecodable guest instruction at 0x%08x "
+             "(status %d)", addr, static_cast<int>(status));
+    return decodeCache.emplace(addr, inst).first->second;
+}
+
+bool
+Emulator::step()
+{
+    if (halted)
+        return false;
+
+    const Inst &inst = decodeAt(archState.eip);
+    const OpInfo &info = opInfo(inst.op);
+
+    // HALT does not retire (EIP stays put); keep counts aligned with
+    // the co-design side's retirement accounting.
+    if (inst.op == Op::HALT) {
+        halted = true;
+        return false;
+    }
+
+    ++stats.instructions;
+    if (info.isBranch) {
+        ++stats.branches;
+        if (info.isCondBranch)
+            ++stats.condBranches;
+        if (info.isIndirect)
+            ++stats.indirectBranches;
+        if (info.isCall)
+            ++stats.calls;
+        if (info.isRet)
+            ++stats.returns;
+    }
+    if (info.isFp)
+        ++stats.fpOps;
+    // Memory-traffic classification by form (approximate but cheap:
+    // push/pop/call/ret always touch the stack).
+    switch (inst.form) {
+      case Form::RM:
+        if (inst.op != Op::LEA)
+            ++stats.memReads;
+        break;
+      case Form::MR: ++stats.memWrites; break;
+      case Form::M:  ++stats.memReads; break;
+      default: break;
+    }
+    if (inst.op == Op::PUSH || (inst.op == Op::CALL) ||
+        inst.op == Op::CALLI)
+        ++stats.memWrites;
+    if (inst.op == Op::POP || inst.op == Op::RET)
+        ++stats.memReads;
+
+    const ExecResult result = execInst(archState, mem, inst);
+    if (result.taken)
+        ++stats.takenBranches;
+    if (result.halted) {
+        halted = true;
+        return false;
+    }
+    return true;
+}
+
+uint64_t
+Emulator::run(uint64_t max_insts)
+{
+    uint64_t executed = 0;
+    while (executed < max_insts && step())
+        ++executed;
+    return executed;
+}
+
+} // namespace darco::guest

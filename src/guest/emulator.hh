@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The authoritative functional emulator — DARCO's "x86 component".
+ *
+ * Executes a guest program directly against its own guest memory
+ * space, keeping the authoritative architectural state that the
+ * co-simulation state checker compares the co-design component
+ * against (Figure 2 of the paper).
+ */
+
+#ifndef DARCO_GUEST_EMULATOR_HH
+#define DARCO_GUEST_EMULATOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "guest/assembler.hh"
+#include "guest/encoding.hh"
+#include "guest/exec.hh"
+#include "guest/memory.hh"
+
+namespace darco::guest {
+
+/** Dynamic-execution counters kept by the emulator. */
+struct EmulatorStats
+{
+    uint64_t instructions = 0;
+    uint64_t branches = 0;
+    uint64_t takenBranches = 0;
+    uint64_t condBranches = 0;
+    uint64_t indirectBranches = 0;   ///< JMPI + CALLI + RET
+    uint64_t calls = 0;
+    uint64_t returns = 0;
+    uint64_t memReads = 0;           ///< instructions with a load
+    uint64_t memWrites = 0;          ///< instructions with a store
+    uint64_t fpOps = 0;
+};
+
+class Emulator
+{
+  public:
+    explicit Emulator(Memory &memory) : mem(memory) {}
+
+    /** Load a program and reset architectural state to its entry. */
+    void
+    reset(const Program &program)
+    {
+        program.loadInto(mem);
+        archState = program.initialState();
+        halted = false;
+        stats = EmulatorStats();
+        decodeCache.clear();
+    }
+
+    /** Reset to an explicit state (program already loaded). */
+    void
+    resetState(const State &state)
+    {
+        archState = state;
+        halted = false;
+    }
+
+    /**
+     * Execute one instruction.
+     * @return false once HALT has been reached.
+     */
+    bool step();
+
+    /**
+     * Run up to @p max_insts instructions.
+     * @return instructions actually executed.
+     */
+    uint64_t run(uint64_t max_insts);
+
+    bool isHalted() const { return halted; }
+    const State &state() const { return archState; }
+    State &state() { return archState; }
+    const EmulatorStats &emuStats() const { return stats; }
+    Memory &memory() { return mem; }
+
+    /** Decode (with caching) the instruction at @p addr. */
+    const Inst &decodeAt(uint32_t addr);
+
+  private:
+    Memory &mem;
+    State archState;
+    bool halted = false;
+    EmulatorStats stats;
+    std::unordered_map<uint32_t, Inst> decodeCache;
+};
+
+} // namespace darco::guest
+
+#endif // DARCO_GUEST_EMULATOR_HH

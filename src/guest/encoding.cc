@@ -1,0 +1,287 @@
+#include "guest/encoding.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace darco::guest {
+
+namespace {
+
+bool
+hasMemOperand(Form form)
+{
+    return form == Form::RM || form == Form::MR || form == Form::M;
+}
+
+bool
+hasImmOperand(Form form)
+{
+    return form == Form::RI || form == Form::I;
+}
+
+bool
+fitsI8(int32_t value)
+{
+    return value >= -128 && value <= 127;
+}
+
+} // namespace
+
+unsigned
+encode(const Inst &inst, std::vector<uint8_t> &out)
+{
+    panic_if(inst.op >= Op::NumOps, "encode: bad opcode");
+    panic_if(!formValid(inst.op, inst.form),
+             "encode: form %d invalid for %s",
+             static_cast<int>(inst.form), opName(inst.op));
+
+    const bool has_mem = hasMemOperand(inst.form);
+    const bool has_imm = hasImmOperand(inst.form);
+
+    // A caller-provided length forces the wide immediate encoding;
+    // the assembler uses this for forward branches.
+    const bool force_wide_imm = inst.length != 0;
+
+    const bool imm8 = has_imm && !force_wide_imm && fitsI8(inst.imm);
+    const bool disp8 = has_mem && fitsI8(inst.mem.disp);
+
+    uint8_t form_byte = static_cast<uint8_t>(inst.form) & 0x7;
+    if (imm8)
+        form_byte |= 1u << 3;
+    if (disp8)
+        form_byte |= 1u << 4;
+    if (has_mem && inst.mem.hasIndex) {
+        form_byte |= 1u << 5;
+        form_byte |= (inst.mem.scaleLog2 & 0x3) << 6;
+    }
+
+    const size_t start = out.size();
+    out.push_back(static_cast<uint8_t>(inst.op));
+    out.push_back(form_byte);
+
+    if (inst.form != Form::NONE) {
+        uint8_t regs_byte;
+        if (inst.op == Op::JCC) {
+            regs_byte = static_cast<uint8_t>(inst.cond) & 0xF;
+        } else {
+            const uint8_t r2 = has_mem ? inst.mem.base : inst.reg2;
+            regs_byte = (inst.reg1 & 0x7) |
+                        (static_cast<uint8_t>(r2 & 0x7) << 3);
+        }
+        out.push_back(regs_byte);
+    }
+
+    if (has_mem && inst.mem.hasIndex)
+        out.push_back(inst.mem.index & 0x7);
+
+    auto push_value = [&out](int32_t value, bool narrow) {
+        if (narrow) {
+            out.push_back(static_cast<uint8_t>(value));
+        } else {
+            const uint32_t v = static_cast<uint32_t>(value);
+            out.push_back(v & 0xFF);
+            out.push_back((v >> 8) & 0xFF);
+            out.push_back((v >> 16) & 0xFF);
+            out.push_back((v >> 24) & 0xFF);
+        }
+    };
+
+    if (has_mem)
+        push_value(inst.mem.disp, disp8);
+    if (has_imm)
+        push_value(inst.imm, imm8);
+
+    const unsigned length = static_cast<unsigned>(out.size() - start);
+    panic_if(length > kMaxInstLength, "encode: instruction too long");
+    return length;
+}
+
+DecodeStatus
+decode(const uint8_t *buf, size_t size, Inst &inst)
+{
+    if (size < 2)
+        return DecodeStatus::Truncated;
+
+    const uint8_t opc = buf[0];
+    if (opc >= static_cast<uint8_t>(Op::NumOps))
+        return DecodeStatus::BadOpcode;
+
+    inst = Inst();
+    inst.op = static_cast<Op>(opc);
+
+    const uint8_t form_byte = buf[1];
+    const uint8_t form_bits = form_byte & 0x7;
+    if (form_bits >= static_cast<uint8_t>(Form::NumForms))
+        return DecodeStatus::BadForm;
+    inst.form = static_cast<Form>(form_bits);
+    if (!formValid(inst.op, inst.form))
+        return DecodeStatus::BadForm;
+
+    const bool imm8 = form_byte & (1u << 3);
+    const bool disp8 = form_byte & (1u << 4);
+    const bool has_index = form_byte & (1u << 5);
+    const uint8_t scale = (form_byte >> 6) & 0x3;
+
+    const bool has_mem = hasMemOperand(inst.form);
+    const bool has_imm = hasImmOperand(inst.form);
+
+    size_t pos = 2;
+
+    if (inst.form != Form::NONE) {
+        if (pos >= size)
+            return DecodeStatus::Truncated;
+        const uint8_t regs_byte = buf[pos++];
+        if (inst.op == Op::JCC) {
+            const uint8_t cc = regs_byte & 0xF;
+            if (cc >= static_cast<uint8_t>(Cond::NumConds))
+                return DecodeStatus::BadForm;
+            inst.cond = static_cast<Cond>(cc);
+        } else {
+            inst.reg1 = regs_byte & 0x7;
+            const uint8_t r2 = (regs_byte >> 3) & 0x7;
+            if (has_mem)
+                inst.mem.base = r2;
+            else
+                inst.reg2 = r2;
+        }
+    }
+
+    if (has_mem && has_index) {
+        if (pos >= size)
+            return DecodeStatus::Truncated;
+        inst.mem.hasIndex = true;
+        inst.mem.index = buf[pos++] & 0x7;
+        inst.mem.scaleLog2 = scale;
+    }
+
+    auto read_value = [&](bool narrow, int32_t &value) -> bool {
+        if (narrow) {
+            if (pos + 1 > size)
+                return false;
+            value = static_cast<int8_t>(buf[pos]);
+            pos += 1;
+        } else {
+            if (pos + 4 > size)
+                return false;
+            value = static_cast<int32_t>(
+                static_cast<uint32_t>(buf[pos]) |
+                (static_cast<uint32_t>(buf[pos + 1]) << 8) |
+                (static_cast<uint32_t>(buf[pos + 2]) << 16) |
+                (static_cast<uint32_t>(buf[pos + 3]) << 24));
+            pos += 4;
+        }
+        return true;
+    };
+
+    if (has_mem) {
+        if (!read_value(disp8, inst.mem.disp))
+            return DecodeStatus::Truncated;
+    }
+    if (has_imm) {
+        if (!read_value(imm8, inst.imm))
+            return DecodeStatus::Truncated;
+    }
+
+    inst.length = static_cast<uint8_t>(pos);
+    return DecodeStatus::Ok;
+}
+
+namespace {
+
+const char *gprNames[] = {
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+};
+
+std::string
+memString(const MemOperand &mem)
+{
+    std::string s = "[";
+    s += gprNames[mem.base & 0x7];
+    if (mem.hasIndex) {
+        s += "+";
+        s += gprNames[mem.index & 0x7];
+        if (mem.scaleLog2)
+            s += strprintf("*%d", 1 << mem.scaleLog2);
+    }
+    if (mem.disp)
+        s += strprintf("%+d", mem.disp);
+    s += "]";
+    return s;
+}
+
+std::string
+regString(const Inst &inst, uint8_t reg)
+{
+    if (opInfo(inst.op).isFp && inst.op != Op::CVTIF && inst.op != Op::CVTFI)
+        return strprintf("f%d", reg);
+    return gprNames[reg & 0x7];
+}
+
+} // namespace
+
+std::string
+disassemble(const Inst &inst)
+{
+    return disassemble(inst, 0);
+}
+
+std::string
+disassemble(const Inst &inst, uint32_t eip)
+{
+    std::string s = opName(inst.op);
+    if (inst.op == Op::JCC) {
+        s = std::string("j") + condName(inst.cond);
+    }
+
+    auto reg1_str = [&]() {
+        // CVTIF: dst is FP, src is GPR; CVTFI: dst is GPR, src FP.
+        if (inst.op == Op::CVTIF)
+            return strprintf("f%d", inst.reg1);
+        if (inst.op == Op::CVTFI)
+            return std::string(gprNames[inst.reg1 & 0x7]);
+        return regString(inst, inst.reg1);
+    };
+    auto reg2_str = [&]() {
+        if (inst.op == Op::CVTIF)
+            return std::string(gprNames[inst.reg2 & 0x7]);
+        if (inst.op == Op::CVTFI)
+            return strprintf("f%d", inst.reg2);
+        return regString(inst, inst.reg2);
+    };
+
+    switch (inst.form) {
+      case Form::NONE:
+        break;
+      case Form::RR:
+        s += " " + reg1_str() + ", " + reg2_str();
+        break;
+      case Form::RI:
+        s += " " + reg1_str() + strprintf(", %d", inst.imm);
+        break;
+      case Form::RM:
+        s += " " + reg1_str() + ", " + memString(inst.mem);
+        break;
+      case Form::MR:
+        s += " " + memString(inst.mem) + ", " + reg1_str();
+        break;
+      case Form::R:
+        s += " " + reg1_str();
+        break;
+      case Form::M:
+        s += " " + memString(inst.mem);
+        break;
+      case Form::I:
+        if (opInfo(inst.op).isBranch) {
+            s += strprintf(" 0x%x",
+                           eip + inst.length + static_cast<uint32_t>(inst.imm));
+        } else {
+            s += strprintf(" %d", inst.imm);
+        }
+        break;
+      default:
+        break;
+    }
+    return s;
+}
+
+} // namespace darco::guest

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * GX86 variable-length binary encoding.
+ *
+ * Layout (2 to 12 bytes):
+ *
+ *   byte 0        opcode
+ *   byte 1        FORM byte:
+ *                   bits [2:0]  operand form (guest::Form)
+ *                   bit  [3]    imm8  (immediate is 1 byte, else 4)
+ *                   bit  [4]    disp8 (displacement is 1 byte, else 4)
+ *                   bit  [5]    hasIndex
+ *                   bits [7:6]  scale log2 (1/2/4/8)
+ *   byte 2        REGS byte (present iff form != NONE):
+ *                   bits [2:0]  reg1  (dst / single operand)
+ *                   bits [5:3]  reg2 / mem base
+ *                   For JCC the REGS byte instead carries the
+ *                   condition code in bits [3:0].
+ *   byte 3        INDEX byte (present iff hasIndex): index reg in [2:0]
+ *   next 1/4      disp (present for RM/MR/M forms), little-endian,
+ *                 signed
+ *   next 1/4      imm (present for RI/I forms), little-endian, signed
+ *
+ * Branch displacements (JMP/JCC/CALL imm) are relative to the EIP of
+ * the *next* instruction, as on x86.
+ */
+
+#ifndef DARCO_GUEST_ENCODING_HH
+#define DARCO_GUEST_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "guest/isa.hh"
+
+namespace darco::guest {
+
+/** Maximum encoded instruction length in bytes. */
+constexpr unsigned kMaxInstLength = 12;
+
+/** Result of a decode attempt. */
+enum class DecodeStatus {
+    Ok = 0,
+    BadOpcode,      ///< opcode byte out of range
+    BadForm,        ///< form invalid for the opcode
+    Truncated,      ///< ran past the end of the buffer
+};
+
+/**
+ * Append the encoding of @p inst to @p out.
+ *
+ * The encoder selects short (1-byte) immediate/displacement encodings
+ * automatically when the value fits, unless inst.length is already
+ * set to a valid longer encoding (the assembler uses that for
+ * forward-label branches that must reserve 4 bytes).
+ *
+ * @return encoded length in bytes.
+ */
+unsigned encode(const Inst &inst, std::vector<uint8_t> &out);
+
+/**
+ * Decode one instruction from @p buf (at most @p size valid bytes).
+ * On success fills @p inst (including inst.length).
+ */
+DecodeStatus decode(const uint8_t *buf, size_t size, Inst &inst);
+
+/** Decoded-operand pretty printer (disassembler). */
+std::string disassemble(const Inst &inst);
+
+/** Disassemble with the instruction's own EIP (branch targets shown). */
+std::string disassemble(const Inst &inst, uint32_t eip);
+
+} // namespace darco::guest
+
+#endif // DARCO_GUEST_ENCODING_HH

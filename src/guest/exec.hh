@@ -1,0 +1,409 @@
+/**
+ * @file
+ * GX86 single-instruction execution semantics.
+ *
+ * execInst() is the single source of truth for guest semantics. It is
+ * templated on the memory interface so the same code drives both the
+ * authoritative x86 component (32-bit guest memory) and the TOL
+ * interpreter inside the co-design component (guest space embedded in
+ * the 64-bit host memory, wrapped in an access-recording adapter).
+ *
+ * The memory type must provide:
+ *   uint64_t load(uint32_t addr, unsigned size);
+ *   void store(uint32_t addr, uint64_t value, unsigned size);
+ */
+
+#ifndef DARCO_GUEST_EXEC_HH
+#define DARCO_GUEST_EXEC_HH
+
+#include <cmath>
+#include <cstring>
+
+#include "common/fpu.hh"
+#include "common/logging.hh"
+#include "guest/isa.hh"
+
+namespace darco::guest {
+
+/** Control-flow outcome of one executed instruction. */
+struct ExecResult
+{
+    bool halted = false;
+    bool taken = false;   ///< a control transfer changed EIP
+};
+
+/** Effective address of a memory operand. */
+inline uint32_t
+effectiveAddr(const State &state, const MemOperand &mem)
+{
+    uint32_t addr = state.gpr[mem.base & 0x7] +
+                    static_cast<uint32_t>(mem.disp);
+    if (mem.hasIndex)
+        addr += state.gpr[mem.index & 0x7] << mem.scaleLog2;
+    return addr;
+}
+
+namespace detail {
+
+inline double
+bitsToDouble(uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, 8);
+    return d;
+}
+
+inline uint64_t
+doubleToBits(double d)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &d, 8);
+    return bits;
+}
+
+/** x86 CVTTSD2SI-style truncation with clamp-to-indefinite. */
+inline uint32_t
+truncToInt32(double d)
+{
+    if (std::isnan(d) || d >= 2147483648.0 || d < -2147483648.0)
+        return 0x80000000u;
+    return static_cast<uint32_t>(static_cast<int32_t>(d));
+}
+
+} // namespace detail
+
+template <typename Mem>
+ExecResult
+execInst(State &state, Mem &memory, const Inst &inst)
+{
+    using detail::bitsToDouble;
+    using detail::doubleToBits;
+
+    ExecResult result;
+    const uint32_t next_eip = state.eip + inst.length;
+    state.eip = next_eip;
+
+    // Integer source value for RR/RI/RM forms.
+    auto int_src = [&]() -> uint32_t {
+        switch (inst.form) {
+          case Form::RR: return state.gpr[inst.reg2];
+          case Form::RI: return static_cast<uint32_t>(inst.imm);
+          case Form::RM:
+            return static_cast<uint32_t>(
+                memory.load(effectiveAddr(state, inst.mem), 4));
+          default:
+            panic("int_src: bad form for %s", opName(inst.op));
+        }
+    };
+
+    // FP source value for RR/RM forms.
+    auto fp_src = [&]() -> double {
+        if (inst.form == Form::RR)
+            return state.fpr[inst.reg2];
+        return bitsToDouble(
+            memory.load(effectiveAddr(state, inst.mem), 8));
+    };
+
+    // Value of an R or M single operand.
+    auto rm_value = [&]() -> uint32_t {
+        if (inst.form == Form::R)
+            return state.gpr[inst.reg1];
+        return static_cast<uint32_t>(
+            memory.load(effectiveAddr(state, inst.mem), 4));
+    };
+
+    auto set_flags = [&](uint32_t computed) {
+        const OpInfo &info = opInfo(inst.op);
+        uint32_t mask = info.flagsWritten;
+        if (info.keepsCf)
+            mask &= ~flag::CF;
+        state.eflags = (state.eflags & ~mask) | (computed & mask);
+    };
+
+    auto push32 = [&](uint32_t value) {
+        state.gpr[ESP] -= 4;
+        memory.store(state.gpr[ESP], value, 4);
+    };
+
+    auto pop32 = [&]() -> uint32_t {
+        const uint32_t value =
+            static_cast<uint32_t>(memory.load(state.gpr[ESP], 4));
+        state.gpr[ESP] += 4;
+        return value;
+    };
+
+    switch (inst.op) {
+      case Op::MOV:
+        switch (inst.form) {
+          case Form::RR: state.gpr[inst.reg1] = state.gpr[inst.reg2]; break;
+          case Form::RI:
+            state.gpr[inst.reg1] = static_cast<uint32_t>(inst.imm);
+            break;
+          case Form::RM:
+            state.gpr[inst.reg1] = static_cast<uint32_t>(
+                memory.load(effectiveAddr(state, inst.mem), 4));
+            break;
+          case Form::MR:
+            memory.store(effectiveAddr(state, inst.mem),
+                         state.gpr[inst.reg1], 4);
+            break;
+          default: panic("mov: bad form");
+        }
+        break;
+
+      case Op::MOVB:
+        if (inst.form == Form::RM) {
+            state.gpr[inst.reg1] = static_cast<uint32_t>(
+                memory.load(effectiveAddr(state, inst.mem), 1));
+        } else {
+            memory.store(effectiveAddr(state, inst.mem),
+                         state.gpr[inst.reg1] & 0xFF, 1);
+        }
+        break;
+
+      case Op::LEA:
+        state.gpr[inst.reg1] = effectiveAddr(state, inst.mem);
+        break;
+
+      case Op::ADD: {
+        const uint32_t a = state.gpr[inst.reg1];
+        const uint32_t b = int_src();
+        const uint32_t res = a + b;
+        state.gpr[inst.reg1] = res;
+        set_flags(flags::afterAdd(a, b, res));
+        break;
+      }
+      case Op::SUB: {
+        const uint32_t a = state.gpr[inst.reg1];
+        const uint32_t b = int_src();
+        const uint32_t res = a - b;
+        state.gpr[inst.reg1] = res;
+        set_flags(flags::afterSub(a, b, res));
+        break;
+      }
+      case Op::CMP: {
+        const uint32_t a = state.gpr[inst.reg1];
+        const uint32_t b = int_src();
+        set_flags(flags::afterSub(a, b, a - b));
+        break;
+      }
+      case Op::AND: {
+        const uint32_t res = state.gpr[inst.reg1] & int_src();
+        state.gpr[inst.reg1] = res;
+        set_flags(flags::afterLogic(res));
+        break;
+      }
+      case Op::OR: {
+        const uint32_t res = state.gpr[inst.reg1] | int_src();
+        state.gpr[inst.reg1] = res;
+        set_flags(flags::afterLogic(res));
+        break;
+      }
+      case Op::XOR: {
+        const uint32_t res = state.gpr[inst.reg1] ^ int_src();
+        state.gpr[inst.reg1] = res;
+        set_flags(flags::afterLogic(res));
+        break;
+      }
+      case Op::TEST: {
+        const uint32_t res = state.gpr[inst.reg1] & int_src();
+        set_flags(flags::afterLogic(res));
+        break;
+      }
+      // GX86 deviation (documented in isa.hh): shifts always set
+      // Z/S/P from the (possibly unchanged) result; CF is 0 when the
+      // masked count is zero. This keeps the DBT lowering branchless.
+      case Op::SHL: {
+        const uint32_t a = state.gpr[inst.reg1];
+        const uint32_t count = int_src() & 31;
+        const uint32_t res = a << count;
+        state.gpr[inst.reg1] = res;
+        set_flags(count ? flags::afterShl(a, count, res)
+                        : flags::afterLogic(res));
+        break;
+      }
+      case Op::SHR: {
+        const uint32_t a = state.gpr[inst.reg1];
+        const uint32_t count = int_src() & 31;
+        const uint32_t res = a >> count;
+        state.gpr[inst.reg1] = res;
+        set_flags(count ? flags::afterShr(a, count, res)
+                        : flags::afterLogic(res));
+        break;
+      }
+      case Op::SAR: {
+        const uint32_t a = state.gpr[inst.reg1];
+        const uint32_t count = int_src() & 31;
+        const uint32_t res = static_cast<uint32_t>(
+            static_cast<int32_t>(a) >> count);
+        state.gpr[inst.reg1] = res;
+        set_flags(count ? flags::afterSar(a, count, res)
+                        : flags::afterLogic(res));
+        break;
+      }
+      case Op::IMUL: {
+        const int64_t full =
+            static_cast<int64_t>(
+                static_cast<int32_t>(state.gpr[inst.reg1])) *
+            static_cast<int64_t>(static_cast<int32_t>(int_src()));
+        const uint32_t res = static_cast<uint32_t>(full);
+        state.gpr[inst.reg1] = res;
+        set_flags(flags::afterImul(full, res));
+        break;
+      }
+      case Op::IDIV: {
+        const int32_t divisor = static_cast<int32_t>(rm_value());
+        const int32_t dividend = static_cast<int32_t>(state.gpr[EAX]);
+        if (divisor == 0 ||
+            (dividend == INT32_MIN && divisor == -1)) {
+            // Total-function deviation: no fault.
+            state.gpr[EDX] = static_cast<uint32_t>(dividend);
+            state.gpr[EAX] = 0;
+        } else {
+            state.gpr[EAX] = static_cast<uint32_t>(dividend / divisor);
+            state.gpr[EDX] = static_cast<uint32_t>(dividend % divisor);
+        }
+        break;
+      }
+      case Op::INC: {
+        const uint32_t a = state.gpr[inst.reg1];
+        const uint32_t res = a + 1;
+        state.gpr[inst.reg1] = res;
+        uint32_t f = flags::szp(res);
+        if (a == 0x7FFFFFFFu)
+            f |= flag::OF;
+        set_flags(f);
+        break;
+      }
+      case Op::DEC: {
+        const uint32_t a = state.gpr[inst.reg1];
+        const uint32_t res = a - 1;
+        state.gpr[inst.reg1] = res;
+        uint32_t f = flags::szp(res);
+        if (a == 0x80000000u)
+            f |= flag::OF;
+        set_flags(f);
+        break;
+      }
+      case Op::NEG: {
+        const uint32_t a = state.gpr[inst.reg1];
+        const uint32_t res = 0u - a;
+        state.gpr[inst.reg1] = res;
+        uint32_t f = flags::szp(res);
+        if (a != 0)
+            f |= flag::CF;
+        if (a == 0x80000000u)
+            f |= flag::OF;
+        set_flags(f);
+        break;
+      }
+      case Op::NOT:
+        state.gpr[inst.reg1] = ~state.gpr[inst.reg1];
+        break;
+
+      case Op::PUSH:
+        switch (inst.form) {
+          case Form::R: push32(state.gpr[inst.reg1]); break;
+          case Form::I: push32(static_cast<uint32_t>(inst.imm)); break;
+          case Form::M:
+            push32(static_cast<uint32_t>(
+                memory.load(effectiveAddr(state, inst.mem), 4)));
+            break;
+          default: panic("push: bad form");
+        }
+        break;
+      case Op::POP:
+        state.gpr[inst.reg1] = pop32();
+        break;
+
+      case Op::JMP:
+        state.eip = next_eip + static_cast<uint32_t>(inst.imm);
+        result.taken = true;
+        break;
+      case Op::JCC:
+        if (evalCond(inst.cond, state.eflags)) {
+            state.eip = next_eip + static_cast<uint32_t>(inst.imm);
+            result.taken = true;
+        }
+        break;
+      case Op::JMPI:
+        state.eip = rm_value();
+        result.taken = true;
+        break;
+      case Op::CALL:
+        push32(next_eip);
+        state.eip = next_eip + static_cast<uint32_t>(inst.imm);
+        result.taken = true;
+        break;
+      case Op::CALLI: {
+        const uint32_t target = rm_value();
+        push32(next_eip);
+        state.eip = target;
+        result.taken = true;
+        break;
+      }
+      case Op::RET:
+        state.eip = pop32();
+        result.taken = true;
+        break;
+
+      case Op::FMOV:
+        state.fpr[inst.reg1] = state.fpr[inst.reg2];
+        break;
+      case Op::FLD:
+        state.fpr[inst.reg1] = bitsToDouble(
+            memory.load(effectiveAddr(state, inst.mem), 8));
+        break;
+      case Op::FST:
+        memory.store(effectiveAddr(state, inst.mem),
+                     doubleToBits(state.fpr[inst.reg1]), 8);
+        break;
+      case Op::FADD:
+        state.fpr[inst.reg1] = canonFp(state.fpr[inst.reg1] + fp_src());
+        break;
+      case Op::FSUB:
+        state.fpr[inst.reg1] = canonFp(state.fpr[inst.reg1] - fp_src());
+        break;
+      case Op::FMUL:
+        state.fpr[inst.reg1] = canonFp(state.fpr[inst.reg1] * fp_src());
+        break;
+      case Op::FDIV:
+        state.fpr[inst.reg1] = canonFp(state.fpr[inst.reg1] / fp_src());
+        break;
+      case Op::FCMP:
+        set_flags(flags::afterFcmp(state.fpr[inst.reg1], fp_src()));
+        break;
+      case Op::FSQRT:
+        state.fpr[inst.reg1] = canonFp(std::sqrt(state.fpr[inst.reg2]));
+        break;
+      case Op::FABS:
+        state.fpr[inst.reg1] = std::fabs(state.fpr[inst.reg2]);
+        break;
+      case Op::FNEG:
+        state.fpr[inst.reg1] = -state.fpr[inst.reg2];
+        break;
+      case Op::CVTIF:
+        state.fpr[inst.reg1] = static_cast<double>(
+            static_cast<int32_t>(state.gpr[inst.reg2]));
+        break;
+      case Op::CVTFI:
+        state.gpr[inst.reg1] = detail::truncToInt32(state.fpr[inst.reg2]);
+        break;
+
+      case Op::NOP:
+        break;
+      case Op::HALT:
+        result.halted = true;
+        state.eip -= inst.length;  // HALT does not advance
+        break;
+
+      default:
+        panic("execInst: unhandled opcode %s", opName(inst.op));
+    }
+
+    return result;
+}
+
+} // namespace darco::guest
+
+#endif // DARCO_GUEST_EXEC_HH

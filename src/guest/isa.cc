@@ -1,0 +1,277 @@
+#include "guest/isa.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace darco::guest {
+
+bool
+evalCond(Cond cond, uint32_t eflags)
+{
+    const bool zf = eflags & flag::ZF;
+    const bool sf = eflags & flag::SF;
+    const bool of = eflags & flag::OF;
+    const bool cf = eflags & flag::CF;
+    switch (cond) {
+      case Cond::E:  return zf;
+      case Cond::NE: return !zf;
+      case Cond::L:  return sf != of;
+      case Cond::GE: return sf == of;
+      case Cond::LE: return zf || (sf != of);
+      case Cond::G:  return !zf && (sf == of);
+      case Cond::B:  return cf;
+      case Cond::AE: return !cf;
+      case Cond::S:  return sf;
+      case Cond::NS: return !sf;
+      default: panic("bad condition code %d", static_cast<int>(cond));
+    }
+}
+
+uint32_t
+condFlagsRead(Cond cond)
+{
+    switch (cond) {
+      case Cond::E:
+      case Cond::NE: return flag::ZF;
+      case Cond::L:
+      case Cond::GE: return flag::SF | flag::OF;
+      case Cond::LE:
+      case Cond::G:  return flag::ZF | flag::SF | flag::OF;
+      case Cond::B:
+      case Cond::AE: return flag::CF;
+      case Cond::S:
+      case Cond::NS: return flag::SF;
+      default: panic("bad condition code %d", static_cast<int>(cond));
+    }
+}
+
+const char *
+condName(Cond cond)
+{
+    static const char *names[] = {
+        "e", "ne", "l", "ge", "le", "g", "b", "ae", "s", "ns",
+    };
+    return names[static_cast<int>(cond)];
+}
+
+namespace {
+
+constexpr uint32_t kSzpOc = flag::SF | flag::ZF | flag::PF | flag::OF |
+                            flag::CF;
+constexpr uint32_t kSzp = flag::SF | flag::ZF | flag::PF;
+constexpr uint32_t kSzpO = flag::SF | flag::ZF | flag::PF | flag::OF;
+constexpr uint32_t kSzpC = flag::SF | flag::ZF | flag::PF | flag::CF;
+
+// Table indexed by Op. Fields:
+// name, flagsWritten, keepsCf, isFp, isBranch, isCondBranch,
+// isIndirect, isCall, isRet, memSize, complexAlu
+const OpInfo opTable[] = {
+    {"mov",   0,       false, false, false, false, false, false, false, 4, false},
+    {"movb",  0,       false, false, false, false, false, false, false, 1, false},
+    {"lea",   0,       false, false, false, false, false, false, false, 4, false},
+    {"add",   kSzpOc,  false, false, false, false, false, false, false, 4, false},
+    {"sub",   kSzpOc,  false, false, false, false, false, false, false, 4, false},
+    {"and",   kSzpOc,  false, false, false, false, false, false, false, 4, false},
+    {"or",    kSzpOc,  false, false, false, false, false, false, false, 4, false},
+    {"xor",   kSzpOc,  false, false, false, false, false, false, false, 4, false},
+    {"cmp",   kSzpOc,  false, false, false, false, false, false, false, 4, false},
+    {"test",  kSzpOc,  false, false, false, false, false, false, false, 4, false},
+    {"shl",   kSzpC,   false, false, false, false, false, false, false, 4, false},
+    {"shr",   kSzpC,   false, false, false, false, false, false, false, 4, false},
+    {"sar",   kSzpC,   false, false, false, false, false, false, false, 4, false},
+    {"imul",  kSzpOc,  false, false, false, false, false, false, false, 4, true},
+    {"idiv",  0,       false, false, false, false, false, false, false, 4, true},
+    {"inc",   kSzpO,   true,  false, false, false, false, false, false, 4, false},
+    {"dec",   kSzpO,   true,  false, false, false, false, false, false, 4, false},
+    {"neg",   kSzpOc,  false, false, false, false, false, false, false, 4, false},
+    {"not",   0,       false, false, false, false, false, false, false, 4, false},
+    {"push",  0,       false, false, false, false, false, false, false, 4, false},
+    {"pop",   0,       false, false, false, false, false, false, false, 4, false},
+    {"jmp",   0,       false, false, true,  false, false, false, false, 4, false},
+    {"jmpi",  0,       false, false, true,  false, true,  false, false, 4, false},
+    {"jcc",   0,       false, false, true,  true,  false, false, false, 4, false},
+    {"call",  0,       false, false, true,  false, false, true,  false, 4, false},
+    {"calli", 0,       false, false, true,  false, true,  true,  false, 4, false},
+    {"ret",   0,       false, false, true,  false, true,  false, true,  4, false},
+    {"fmov",  0,       false, true,  false, false, false, false, false, 8, false},
+    {"fld",   0,       false, true,  false, false, false, false, false, 8, false},
+    {"fst",   0,       false, true,  false, false, false, false, false, 8, false},
+    {"fadd",  0,       false, true,  false, false, false, false, false, 8, false},
+    {"fsub",  0,       false, true,  false, false, false, false, false, 8, false},
+    {"fmul",  0,       false, true,  false, false, false, false, false, 8, true},
+    {"fdiv",  0,       false, true,  false, false, false, false, false, 8, true},
+    {"fcmp",  kSzpOc,  false, true,  false, false, false, false, false, 8, false},
+    {"fsqrt", 0,       false, true,  false, false, false, false, false, 8, true},
+    {"fabs",  0,       false, true,  false, false, false, false, false, 8, false},
+    {"fneg",  0,       false, true,  false, false, false, false, false, 8, false},
+    {"cvtif", 0,       false, true,  false, false, false, false, false, 4, false},
+    {"cvtfi", 0,       false, true,  false, false, false, false, false, 4, false},
+    {"nop",   0,       false, false, false, false, false, false, false, 4, false},
+    {"halt",  0,       false, false, false, false, false, false, false, 4, false},
+};
+
+static_assert(sizeof(opTable) / sizeof(opTable[0]) ==
+              static_cast<size_t>(Op::NumOps),
+              "opTable must cover every Op");
+
+} // namespace
+
+const OpInfo &
+opInfo(Op op)
+{
+    panic_if(op >= Op::NumOps, "bad opcode %d", static_cast<int>(op));
+    return opTable[static_cast<int>(op)];
+}
+
+bool
+formValid(Op op, Form form)
+{
+    switch (op) {
+      case Op::MOV:
+        return form == Form::RR || form == Form::RI || form == Form::RM ||
+               form == Form::MR;
+      case Op::MOVB:
+        return form == Form::RM || form == Form::MR;
+      case Op::LEA:
+        return form == Form::RM;
+      case Op::ADD: case Op::SUB: case Op::AND: case Op::OR:
+      case Op::XOR: case Op::CMP: case Op::TEST: case Op::IMUL:
+        return form == Form::RR || form == Form::RI || form == Form::RM;
+      case Op::SHL: case Op::SHR: case Op::SAR:
+        return form == Form::RR || form == Form::RI;
+      case Op::IDIV:
+        return form == Form::R || form == Form::M;
+      case Op::INC: case Op::DEC: case Op::NEG: case Op::NOT:
+        return form == Form::R;
+      case Op::PUSH:
+        return form == Form::R || form == Form::I || form == Form::M;
+      case Op::POP:
+        return form == Form::R;
+      case Op::JMP: case Op::CALL:
+        return form == Form::I;
+      case Op::JCC:
+        return form == Form::I;
+      case Op::JMPI: case Op::CALLI:
+        return form == Form::R || form == Form::M;
+      case Op::RET: case Op::NOP: case Op::HALT:
+        return form == Form::NONE;
+      case Op::FMOV: case Op::FADD: case Op::FSUB: case Op::FMUL:
+      case Op::FDIV: case Op::FCMP:
+        return form == Form::RR || form == Form::RM;
+      case Op::FSQRT: case Op::FABS: case Op::FNEG:
+        return form == Form::RR;
+      case Op::FLD:
+        return form == Form::RM;
+      case Op::FST:
+        return form == Form::MR;
+      case Op::CVTIF: case Op::CVTFI:
+        return form == Form::RR;
+      default:
+        return false;
+    }
+}
+
+namespace flags {
+
+uint32_t
+parity(uint32_t result)
+{
+    uint32_t b = result & 0xFF;
+    b ^= b >> 4;
+    b ^= b >> 2;
+    b ^= b >> 1;
+    return (b & 1) ? 0 : flag::PF;
+}
+
+uint32_t
+szp(uint32_t result)
+{
+    uint32_t f = parity(result);
+    if (result == 0)
+        f |= flag::ZF;
+    if (result & 0x80000000u)
+        f |= flag::SF;
+    return f;
+}
+
+uint32_t
+afterAdd(uint32_t a, uint32_t b, uint32_t result)
+{
+    uint32_t f = szp(result);
+    if (result < a)
+        f |= flag::CF;
+    if ((~(a ^ b) & (a ^ result)) & 0x80000000u)
+        f |= flag::OF;
+    return f;
+}
+
+uint32_t
+afterSub(uint32_t a, uint32_t b, uint32_t result)
+{
+    uint32_t f = szp(result);
+    if (a < b)
+        f |= flag::CF;
+    if (((a ^ b) & (a ^ result)) & 0x80000000u)
+        f |= flag::OF;
+    return f;
+}
+
+uint32_t
+afterLogic(uint32_t result)
+{
+    return szp(result);
+}
+
+uint32_t
+afterShl(uint32_t a, uint32_t count, uint32_t result)
+{
+    uint32_t f = szp(result);
+    if ((a >> (32 - count)) & 1)
+        f |= flag::CF;
+    return f;
+}
+
+uint32_t
+afterShr(uint32_t a, uint32_t count, uint32_t result)
+{
+    uint32_t f = szp(result);
+    if ((a >> (count - 1)) & 1)
+        f |= flag::CF;
+    return f;
+}
+
+uint32_t
+afterSar(uint32_t a, uint32_t count, uint32_t result)
+{
+    uint32_t f = szp(result);
+    if ((static_cast<int32_t>(a) >> (count - 1)) & 1)
+        f |= flag::CF;
+    return f;
+}
+
+uint32_t
+afterImul(int64_t full, uint32_t result)
+{
+    uint32_t f = szp(result);
+    if (full != static_cast<int64_t>(static_cast<int32_t>(result)))
+        f |= flag::CF | flag::OF;
+    return f;
+}
+
+uint32_t
+afterFcmp(double a, double b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return flag::ZF | flag::CF | flag::PF;
+    uint32_t f = 0;
+    if (a == b)
+        f |= flag::ZF;
+    if (a < b)
+        f |= flag::CF;
+    return f;
+}
+
+} // namespace flags
+
+} // namespace darco::guest

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * GX86: the guest instruction-set architecture.
+ *
+ * GX86 is a compact x86-like CISC ISA. It deliberately reproduces the
+ * properties of x86 that matter for a co-designed dynamic binary
+ * translator (and that the characterization paper's analysis hinges
+ * on):
+ *
+ *  - variable-length encoding (2 to 12 bytes per instruction),
+ *  - eight 32-bit GPRs including a stack pointer with push/pop/call/
+ *    ret semantics,
+ *  - condition flags (EFLAGS, at x86 bit positions) written by most
+ *    ALU instructions and consumed by conditional branches,
+ *  - memory operands of the form [base + index*scale + disp],
+ *  - direct and *indirect* jumps and calls, and returns,
+ *  - scalar floating point with memory operands.
+ *
+ * Documented deviations from real x86 (both simulator sides — the
+ * authoritative emulator and the translator — implement the same
+ * semantics, so co-simulation is exact):
+ *  - IMUL defines SF/ZF/PF from the low 32-bit result (x86 leaves
+ *    them undefined); CF=OF=1 iff the full product does not fit.
+ *  - Shift-by-zero leaves flags untouched (as x86); OF after shifts
+ *    is always cleared (x86 defines it only for 1-bit shifts).
+ *  - IDIV is total: division by zero or INT_MIN/-1 yields quotient 0
+ *    and remainder = dividend instead of faulting.
+ *  - FP registers are a flat file F0..F7 of doubles (no x87 stack).
+ */
+
+#ifndef DARCO_GUEST_ISA_HH
+#define DARCO_GUEST_ISA_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace darco::guest {
+
+/** Guest general-purpose registers (x86 order). */
+enum Reg : uint8_t {
+    EAX = 0, ECX = 1, EDX = 2, EBX = 3,
+    ESP = 4, EBP = 5, ESI = 6, EDI = 7,
+    NumGprs = 8,
+};
+
+/** Guest floating-point registers (flat double-precision file). */
+enum FReg : uint8_t {
+    F0 = 0, F1, F2, F3, F4, F5, F6, F7,
+    NumFprs = 8,
+};
+
+/** EFLAGS bit positions (matching x86). */
+namespace flag {
+constexpr uint32_t CF = 1u << 0;
+constexpr uint32_t PF = 1u << 2;
+constexpr uint32_t ZF = 1u << 6;
+constexpr uint32_t SF = 1u << 7;
+constexpr uint32_t OF = 1u << 11;
+constexpr uint32_t All = CF | PF | ZF | SF | OF;
+} // namespace flag
+
+/** Condition codes for JCC (subset of x86 cc's). */
+enum class Cond : uint8_t {
+    E = 0,   ///< ZF
+    NE,      ///< !ZF
+    L,       ///< SF != OF
+    GE,      ///< SF == OF
+    LE,      ///< ZF || SF != OF
+    G,       ///< !ZF && SF == OF
+    B,       ///< CF
+    AE,      ///< !CF
+    S,       ///< SF
+    NS,      ///< !SF
+    NumConds,
+};
+
+/** Evaluate a condition against an EFLAGS value. */
+bool evalCond(Cond cond, uint32_t eflags);
+
+/** Flags a condition reads (for liveness analysis). */
+uint32_t condFlagsRead(Cond cond);
+
+/** Printable name ("e", "ne", ...). */
+const char *condName(Cond cond);
+
+/** Guest opcodes. */
+enum class Op : uint8_t {
+    // Data movement
+    MOV = 0,   ///< 32-bit move (RR/RI/RM/MR)
+    MOVB,      ///< 8-bit move, zero-extending on load (RM/MR)
+    LEA,       ///< address computation (RM only)
+    // Integer ALU (flag-setting per x86 rules)
+    ADD, SUB, AND, OR, XOR, CMP, TEST,
+    SHL, SHR, SAR,
+    IMUL,      ///< 32x32 -> low 32
+    IDIV,      ///< EAX / src -> EAX, remainder -> EDX
+    INC, DEC, NEG, NOT,
+    // Stack
+    PUSH, POP,
+    // Control flow
+    JMP,       ///< direct jump (I form, relative)
+    JMPI,      ///< indirect jump (R/M form)
+    JCC,       ///< conditional direct jump (I form + cond)
+    CALL,      ///< direct call
+    CALLI,     ///< indirect call
+    RET,       ///< return (indirect by nature)
+    // Floating point (doubles)
+    FMOV, FLD, FST,
+    FADD, FSUB, FMUL, FDIV,
+    FCMP,      ///< sets ZF/CF/PF like x86 FUCOMI
+    FSQRT, FABS, FNEG,
+    CVTIF,     ///< int32 -> double
+    CVTFI,     ///< double -> int32 (truncating, x86 clamp semantics)
+    // Misc
+    NOP,
+    HALT,      ///< stops the guest program
+    NumOps,
+};
+
+/** Operand forms. Encoded in the FORM byte of every instruction. */
+enum class Form : uint8_t {
+    NONE = 0,  ///< no operands (RET, NOP, HALT)
+    RR,        ///< reg, reg
+    RI,        ///< reg, imm
+    RM,        ///< reg <- mem
+    MR,        ///< mem <- reg
+    R,         ///< single register (PUSH/POP/JMPI/CALLI/INC/...)
+    M,         ///< single memory operand (JMPI/CALLI/PUSH mem)
+    I,         ///< immediate only (JMP/JCC/CALL relative, PUSH imm)
+    NumForms,
+};
+
+/** A memory operand: [base + index * scale + disp]. */
+struct MemOperand
+{
+    uint8_t base = 0;       ///< base register (always present)
+    uint8_t index = 0;      ///< index register (valid iff hasIndex)
+    uint8_t scaleLog2 = 0;  ///< 0..3 -> scale 1/2/4/8
+    bool hasIndex = false;
+    int32_t disp = 0;
+
+    bool operator==(const MemOperand &) const = default;
+};
+
+/** A decoded guest instruction. */
+struct Inst
+{
+    Op op = Op::NOP;
+    Form form = Form::NONE;
+    Cond cond = Cond::E;    ///< valid only for JCC
+    uint8_t reg1 = 0;       ///< dst (or only) register
+    uint8_t reg2 = 0;       ///< src register
+    MemOperand mem;         ///< valid for RM/MR/M forms
+    int32_t imm = 0;        ///< immediate / branch displacement
+    uint8_t length = 0;     ///< encoded length in bytes
+
+    bool operator==(const Inst &) const = default;
+};
+
+/** Static per-opcode properties. */
+struct OpInfo
+{
+    const char *name;        ///< mnemonic
+    uint32_t flagsWritten;   ///< EFLAGS mask this op defines
+    bool keepsCf;            ///< INC/DEC: CF preserved though others set
+    bool isFp;               ///< operates on F registers
+    bool isBranch;           ///< any control transfer
+    bool isCondBranch;       ///< JCC
+    bool isIndirect;         ///< JMPI/CALLI/RET
+    bool isCall;             ///< CALL/CALLI
+    bool isRet;              ///< RET
+    uint8_t memSize;         ///< bytes moved when a mem form is used
+    bool complexAlu;         ///< IMUL/IDIV/FSQRT-class work
+};
+
+/** Look up static properties of @p op. */
+const OpInfo &opInfo(Op op);
+
+/** Mnemonic for @p op. */
+inline const char *opName(Op op) { return opInfo(op).name; }
+
+/** True if (op, form) is an encodable combination. */
+bool formValid(Op op, Form form);
+
+/** Architectural guest state. */
+struct State
+{
+    std::array<uint32_t, NumGprs> gpr{};
+    std::array<double, NumFprs> fpr{};
+    uint32_t eflags = 0;
+    uint32_t eip = 0;
+
+    bool operator==(const State &) const = default;
+};
+
+/**
+ * Flag-computation helpers. These define GX86 semantics and are the
+ * single source of truth used by the authoritative emulator; the
+ * translator's lowering is differentially tested against them.
+ */
+namespace flags {
+
+/** Parity flag: set iff the low byte of @p result has even parity. */
+uint32_t parity(uint32_t result);
+
+/** SF/ZF/PF from a result. */
+uint32_t szp(uint32_t result);
+
+/** Full flag set after ADD. */
+uint32_t afterAdd(uint32_t a, uint32_t b, uint32_t result);
+
+/** Full flag set after SUB/CMP (result = a - b). */
+uint32_t afterSub(uint32_t a, uint32_t b, uint32_t result);
+
+/** Flags after logical ops (AND/OR/XOR/TEST): CF=OF=0. */
+uint32_t afterLogic(uint32_t result);
+
+/** Flags after SHL by non-zero count. */
+uint32_t afterShl(uint32_t a, uint32_t count, uint32_t result);
+
+/** Flags after SHR by non-zero count. */
+uint32_t afterShr(uint32_t a, uint32_t count, uint32_t result);
+
+/** Flags after SAR by non-zero count. */
+uint32_t afterSar(uint32_t a, uint32_t count, uint32_t result);
+
+/** Flags after IMUL (see deviation note). */
+uint32_t afterImul(int64_t full, uint32_t result);
+
+/** Flags after FCMP (x86 FUCOMI semantics). */
+uint32_t afterFcmp(double a, double b);
+
+} // namespace flags
+
+} // namespace darco::guest
+
+#endif // DARCO_GUEST_ISA_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Guest memory space: the authoritative x86-component memory. The
+ * co-design component embeds its *emulated* guest memory in the low
+ * 4 GiB of the host address space instead (see host/address_map.hh).
+ */
+
+#ifndef DARCO_GUEST_MEMORY_HH
+#define DARCO_GUEST_MEMORY_HH
+
+#include <cstdint>
+
+#include "common/paged_memory.hh"
+
+namespace darco::guest {
+
+using Memory = PagedMemory<uint32_t>;
+
+/** Default guest virtual-memory layout (x86-flavoured). */
+namespace layout {
+constexpr uint32_t kCodeBase = 0x08048000;
+constexpr uint32_t kDataBase = 0x10000000;
+constexpr uint32_t kStackTop = 0xBFFF0000;
+} // namespace layout
+
+} // namespace darco::guest
+
+#endif // DARCO_GUEST_MEMORY_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Simulated host virtual-address map and register-usage conventions.
+ *
+ * The host is a 32-bit RISC; the co-design component owns a single
+ * 32-bit host address space. The emulated guest application memory
+ * occupies the low 3 GiB (guest addresses are used directly, which
+ * lets guest 32-bit arithmetic map 1:1 onto host registers); TOL's
+ * own code and data structures live in the top 1 GiB. Data accesses
+ * below the TOL boundary go through the data TLB; TOL-space accesses
+ * are physical (the paper: the TLB "exists only for data, since TOL
+ * works with physical addresses").
+ */
+
+#ifndef DARCO_HOST_ADDRESS_MAP_HH
+#define DARCO_HOST_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+namespace darco::host {
+
+namespace amap {
+
+/** Guest (emulated application) space: [0, 3 GiB). */
+constexpr uint32_t kGuestBase = 0x0000'0000u;
+constexpr uint32_t kGuestLimit = 0xC000'0000u;
+
+/** TOL static code (interpreter, translator, runtime routines). */
+constexpr uint32_t kTolCodeBase = 0xC000'0000u;
+constexpr uint32_t kTolCodeLimit = 0xC100'0000u;
+
+/** Code cache: translated host code (instruction fetch from here). */
+constexpr uint32_t kCodeCacheBase = 0xC800'0000u;
+constexpr uint32_t kCodeCacheLimit = 0xD000'0000u;
+
+/** Translation map (guest EIP -> host entry), open addressing. */
+constexpr uint32_t kTransMapBase = 0xD000'0000u;
+
+/** Profile counter tables (IM target counters, BB/edge counters). */
+constexpr uint32_t kProfileBase = 0xD400'0000u;
+
+/** Indirect Branch Translation Cache. */
+constexpr uint32_t kIbtcBase = 0xD800'0000u;
+
+/** Guest context block (spilled guest state while in IM). */
+constexpr uint32_t kContextBase = 0xDC00'0000u;
+
+/** TOL working memory: IR buffers, trace buffers, scratch. */
+constexpr uint32_t kWorkBase = 0xE000'0000u;
+
+/** TOL runtime stack (grows down). */
+constexpr uint32_t kTolStackTop = 0xFF00'0000u;
+
+/** True if an address belongs to the emulated guest space. */
+constexpr bool
+isGuestAddr(uint32_t addr)
+{
+    return addr < kGuestLimit;
+}
+
+/**
+ * Runtime service entry points. Translated code transfers control to
+ * these host addresses; the functional executor stops and hands
+ * control to the TOL runtime when the next PC lands in
+ * [kSvcBase, kSvcLimit).
+ */
+constexpr uint32_t kSvcBase = kTolCodeBase;
+constexpr uint32_t kSvcDispatch = kSvcBase + 0x00;  ///< region exit
+constexpr uint32_t kSvcIbtcMiss = kSvcBase + 0x40;  ///< inline probe missed
+constexpr uint32_t kSvcPromote = kSvcBase + 0x80;   ///< BB hit SB threshold
+constexpr uint32_t kSvcHalt = kSvcBase + 0xC0;      ///< guest executed HALT
+constexpr uint32_t kSvcLimit = kSvcBase + 0x100;
+
+constexpr bool
+isServiceAddr(uint32_t addr)
+{
+    return addr >= kSvcBase && addr < kSvcLimit;
+}
+
+} // namespace amap
+
+/**
+ * Integer register conventions.
+ *
+ * x0        hardwired zero
+ * x1..x31   TOL partition (interpreter/translator/runtime routines)
+ * x32..x63  application partition:
+ *   x32..x39  guest GPRs EAX..EDI
+ *   x40..x44  materialized guest flags ZF, SF, CF, OF, PF (0/1 values)
+ *   x45..x54  allocatable translation temporaries
+ *   x55       BB->SB promotion threshold (loaded at start)
+ *   x56       IBTC base address
+ *   x57       guest context block base address
+ *   x58       exit payload: guest target EIP
+ *   x59       exit payload: region exit id
+ *   x60..x63  stub scratch
+ *
+ * f0..f15   TOL partition
+ * f16..f23  guest FP registers F0..F7
+ * f24..f31  translation temporaries
+ */
+namespace hreg {
+
+constexpr uint8_t Zero = 0;
+
+// TOL-partition conventions used by emitted TOL service streams.
+constexpr uint8_t TolScratch0 = 1;
+constexpr uint8_t TolScratch1 = 2;
+constexpr uint8_t TolScratch2 = 3;
+constexpr uint8_t TolScratch3 = 4;
+constexpr uint8_t TolScratch4 = 5;
+constexpr uint8_t TolScratch5 = 6;
+constexpr uint8_t TolDispatchEip = 29;  ///< guest EIP being dispatched
+constexpr uint8_t TolStackPtr = 30;
+
+constexpr uint8_t AppBase = 32;
+constexpr uint8_t GuestGpr0 = 32;       ///< x32 + guest reg number
+constexpr uint8_t FlagZ = 40;
+constexpr uint8_t FlagS = 41;
+constexpr uint8_t FlagC = 42;
+constexpr uint8_t FlagO = 43;
+constexpr uint8_t FlagP = 44;
+constexpr uint8_t TempBase = 45;
+constexpr unsigned NumTemps = 10;       ///< x45..x54
+constexpr uint8_t SbThreshold = 55;
+constexpr uint8_t IbtcBase = 56;
+constexpr uint8_t CtxBase = 57;
+constexpr uint8_t ExitTarget = 58;
+constexpr uint8_t ExitId = 59;
+constexpr uint8_t StubScratch0 = 60;
+constexpr uint8_t StubScratch1 = 61;
+constexpr uint8_t StubScratch2 = 62;
+constexpr uint8_t StubScratch3 = 63;
+
+/** FP register conventions. */
+constexpr uint8_t GuestFpr0 = 16;       ///< f16 + guest F number
+constexpr uint8_t FpTempBase = 24;
+constexpr unsigned NumFpTemps = 8;
+
+constexpr uint8_t
+guestGpr(unsigned guest_reg)
+{
+    return static_cast<uint8_t>(GuestGpr0 + guest_reg);
+}
+
+constexpr uint8_t
+guestFpr(unsigned guest_freg)
+{
+    return static_cast<uint8_t>(GuestFpr0 + guest_freg);
+}
+
+} // namespace hreg
+
+/**
+ * Guest context block layout (offsets from amap::kContextBase).
+ * The interpreter operates on this block; fill/spill code moves it
+ * to/from the application register partition at mode transitions.
+ */
+namespace ctx {
+
+constexpr uint32_t kGprOffset = 0;        ///< 8 x 4 bytes
+constexpr uint32_t kFlagsOffset = 32;     ///< 5 x 4 bytes (Z,S,C,O,P)
+constexpr uint32_t kEipOffset = 52;       ///< 4 bytes
+constexpr uint32_t kFprOffset = 64;       ///< 8 x 8 bytes
+constexpr uint32_t kSize = 128;
+
+constexpr uint32_t gprAddr(unsigned r) { return kGprOffset + 4 * r; }
+constexpr uint32_t flagAddr(unsigned f) { return kFlagsOffset + 4 * f; }
+constexpr uint32_t fprAddr(unsigned r) { return kFprOffset + 8 * r; }
+
+} // namespace ctx
+
+} // namespace darco::host
+
+#endif // DARCO_HOST_ADDRESS_MAP_HH

@@ -1,0 +1,85 @@
+#include "host/code_store.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace darco::host {
+
+void
+CodeStore::partitionForSuperblocks(unsigned hot_fraction_percent)
+{
+    panic_if(!regions.empty(), "partitioning after regions installed");
+    panic_if(hot_fraction_percent == 0 || hot_fraction_percent >= 100,
+             "hot fraction must be in (0, 100)");
+    const uint32_t span = cacheLimit - cacheBase;
+    hotBase = cacheLimit -
+              static_cast<uint32_t>(
+                  static_cast<uint64_t>(span) * hot_fraction_percent /
+                  100);
+    hotBase = static_cast<uint32_t>(alignUp(hotBase, 16));
+    hotNext = hotBase;
+}
+
+CodeRegion *
+CodeStore::install(std::unique_ptr<CodeRegion> region)
+{
+    const uint32_t bytes = region->insts.size() * kHostInstBytes;
+    // Keep regions cache-line disjoint at the front to mimic real
+    // emitters aligning entry points. Superblocks go to the hot
+    // partition when one is configured.
+    const bool hot = hotBase != cacheLimit &&
+                     region->kind == RegionKind::Superblock;
+    uint32_t &bump = hot ? hotNext : nextAddr;
+    const uint32_t partition_limit = hot ? cacheLimit : hotBase;
+    const uint32_t base = alignUp(bump, 16);
+    if (base + bytes > partition_limit)
+        return nullptr;
+
+    region->hostBase = base;
+    bump = base + bytes;
+
+    // Convert intra-region index targets to absolute host addresses.
+    for (HostInst &inst : region->insts) {
+        if (inst.targetIsIndex) {
+            inst.imm = static_cast<int64_t>(
+                base + static_cast<uint32_t>(inst.imm) * kHostInstBytes);
+            inst.targetIsIndex = false;
+        }
+    }
+
+    CodeRegion *ptr = region.get();
+    regions.emplace(base, std::move(region));
+    lastHit = ptr;
+    return ptr;
+}
+
+CodeRegion *
+CodeStore::find(uint32_t pc)
+{
+    if (lastHit && pc >= lastHit->hostBase && pc < lastHit->hostLimit())
+        return lastHit;
+    if (regions.empty())
+        return nullptr;
+    auto it = regions.upper_bound(pc);
+    if (it == regions.begin())
+        return nullptr;
+    --it;
+    CodeRegion *region = it->second.get();
+    if (pc >= region->hostBase && pc < region->hostLimit()) {
+        lastHit = region;
+        return region;
+    }
+    return nullptr;
+}
+
+void
+CodeStore::flush()
+{
+    regions.clear();
+    lastHit = nullptr;
+    nextAddr = cacheBase;
+    hotNext = hotBase;
+    ++gen;
+}
+
+} // namespace darco::host

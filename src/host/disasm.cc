@@ -1,0 +1,163 @@
+#include "host/disasm.hh"
+
+#include "common/logging.hh"
+#include "host/address_map.hh"
+
+namespace darco::host {
+
+std::string
+hostRegName(uint8_t reg)
+{
+    static const char *guest_names[] = {
+        "gEAX", "gECX", "gEDX", "gEBX", "gESP", "gEBP", "gESI", "gEDI",
+    };
+    if (reg == hreg::Zero)
+        return "x0";
+    if (reg >= hreg::GuestGpr0 && reg < hreg::GuestGpr0 + 8)
+        return guest_names[reg - hreg::GuestGpr0];
+    switch (reg) {
+      case hreg::FlagZ: return "fZ";
+      case hreg::FlagS: return "fS";
+      case hreg::FlagC: return "fC";
+      case hreg::FlagO: return "fO";
+      case hreg::FlagP: return "fP";
+      case hreg::SbThreshold: return "xTHR";
+      case hreg::IbtcBase: return "xIBTC";
+      case hreg::CtxBase: return "xCTX";
+      case hreg::ExitTarget: return "xTGT";
+      case hreg::ExitId: return "xEID";
+      default: break;
+    }
+    return strprintf("x%u", reg);
+}
+
+namespace {
+
+std::string
+fpRegName(uint8_t reg)
+{
+    if (reg >= hreg::GuestFpr0 && reg < hreg::GuestFpr0 + 8)
+        return strprintf("gF%u", reg - hreg::GuestFpr0);
+    return strprintf("f%u", reg);
+}
+
+std::string
+regName(uint8_t reg, bool fp)
+{
+    if (reg == kNoReg)
+        return "-";
+    return fp ? fpRegName(reg) : hostRegName(reg);
+}
+
+std::string
+targetName(int64_t imm, bool is_index)
+{
+    const uint32_t target = static_cast<uint32_t>(imm);
+    if (is_index)
+        return strprintf("@%lld", static_cast<long long>(imm));
+    switch (target) {
+      case amap::kSvcDispatch: return "svc:dispatch";
+      case amap::kSvcIbtcMiss: return "svc:ibtc-miss";
+      case amap::kSvcPromote:  return "svc:promote";
+      case amap::kSvcHalt:     return "svc:halt";
+      default: return strprintf("0x%08x", target);
+    }
+}
+
+} // namespace
+
+std::string
+disassemble(const HostInst &inst, uint32_t pc)
+{
+    (void)pc;
+    const HOpInfo &info = hopInfo(inst.op);
+    std::string s = hopName(inst.op);
+
+    switch (inst.op) {
+      case HOp::LD:
+      case HOp::FLD:
+        s += strprintf(" %s, [%s%+lld]:%u",
+                       regName(inst.rd, info.fpDst).c_str(),
+                       regName(inst.rs1, false).c_str(),
+                       static_cast<long long>(inst.imm), inst.size);
+        break;
+      case HOp::ST:
+      case HOp::FST:
+        s += strprintf(" [%s%+lld]:%u, %s",
+                       regName(inst.rs1, false).c_str(),
+                       static_cast<long long>(inst.imm), inst.size,
+                       regName(inst.rs2, info.fpSrc2).c_str());
+        break;
+      case HOp::BEQ: case HOp::BNE: case HOp::BLT: case HOp::BGE:
+      case HOp::BLTU: case HOp::BGEU:
+        s += strprintf(" %s, %s -> %s",
+                       regName(inst.rs1, false).c_str(),
+                       regName(inst.rs2, false).c_str(),
+                       targetName(inst.imm, inst.targetIsIndex).c_str());
+        break;
+      case HOp::JAL:
+        s += strprintf(" %s -> %s", regName(inst.rd, false).c_str(),
+                       targetName(inst.imm, inst.targetIsIndex).c_str());
+        break;
+      case HOp::JALR:
+        s += strprintf(" %s, (%s)", regName(inst.rd, false).c_str(),
+                       regName(inst.rs1, false).c_str());
+        break;
+      case HOp::LUI:
+        s += strprintf(" %s, 0x%llx", regName(inst.rd, false).c_str(),
+                       static_cast<unsigned long long>(
+                           static_cast<uint32_t>(inst.imm)));
+        break;
+      case HOp::ADDI: case HOp::ANDI: case HOp::ORI: case HOp::XORI:
+      case HOp::SLLI: case HOp::SRLI: case HOp::SRAI: case HOp::SLTI:
+      case HOp::SLTUI:
+        s += strprintf(" %s, %s, %lld",
+                       regName(inst.rd, false).c_str(),
+                       regName(inst.rs1, false).c_str(),
+                       static_cast<long long>(inst.imm));
+        break;
+      case HOp::NOP:
+        break;
+      default:
+        s += strprintf(" %s, %s",
+                       regName(inst.rd, info.fpDst).c_str(),
+                       regName(inst.rs1, info.fpSrc1).c_str());
+        if (inst.rs2 != kNoReg)
+            s += strprintf(", %s",
+                           regName(inst.rs2, info.fpSrc2).c_str());
+        break;
+    }
+
+    if (inst.guestBoundary)
+        s += strprintf("   ; retire %u", inst.guestIndex);
+    return s;
+}
+
+std::string
+disassembleRegion(const CodeRegion &region)
+{
+    std::string s = strprintf(
+        "%s region @host 0x%08x for guest 0x%08x (%zu insts%s)\n",
+        region.kind == RegionKind::Superblock ? "superblock"
+                                              : "basic-block",
+        region.hostBase, region.guestEntry, region.insts.size(),
+        region.superseded ? ", superseded" : "");
+    for (size_t i = 0; i < region.insts.size(); ++i) {
+        const uint32_t pc = region.hostBase +
+            static_cast<uint32_t>(i) * kHostInstBytes;
+        s += strprintf("  %08x:  %s\n", pc,
+                       disassemble(region.insts[i], pc).c_str());
+    }
+    for (size_t e = 0; e < region.exits.size(); ++e) {
+        const ExitInfo &exit = region.exits[e];
+        s += strprintf("  exit %zu: %s%starget 0x%08x, retires %u, "
+                       "flags 0x%x%s\n",
+                       e, exit.indirect ? "indirect " : "",
+                       exit.halt ? "halt " : "", exit.guestTarget,
+                       exit.guestInstsRetired, exit.flagMask,
+                       exit.chained ? ", chained" : "");
+    }
+    return s;
+}
+
+} // namespace darco::host

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * HRISC disassembler: renders host instructions and whole translated
+ * regions (with exit metadata) for debugging and for the region-dump
+ * tooling. Understands the register conventions of the address map
+ * (guest-bound registers print as their guest names).
+ */
+
+#ifndef DARCO_HOST_DISASM_HH
+#define DARCO_HOST_DISASM_HH
+
+#include <string>
+
+#include "host/code_store.hh"
+#include "host/isa.hh"
+
+namespace darco::host {
+
+/** Render one instruction (PC used for branch-target formatting). */
+std::string disassemble(const HostInst &inst, uint32_t pc = 0);
+
+/** Render a whole region: header, instructions, exits. */
+std::string disassembleRegion(const CodeRegion &region);
+
+/** Symbolic name of an integer register per the ABI conventions. */
+std::string hostRegName(uint8_t reg);
+
+} // namespace darco::host
+
+#endif // DARCO_HOST_DISASM_HH

@@ -1,0 +1,91 @@
+#include "host/isa.hh"
+
+#include "common/logging.hh"
+
+namespace darco::host {
+
+namespace {
+
+// name, class, isLoad, isStore, isBranch, isCond, isInd, fpDst, fpS1, fpS2
+const HOpInfo hopTable[] = {
+    {"add",    ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"sub",    ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"and",    ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"or",     ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"xor",    ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"sll",    ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"srl",    ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"sra",    ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"slt",    ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"sltu",   ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"mul",    ExecClass::IntComplex, false, false, false, false, false, false, false, false},
+    {"mulh",   ExecClass::IntComplex, false, false, false, false, false, false, false, false},
+    {"div",    ExecClass::IntComplex, false, false, false, false, false, false, false, false},
+    {"rem",    ExecClass::IntComplex, false, false, false, false, false, false, false, false},
+    {"addi",   ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"andi",   ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"ori",    ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"xori",   ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"slli",   ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"srli",   ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"srai",   ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"slti",   ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"sltui",  ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"lui",    ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+    {"ld",     ExecClass::Mem,        true,  false, false, false, false, false, false, false},
+    {"st",     ExecClass::Mem,        false, true,  false, false, false, false, false, false},
+    {"fld",    ExecClass::Mem,        true,  false, false, false, false, true,  false, false},
+    {"fst",    ExecClass::Mem,        false, true,  false, false, false, false, false, true},
+    {"beq",    ExecClass::Branch,     false, false, true,  true,  false, false, false, false},
+    {"bne",    ExecClass::Branch,     false, false, true,  true,  false, false, false, false},
+    {"blt",    ExecClass::Branch,     false, false, true,  true,  false, false, false, false},
+    {"bge",    ExecClass::Branch,     false, false, true,  true,  false, false, false, false},
+    {"bltu",   ExecClass::Branch,     false, false, true,  true,  false, false, false, false},
+    {"bgeu",   ExecClass::Branch,     false, false, true,  true,  false, false, false, false},
+    {"jal",    ExecClass::Branch,     false, false, true,  false, false, false, false, false},
+    {"jalr",   ExecClass::Branch,     false, false, true,  false, true,  false, false, false},
+    {"fadd",   ExecClass::FpSimple,   false, false, false, false, false, true,  true,  true},
+    {"fsub",   ExecClass::FpSimple,   false, false, false, false, false, true,  true,  true},
+    {"fmul",   ExecClass::FpComplex,  false, false, false, false, false, true,  true,  true},
+    {"fdiv",   ExecClass::FpComplex,  false, false, false, false, false, true,  true,  true},
+    {"fsqrt",  ExecClass::FpComplex,  false, false, false, false, false, true,  true,  false},
+    {"fabs",   ExecClass::FpSimple,   false, false, false, false, false, true,  true,  false},
+    {"fneg",   ExecClass::FpSimple,   false, false, false, false, false, true,  true,  false},
+    {"fmov",   ExecClass::FpSimple,   false, false, false, false, false, true,  true,  false},
+    {"fcvt.if", ExecClass::FpSimple,  false, false, false, false, false, true,  false, false},
+    {"fcvt.fi", ExecClass::FpSimple,  false, false, false, false, false, false, true,  false},
+    {"flt",    ExecClass::FpSimple,   false, false, false, false, false, false, true,  true},
+    {"fle",    ExecClass::FpSimple,   false, false, false, false, false, false, true,  true},
+    {"feq",    ExecClass::FpSimple,   false, false, false, false, false, false, true,  true},
+    {"funord", ExecClass::FpSimple,   false, false, false, false, false, false, true,  true},
+    {"nop",    ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
+};
+
+static_assert(sizeof(hopTable) / sizeof(hopTable[0]) ==
+              static_cast<size_t>(HOp::NumOps),
+              "hopTable must cover every HOp");
+
+} // namespace
+
+const HOpInfo &
+hopInfo(HOp op)
+{
+    panic_if(op >= HOp::NumOps, "bad host opcode %d", static_cast<int>(op));
+    return hopTable[static_cast<int>(op)];
+}
+
+unsigned
+execLatency(ExecClass cls)
+{
+    switch (cls) {
+      case ExecClass::IntSimple:  return 1;
+      case ExecClass::IntComplex: return 2;
+      case ExecClass::FpSimple:   return 2;
+      case ExecClass::FpComplex:  return 5;
+      case ExecClass::Mem:        return 1;  // plus cache time
+      case ExecClass::Branch:     return 1;
+      default: panic("bad exec class");
+    }
+}
+
+} // namespace darco::host

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * HRISC: the host instruction-set architecture.
+ *
+ * A simple RISC ISA in the spirit of the paper's host machine: 64
+ * integer registers logically split between TOL (x0..x31, x0 wired to
+ * zero) and the translated application (x32..x63), 32 FP registers,
+ * loads/stores with base+displacement addressing only, compare-and-
+ * branch, and JAL/JALR for calls and indirect jumps. Fixed 4-byte
+ * instructions (only the PC arithmetic matters to the timing model;
+ * instructions are simulated as structs).
+ *
+ * Execution-unit classes follow Table I's narrative: each of the two
+ * symmetric pipes has a simple (1-cycle) and a complex (2-cycle)
+ * integer unit and a simple (2-cycle) and a complex (5-cycle) FP unit.
+ */
+
+#ifndef DARCO_HOST_ISA_HH
+#define DARCO_HOST_ISA_HH
+
+#include <cstdint>
+
+namespace darco::host {
+
+/** Host opcodes. */
+enum class HOp : uint8_t {
+    // Integer register-register
+    ADD = 0, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+    MUL, MULH, DIV, REM,
+    // Integer register-immediate
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, SLTUI,
+    LUI,      ///< rd = imm << 12
+    // Memory (size field selects 1/4/8 bytes; LD zero-extends)
+    LD, ST,
+    FLD, FST, ///< FP loads/stores (8 bytes)
+    // Control (branch targets are absolute host addresses in imm)
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    JAL,      ///< rd = link (x0 for plain jump); target in imm
+    JALR,     ///< rd = link; target = rs1 (+ imm)
+    // Floating point
+    FADD, FSUB, FMUL, FDIV, FSQRT, FABS, FNEG, FMOV,
+    FCVT_IF,  ///< f[rd] = (double)(int32)x[rs1]
+    FCVT_FI,  ///< x[rd] = trunc-to-int32(f[rs1]) (x86 clamp semantics)
+    FLT,      ///< x[rd] = f[rs1] < f[rs2]
+    FLE,      ///< x[rd] = f[rs1] <= f[rs2]
+    FEQ,      ///< x[rd] = f[rs1] == f[rs2]
+    FUNORD,   ///< x[rd] = isnan(f[rs1]) || isnan(f[rs2])
+    NOP,
+    NumOps,
+};
+
+/** Execution-unit class (selects latency and issue unit). */
+enum class ExecClass : uint8_t {
+    IntSimple = 0,  ///< 1 cycle
+    IntComplex,     ///< 2 cycles
+    FpSimple,       ///< 2 cycles
+    FpComplex,      ///< 5 cycles
+    Mem,            ///< address calc + cache access in EXE
+    Branch,         ///< resolves in EXE
+    NumClasses,
+};
+
+/** Static per-opcode properties of the host ISA. */
+struct HOpInfo
+{
+    const char *name;
+    ExecClass execClass;
+    bool isLoad;
+    bool isStore;
+    bool isBranch;
+    bool isCondBranch;
+    bool isIndirect;    ///< JALR
+    bool fpDst;         ///< rd names an FP register
+    bool fpSrc1;
+    bool fpSrc2;
+};
+
+const HOpInfo &hopInfo(HOp op);
+
+inline const char *hopName(HOp op) { return hopInfo(op).name; }
+
+/** Latency in cycles for an execution class (memory adds cache time). */
+unsigned execLatency(ExecClass cls);
+
+/** No-register marker for rd/rs fields. */
+constexpr uint8_t kNoReg = 0xFF;
+
+/**
+ * One host instruction. Branch/jump targets are absolute host
+ * addresses carried in imm; patching a chained exit rewrites imm.
+ */
+struct HostInst
+{
+    HOp op = HOp::NOP;
+    uint8_t rd = kNoReg;
+    uint8_t rs1 = kNoReg;
+    uint8_t rs2 = kNoReg;
+    uint8_t size = 8;        ///< memory access size
+    uint8_t attr = 0;        ///< attribution tag (timing/record.hh Module)
+    /**
+     * Set on region-leaving transfer instructions (exit-stub JAL,
+     * IBTC-probe JALR): executing this instruction retires
+     * `guestIndex` guest instructions. Body instructions carry 0.
+     */
+    bool guestBoundary = false;
+    uint16_t guestIndex = 0;
+    /**
+     * While a region is under construction, branch targets that point
+     * inside the region are instruction *indices*; install() fixes
+     * them up to absolute host addresses and clears this flag.
+     */
+    bool targetIsIndex = false;
+    int64_t imm = 0;
+};
+
+/** Number of architectural integer registers. */
+constexpr unsigned kNumIntRegs = 64;
+/** Number of architectural FP registers. */
+constexpr unsigned kNumFpRegs = 32;
+
+/** Host instructions occupy 4 bytes each in the simulated I-space. */
+constexpr uint64_t kHostInstBytes = 4;
+
+} // namespace darco::host
+
+#endif // DARCO_HOST_ISA_HH

@@ -1,0 +1,179 @@
+#include "ir/passes.hh"
+
+#include <unordered_map>
+
+#include "ir/evaluator.hh"
+
+namespace darco::ir {
+
+namespace {
+
+bool
+isIntAlu(IrOp op)
+{
+    switch (op) {
+      case IrOp::ADD: case IrOp::SUB: case IrOp::AND: case IrOp::OR:
+      case IrOp::XOR: case IrOp::SLL: case IrOp::SRL: case IrOp::SRA:
+      case IrOp::SLT: case IrOp::SLTU: case IrOp::MUL: case IrOp::MULH:
+      case IrOp::DIV: case IrOp::REM:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCommutative(IrOp op)
+{
+    switch (op) {
+      case IrOp::ADD: case IrOp::AND: case IrOp::OR: case IrOp::XOR:
+      case IrOp::MUL: case IrOp::MULH:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Ops whose src2 the host can take as an immediate after lowering. */
+bool
+hasImmForm(IrOp op)
+{
+    switch (op) {
+      case IrOp::ADD: case IrOp::SUB: case IrOp::AND: case IrOp::OR:
+      case IrOp::XOR: case IrOp::SLL: case IrOp::SRL: case IrOp::SRA:
+      case IrOp::SLT: case IrOp::SLTU:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+constantPropagation(Trace &trace, PassStats *stats)
+{
+    PassStats local;
+    std::unordered_map<Vreg, uint32_t> consts;
+
+    auto const_of = [&](Vreg v, uint32_t &out) {
+        if (v == kNoVreg)
+            return false;
+        auto it = consts.find(v);
+        if (it == consts.end())
+            return false;
+        out = it->second;
+        return true;
+    };
+
+    std::vector<IrInst> out;
+    out.reserve(trace.insts.size());
+    bool truncated = false;
+
+    for (IrInst inst : trace.insts) {
+        if (truncated)
+            break;
+        ++local.instsVisited;
+
+        uint32_t c1 = 0;
+        uint32_t c2 = 0;
+        const bool k1 = const_of(inst.src1, c1);
+        bool k2 = false;
+        if (inst.useImm) {
+            c2 = static_cast<uint32_t>(static_cast<int32_t>(inst.imm));
+            k2 = true;
+        } else {
+            k2 = const_of(inst.src2, c2);
+        }
+
+        switch (inst.op) {
+          case IrOp::LDI:
+            consts[inst.dst] = static_cast<uint32_t>(
+                static_cast<int32_t>(inst.imm));
+            out.push_back(inst);
+            continue;
+
+          case IrOp::MOV:
+            if (k1) {
+                inst.op = IrOp::LDI;
+                inst.imm = static_cast<int32_t>(c1);
+                inst.src1 = kNoVreg;
+                consts[inst.dst] = c1;
+                ++local.constsPropagated;
+            } else {
+                consts.erase(inst.dst);
+            }
+            out.push_back(inst);
+            continue;
+
+          case IrOp::BR:
+            if (k1 && k2) {
+                ++local.branchesResolved;
+                if (evalBrCc(inst.cc, c1, c2)) {
+                    // Always taken: trace ends here.
+                    inst.op = IrOp::JEXIT;
+                    inst.src1 = kNoVreg;
+                    inst.src2 = kNoVreg;
+                    inst.useImm = false;
+                    out.push_back(inst);
+                    truncated = true;
+                } else {
+                    // Never taken: drop the branch entirely.
+                    ++local.instsRemoved;
+                }
+                continue;
+            }
+            out.push_back(inst);
+            continue;
+
+          default:
+            break;
+        }
+
+        if (isIntAlu(inst.op)) {
+            if (k1 && k2) {
+                const uint32_t value = evalIntOp(inst.op, c1, c2);
+                inst.op = IrOp::LDI;
+                inst.imm = static_cast<int32_t>(value);
+                inst.src1 = kNoVreg;
+                inst.src2 = kNoVreg;
+                inst.useImm = false;
+                consts[inst.dst] = value;
+                ++local.constsFolded;
+                out.push_back(inst);
+                continue;
+            }
+            // Swap a constant first operand into the immediate slot
+            // for commutative ops.
+            if (k1 && !k2 && isCommutative(inst.op)) {
+                std::swap(inst.src1, inst.src2);
+                c2 = c1;
+                k2 = true;
+            }
+            if (k2 && !inst.useImm && hasImmForm(inst.op)) {
+                inst.useImm = true;
+                inst.imm = static_cast<int32_t>(c2);
+                inst.src2 = kNoVreg;
+                ++local.constsPropagated;
+            }
+            consts.erase(inst.dst);
+            out.push_back(inst);
+            continue;
+        }
+
+        // Everything else: conservatively kill dst constness.
+        const IrOpInfo &info = irOpInfo(inst.op);
+        if (info.hasDst)
+            consts.erase(inst.dst);
+        out.push_back(inst);
+    }
+
+    local.instsRemoved =
+        static_cast<uint32_t>(trace.insts.size() - out.size());
+    trace.insts = std::move(out);
+
+    if (stats)
+        *stats += local;
+}
+
+} // namespace darco::ir

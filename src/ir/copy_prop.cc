@@ -1,0 +1,74 @@
+#include "ir/passes.hh"
+
+#include <unordered_map>
+
+namespace darco::ir {
+
+namespace {
+
+/** Resolve @p v through the copy map (chains already collapsed). */
+ir::Vreg
+resolve(const std::unordered_map<Vreg, Vreg> &copies, Vreg v)
+{
+    auto it = copies.find(v);
+    return it == copies.end() ? v : it->second;
+}
+
+/** Forget every mapping that reads or writes @p v. */
+void
+invalidate(std::unordered_map<Vreg, Vreg> &copies, Vreg v)
+{
+    copies.erase(v);
+    for (auto it = copies.begin(); it != copies.end();) {
+        if (it->second == v)
+            it = copies.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace
+
+void
+copyPropagation(Trace &trace, PassStats *stats)
+{
+    PassStats local;
+    std::unordered_map<Vreg, Vreg> copies;
+
+    for (IrInst &inst : trace.insts) {
+        ++local.instsVisited;
+
+        auto rewrite = [&](Vreg &src) {
+            if (src == kNoVreg)
+                return;
+            const Vreg to = resolve(copies, src);
+            if (to != src) {
+                src = to;
+                ++local.copiesPropagated;
+            }
+        };
+        rewrite(inst.src1);
+        if (!inst.useImm)
+            rewrite(inst.src2);
+
+        const IrOpInfo &info = irOpInfo(inst.op);
+        if (!info.hasDst)
+            continue;
+
+        if (inst.op == IrOp::MOV || inst.op == IrOp::FMOV) {
+            // dst now copies (resolved) src1. Redefinition of dst
+            // invalidates anything built on the old dst first.
+            const Vreg source = inst.src1;
+            invalidate(copies, inst.dst);
+            if (source != inst.dst)
+                copies[inst.dst] = source;
+        } else {
+            invalidate(copies, inst.dst);
+        }
+    }
+
+    if (stats)
+        *stats += local;
+}
+
+} // namespace darco::ir

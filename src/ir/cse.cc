@@ -1,0 +1,225 @@
+#include "ir/passes.hh"
+
+#include <unordered_map>
+
+namespace darco::ir {
+
+namespace {
+
+/** Expression key for value numbering. */
+struct ExprKey
+{
+    IrOp op;
+    BrCc cc;
+    uint32_t vn1;
+    uint32_t vn2;
+    int64_t imm;
+    bool useImm;
+    uint8_t size;
+    uint64_t memGen;   ///< only for loads
+
+    bool operator==(const ExprKey &) const = default;
+};
+
+struct ExprKeyHash
+{
+    size_t
+    operator()(const ExprKey &k) const
+    {
+        uint64_t h = static_cast<uint64_t>(k.op) * 0x9E3779B97F4A7C15ull;
+        h ^= (static_cast<uint64_t>(k.vn1) << 1) ^
+             (static_cast<uint64_t>(k.vn2) << 17);
+        h ^= static_cast<uint64_t>(k.imm) * 0xBF58476D1CE4E5B9ull;
+        h ^= k.useImm ? 0x5555 : 0;
+        h ^= static_cast<uint64_t>(k.size) << 40;
+        h ^= k.memGen * 0x94D049BB133111EBull;
+        h ^= static_cast<uint64_t>(k.cc) << 50;
+        return static_cast<size_t>(h ^ (h >> 29));
+    }
+};
+
+struct Provider
+{
+    Vreg vreg;
+    uint32_t resultVn;
+    uint32_t vregVnAtDef;  ///< vn the provider vreg had when recorded
+};
+
+bool
+isCommutative(IrOp op)
+{
+    switch (op) {
+      case IrOp::ADD: case IrOp::AND: case IrOp::OR: case IrOp::XOR:
+      case IrOp::MUL: case IrOp::MULH:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Pure ops eligible for expression CSE (loads handled separately). */
+bool
+isPureValueOp(IrOp op)
+{
+    switch (op) {
+      case IrOp::LDI: case IrOp::ADD: case IrOp::SUB: case IrOp::AND:
+      case IrOp::OR: case IrOp::XOR: case IrOp::SLL: case IrOp::SRL:
+      case IrOp::SRA: case IrOp::SLT: case IrOp::SLTU: case IrOp::MUL:
+      case IrOp::MULH: case IrOp::DIV: case IrOp::REM:
+      case IrOp::FADD: case IrOp::FSUB: case IrOp::FMUL: case IrOp::FDIV:
+      case IrOp::FSQRT: case IrOp::FABS: case IrOp::FNEG:
+      case IrOp::FCVT_IF: case IrOp::FCVT_FI:
+      case IrOp::FLT: case IrOp::FLE: case IrOp::FEQ: case IrOp::FUNORD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+commonSubexpressionElimination(Trace &trace, PassStats *stats)
+{
+    PassStats local;
+
+    // Value numbers per vreg. Bound vregs start with distinct numbers
+    // (their live-in values); temporaries get numbers at definition.
+    std::vector<uint32_t> vn(trace.numVregs(), 0);
+    uint32_t next_vn = 1;
+    for (unsigned i = 0; i < kNumBoundVregs; ++i)
+        vn[i] = next_vn++;
+
+    auto vn_of = [&](Vreg v) -> uint32_t {
+        if (v == kNoVreg)
+            return 0;
+        if (vn[v] == 0)
+            vn[v] = next_vn++;
+        return vn[v];
+    };
+
+    std::unordered_map<ExprKey, Provider, ExprKeyHash> table;
+
+    // Store-to-load forwarding state.
+    struct StoreInfo
+    {
+        Vreg data;
+        uint32_t dataVn;
+        uint64_t gen;
+        bool fp;
+    };
+    struct AddrKey
+    {
+        uint32_t baseVn;
+        int64_t imm;
+        uint8_t size;
+        bool operator==(const AddrKey &) const = default;
+    };
+    struct AddrKeyHash
+    {
+        size_t
+        operator()(const AddrKey &k) const
+        {
+            return static_cast<size_t>(
+                k.baseVn * 0x9E3779B97F4A7C15ull ^
+                static_cast<uint64_t>(k.imm) * 31 ^ k.size);
+        }
+    };
+    std::unordered_map<AddrKey, StoreInfo, AddrKeyHash> last_store;
+    uint64_t mem_gen = 0;
+
+    for (IrInst &inst : trace.insts) {
+        ++local.instsVisited;
+        const IrOpInfo &info = irOpInfo(inst.op);
+
+        if (inst.op == IrOp::MOV || inst.op == IrOp::FMOV) {
+            // Copies share the source's value number.
+            vn[inst.dst] = vn_of(inst.src1);
+            continue;
+        }
+
+        if (inst.op == IrOp::ST || inst.op == IrOp::FST) {
+            ++mem_gen;
+            const AddrKey akey{vn_of(inst.src1), inst.imm, inst.size};
+            last_store[akey] = StoreInfo{inst.src2, vn_of(inst.src2),
+                                         mem_gen, inst.op == IrOp::FST};
+            continue;
+        }
+
+        if (inst.op == IrOp::LD || inst.op == IrOp::FLD) {
+            const bool is_fp = inst.op == IrOp::FLD;
+            const AddrKey akey{vn_of(inst.src1), inst.imm, inst.size};
+            auto sit = last_store.find(akey);
+            if (sit != last_store.end() && sit->second.gen == mem_gen &&
+                sit->second.fp == is_fp &&
+                vn_of(sit->second.data) == sit->second.dataVn) {
+                // The stored value is still in a register: forward it.
+                inst.op = is_fp ? IrOp::FMOV : IrOp::MOV;
+                inst.src1 = sit->second.data;
+                inst.src2 = kNoVreg;
+                inst.imm = 0;
+                vn[inst.dst] = sit->second.dataVn;
+                ++local.loadsForwarded;
+                continue;
+            }
+            // Redundant-load elimination via the expression table with
+            // the current memory generation in the key.
+            ExprKey key{inst.op, BrCc::EQ, vn_of(inst.src1), 0, inst.imm,
+                        false, inst.size, mem_gen};
+            auto it = table.find(key);
+            if (it != table.end() &&
+                vn_of(it->second.vreg) == it->second.vregVnAtDef) {
+                inst.op = is_fp ? IrOp::FMOV : IrOp::MOV;
+                inst.src1 = it->second.vreg;
+                inst.src2 = kNoVreg;
+                inst.imm = 0;
+                vn[inst.dst] = it->second.resultVn;
+                ++local.cseHits;
+                continue;
+            }
+            const uint32_t rvn = next_vn++;
+            vn[inst.dst] = rvn;
+            table[key] = Provider{inst.dst, rvn, rvn};
+            continue;
+        }
+
+        if (info.hasDst && isPureValueOp(inst.op)) {
+            uint32_t v1 = vn_of(inst.src1);
+            uint32_t v2 = inst.useImm ? 0 : vn_of(inst.src2);
+            // Canonicalize commutative integer expressions (skip FP:
+            // NaN payload propagation is order-sensitive).
+            if (!inst.useImm && isCommutative(inst.op) && v2 < v1) {
+                std::swap(inst.src1, inst.src2);
+                std::swap(v1, v2);
+            }
+            ExprKey key{inst.op, BrCc::EQ, v1, v2, inst.imm, inst.useImm,
+                        inst.size, 0};
+            auto it = table.find(key);
+            if (it != table.end() &&
+                vn_of(it->second.vreg) == it->second.vregVnAtDef) {
+                const bool fp = info.fpDst;
+                inst.op = fp ? IrOp::FMOV : IrOp::MOV;
+                inst.src1 = it->second.vreg;
+                inst.src2 = kNoVreg;
+                inst.useImm = false;
+                inst.imm = 0;
+                vn[inst.dst] = it->second.resultVn;
+                ++local.cseHits;
+                continue;
+            }
+            const uint32_t rvn = next_vn++;
+            vn[inst.dst] = rvn;
+            table[key] = Provider{inst.dst, rvn, rvn};
+            continue;
+        }
+
+        // Exits and anything else: refresh dst with an opaque number.
+        if (info.hasDst)
+            vn[inst.dst] = next_vn++;
+    }
+
+    if (stats)
+        *stats += local;
+}
+
+} // namespace darco::ir

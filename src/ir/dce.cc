@@ -1,0 +1,69 @@
+#include "ir/passes.hh"
+
+#include <vector>
+
+namespace darco::ir {
+
+void
+deadCodeElimination(Trace &trace, PassStats *stats)
+{
+    PassStats local;
+    const size_t n = trace.insts.size();
+    std::vector<bool> live(trace.numVregs(), false);
+    std::vector<bool> keep(n, false);
+
+    auto mark_exit_liveout = [&](uint16_t exit_id) {
+        // Guest GPRs and FP registers are architecturally live at
+        // every exit; flags per the exit's liveness mask.
+        for (unsigned r = 0; r < 8; ++r)
+            live[vGpr(r)] = true;
+        for (unsigned r = 0; r < 8; ++r)
+            live[vFpr(r)] = true;
+        const uint8_t mask = trace.exits[exit_id].flagMask;
+        for (unsigned bit = 0; bit < 4; ++bit) {
+            if (mask & (1u << bit))
+                live[flagVreg(bit)] = true;
+        }
+    };
+
+    for (size_t i = n; i-- > 0;) {
+        const IrInst &inst = trace.insts[i];
+        const IrOpInfo &info = irOpInfo(inst.op);
+        ++local.instsVisited;
+
+        bool needed = false;
+        if (info.isExit) {
+            mark_exit_liveout(inst.exitId);
+            needed = true;
+        } else if (info.sideEffect) {
+            needed = true;
+        } else if (info.hasDst && inst.dst != kNoVreg && live[inst.dst]) {
+            needed = true;
+        }
+
+        if (!needed)
+            continue;
+
+        keep[i] = true;
+        if (info.hasDst && inst.dst != kNoVreg)
+            live[inst.dst] = false;
+        if (inst.src1 != kNoVreg)
+            live[inst.src1] = true;
+        if (!inst.useImm && inst.src2 != kNoVreg)
+            live[inst.src2] = true;
+    }
+
+    std::vector<IrInst> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (keep[i])
+            out.push_back(trace.insts[i]);
+    }
+    local.instsRemoved = static_cast<uint32_t>(n - out.size());
+    trace.insts = std::move(out);
+
+    if (stats)
+        *stats += local;
+}
+
+} // namespace darco::ir

@@ -1,0 +1,198 @@
+#include "ir/evaluator.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/fpu.hh"
+#include "common/logging.hh"
+
+namespace darco::ir {
+
+uint32_t
+evalIntOp(IrOp op, uint32_t a, uint32_t b)
+{
+    switch (op) {
+      case IrOp::ADD:  return a + b;
+      case IrOp::SUB:  return a - b;
+      case IrOp::AND:  return a & b;
+      case IrOp::OR:   return a | b;
+      case IrOp::XOR:  return a ^ b;
+      case IrOp::SLL:  return a << (b & 31);
+      case IrOp::SRL:  return a >> (b & 31);
+      case IrOp::SRA:
+        return static_cast<uint32_t>(static_cast<int32_t>(a) >> (b & 31));
+      case IrOp::SLT:
+        return static_cast<int32_t>(a) < static_cast<int32_t>(b);
+      case IrOp::SLTU: return a < b;
+      case IrOp::MUL:
+        return static_cast<uint32_t>(
+            static_cast<int64_t>(static_cast<int32_t>(a)) *
+            static_cast<int64_t>(static_cast<int32_t>(b)));
+      case IrOp::MULH:
+        return static_cast<uint32_t>(
+            (static_cast<int64_t>(static_cast<int32_t>(a)) *
+             static_cast<int64_t>(static_cast<int32_t>(b))) >> 32);
+      case IrOp::DIV: {
+        const int32_t sa = static_cast<int32_t>(a);
+        const int32_t sb = static_cast<int32_t>(b);
+        if (sb == 0 || (sa == INT32_MIN && sb == -1))
+            return 0;
+        return static_cast<uint32_t>(sa / sb);
+      }
+      case IrOp::REM: {
+        const int32_t sa = static_cast<int32_t>(a);
+        const int32_t sb = static_cast<int32_t>(b);
+        if (sb == 0 || (sa == INT32_MIN && sb == -1))
+            return a;
+        return static_cast<uint32_t>(sa % sb);
+      }
+      default:
+        panic("evalIntOp: %s is not an integer ALU op", irOpName(op));
+    }
+}
+
+bool
+evalBrCc(BrCc cc, uint32_t a, uint32_t b)
+{
+    switch (cc) {
+      case BrCc::EQ:  return a == b;
+      case BrCc::NE:  return a != b;
+      case BrCc::LT:  return static_cast<int32_t>(a) <
+                             static_cast<int32_t>(b);
+      case BrCc::GE:  return static_cast<int32_t>(a) >=
+                             static_cast<int32_t>(b);
+      case BrCc::LTU: return a < b;
+      case BrCc::GEU: return a >= b;
+      default: panic("bad BrCc");
+    }
+}
+
+EvalState
+makeEvalState(const Trace &trace)
+{
+    EvalState state;
+    state.ints.assign(trace.numVregs(), 0);
+    state.fps.assign(trace.numVregs(), 0.0);
+    return state;
+}
+
+namespace {
+
+uint32_t
+truncToInt32(double d)
+{
+    if (std::isnan(d) || d >= 2147483648.0 || d < -2147483648.0)
+        return 0x80000000u;
+    return static_cast<uint32_t>(static_cast<int32_t>(d));
+}
+
+} // namespace
+
+EvalResult
+evaluate(const Trace &trace, EvalState &state,
+         PagedMemory<uint32_t> &memory)
+{
+    if (state.ints.size() < trace.numVregs())
+        state.ints.resize(trace.numVregs(), 0);
+    if (state.fps.size() < trace.numVregs())
+        state.fps.resize(trace.numVregs(), 0.0);
+
+    EvalResult result;
+    auto &iv = state.ints;
+    auto &fv = state.fps;
+
+    for (const IrInst &inst : trace.insts) {
+        ++result.instsExecuted;
+        const uint32_t a = inst.src1 == kNoVreg ? 0 : iv[inst.src1];
+        const uint32_t b = inst.useImm
+            ? static_cast<uint32_t>(static_cast<int32_t>(inst.imm))
+            : (inst.src2 == kNoVreg ? 0 : iv[inst.src2]);
+
+        switch (inst.op) {
+          case IrOp::LDI:
+            iv[inst.dst] = static_cast<uint32_t>(
+                static_cast<int32_t>(inst.imm));
+            break;
+          case IrOp::MOV:
+            iv[inst.dst] = a;
+            break;
+          case IrOp::ADD: case IrOp::SUB: case IrOp::AND: case IrOp::OR:
+          case IrOp::XOR: case IrOp::SLL: case IrOp::SRL: case IrOp::SRA:
+          case IrOp::SLT: case IrOp::SLTU: case IrOp::MUL:
+          case IrOp::MULH: case IrOp::DIV: case IrOp::REM:
+            iv[inst.dst] = evalIntOp(inst.op, a, b);
+            break;
+          case IrOp::LD:
+            iv[inst.dst] = static_cast<uint32_t>(memory.load(
+                a + static_cast<uint32_t>(inst.imm), inst.size));
+            break;
+          case IrOp::ST:
+            memory.store(a + static_cast<uint32_t>(inst.imm),
+                         inst.useImm ? 0 : iv[inst.src2], inst.size);
+            break;
+          case IrOp::FLD:
+            fv[inst.dst] = memory.loadDouble(
+                a + static_cast<uint32_t>(inst.imm));
+            break;
+          case IrOp::FST:
+            memory.storeDouble(a + static_cast<uint32_t>(inst.imm),
+                               fv[inst.src2]);
+            break;
+          case IrOp::FMOV:  fv[inst.dst] = fv[inst.src1]; break;
+          case IrOp::FADD:
+            fv[inst.dst] = canonFp(fv[inst.src1] + fv[inst.src2]);
+            break;
+          case IrOp::FSUB:
+            fv[inst.dst] = canonFp(fv[inst.src1] - fv[inst.src2]);
+            break;
+          case IrOp::FMUL:
+            fv[inst.dst] = canonFp(fv[inst.src1] * fv[inst.src2]);
+            break;
+          case IrOp::FDIV:
+            fv[inst.dst] = canonFp(fv[inst.src1] / fv[inst.src2]);
+            break;
+          case IrOp::FSQRT:
+            fv[inst.dst] = canonFp(std::sqrt(fv[inst.src1]));
+            break;
+          case IrOp::FABS:  fv[inst.dst] = std::fabs(fv[inst.src1]); break;
+          case IrOp::FNEG:  fv[inst.dst] = -fv[inst.src1]; break;
+          case IrOp::FCVT_IF:
+            fv[inst.dst] = static_cast<double>(static_cast<int32_t>(a));
+            break;
+          case IrOp::FCVT_FI:
+            iv[inst.dst] = truncToInt32(fv[inst.src1]);
+            break;
+          case IrOp::FLT:
+            iv[inst.dst] = fv[inst.src1] < fv[inst.src2];
+            break;
+          case IrOp::FLE:
+            iv[inst.dst] = fv[inst.src1] <= fv[inst.src2];
+            break;
+          case IrOp::FEQ:
+            iv[inst.dst] = fv[inst.src1] == fv[inst.src2];
+            break;
+          case IrOp::FUNORD:
+            iv[inst.dst] = std::isnan(fv[inst.src1]) ||
+                           std::isnan(fv[inst.src2]);
+            break;
+          case IrOp::BR:
+            if (evalBrCc(inst.cc, a, b)) {
+                result.exitId = inst.exitId;
+                return result;
+            }
+            break;
+          case IrOp::JEXIT:
+            result.exitId = inst.exitId;
+            return result;
+          case IrOp::JINDIRECT:
+            result.exitId = inst.exitId;
+            result.indirectTarget = a;
+            return result;
+          default:
+            panic("evaluate: unhandled IR op %s", irOpName(inst.op));
+        }
+    }
+    panic("trace fell off the end without an exit");
+}
+
+} // namespace darco::ir

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reference evaluator for IR traces.
+ *
+ * Executes a trace directly over virtual registers and a paged
+ * memory. Used by the test suite to check that every optimizer pass
+ * preserves semantics (differential testing against random traces and
+ * against the guest emulator), and by the constant-folding pass as
+ * the single definition of IR ALU semantics.
+ */
+
+#ifndef DARCO_IR_EVALUATOR_HH
+#define DARCO_IR_EVALUATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/paged_memory.hh"
+#include "ir/ir.hh"
+
+namespace darco::ir {
+
+/** ALU semantics shared by the evaluator and constant folding. */
+uint32_t evalIntOp(IrOp op, uint32_t a, uint32_t b);
+
+/** Evaluate a BR condition. */
+bool evalBrCc(BrCc cc, uint32_t a, uint32_t b);
+
+/** Outcome of evaluating a trace. */
+struct EvalResult
+{
+    uint16_t exitId = 0;
+    uint32_t indirectTarget = 0;  ///< valid if the exit is indirect
+    uint64_t instsExecuted = 0;
+};
+
+/**
+ * Architectural input/output of a trace evaluation: values of the
+ * bound virtual registers.
+ */
+struct EvalState
+{
+    std::vector<uint32_t> ints;  ///< indexed by vreg (int class)
+    std::vector<double> fps;     ///< indexed by vreg (fp class)
+};
+
+/**
+ * Run @p trace to an exit.
+ *
+ * @param state  bound-vreg inputs; on return holds all final values
+ *               (including temporaries, for debugging).
+ * @param memory memory the trace's loads/stores operate on.
+ */
+EvalResult evaluate(const Trace &trace, EvalState &state,
+                    PagedMemory<uint32_t> &memory);
+
+/** Initialize an EvalState sized for @p trace with zeroes. */
+EvalState makeEvalState(const Trace &trace);
+
+} // namespace darco::ir
+
+#endif // DARCO_IR_EVALUATOR_HH

@@ -1,0 +1,237 @@
+#include "ir/ir.hh"
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace darco::ir {
+
+namespace {
+
+// name, hasDst, fpDst, fpSrc1, fpSrc2, isLoad, isStore, isExit, sideEffect
+const IrOpInfo irOpTable[] = {
+    {"ldi",      true,  false, false, false, false, false, false, false},
+    {"mov",      true,  false, false, false, false, false, false, false},
+    {"add",      true,  false, false, false, false, false, false, false},
+    {"sub",      true,  false, false, false, false, false, false, false},
+    {"and",      true,  false, false, false, false, false, false, false},
+    {"or",       true,  false, false, false, false, false, false, false},
+    {"xor",      true,  false, false, false, false, false, false, false},
+    {"sll",      true,  false, false, false, false, false, false, false},
+    {"srl",      true,  false, false, false, false, false, false, false},
+    {"sra",      true,  false, false, false, false, false, false, false},
+    {"slt",      true,  false, false, false, false, false, false, false},
+    {"sltu",     true,  false, false, false, false, false, false, false},
+    {"mul",      true,  false, false, false, false, false, false, false},
+    {"mulh",     true,  false, false, false, false, false, false, false},
+    {"div",      true,  false, false, false, false, false, false, false},
+    {"rem",      true,  false, false, false, false, false, false, false},
+    {"ld",       true,  false, false, false, true,  false, false, false},
+    {"st",       false, false, false, false, false, true,  false, true},
+    {"fld",      true,  true,  false, false, true,  false, false, false},
+    {"fst",      false, false, false, true,  false, true,  false, true},
+    {"fmov",     true,  true,  true,  false, false, false, false, false},
+    {"fadd",     true,  true,  true,  true,  false, false, false, false},
+    {"fsub",     true,  true,  true,  true,  false, false, false, false},
+    {"fmul",     true,  true,  true,  true,  false, false, false, false},
+    {"fdiv",     true,  true,  true,  true,  false, false, false, false},
+    {"fsqrt",    true,  true,  true,  false, false, false, false, false},
+    {"fabs",     true,  true,  true,  false, false, false, false, false},
+    {"fneg",     true,  true,  true,  false, false, false, false, false},
+    {"fcvt.if",  true,  true,  false, false, false, false, false, false},
+    {"fcvt.fi",  true,  false, true,  false, false, false, false, false},
+    {"flt",      true,  false, true,  true,  false, false, false, false},
+    {"fle",      true,  false, true,  true,  false, false, false, false},
+    {"feq",      true,  false, true,  true,  false, false, false, false},
+    {"funord",   true,  false, true,  true,  false, false, false, false},
+    {"br",       false, false, false, false, false, false, true,  true},
+    {"jexit",    false, false, false, false, false, false, true,  true},
+    {"jindirect", false, false, false, false, false, false, true,  true},
+};
+
+static_assert(sizeof(irOpTable) / sizeof(irOpTable[0]) ==
+              static_cast<size_t>(IrOp::NumOps),
+              "irOpTable must cover every IrOp");
+
+const char *ccNames[] = {"eq", "ne", "lt", "ge", "ltu", "geu"};
+
+} // namespace
+
+const IrOpInfo &
+irOpInfo(IrOp op)
+{
+    panic_if(op >= IrOp::NumOps, "bad IR op %d", static_cast<int>(op));
+    return irOpTable[static_cast<int>(op)];
+}
+
+Trace::Trace()
+{
+    vregClass.resize(kNumBoundVregs);
+    for (unsigned i = 0; i < 12; ++i)
+        vregClass[i] = RegClass::Int;     // GPRs + flags
+    for (unsigned i = 12; i < kNumBoundVregs; ++i)
+        vregClass[i] = RegClass::Fp;      // guest FP regs
+}
+
+Vreg
+Trace::newTemp(RegClass cls)
+{
+    vregClass.push_back(cls);
+    return static_cast<Vreg>(vregClass.size() - 1);
+}
+
+std::string
+validate(const Trace &trace)
+{
+    if (trace.insts.empty())
+        return "empty trace";
+    if (trace.exits.empty())
+        return "trace has no exits";
+
+    const IrInst &last = trace.insts.back();
+    if (last.op != IrOp::JEXIT && last.op != IrOp::JINDIRECT)
+        return "trace does not end with an unconditional exit";
+
+    std::unordered_set<Vreg> defined;
+    for (size_t i = 0; i < trace.insts.size(); ++i) {
+        const IrInst &inst = trace.insts[i];
+        const IrOpInfo &info = irOpInfo(inst.op);
+
+        auto check_src = [&](Vreg v, bool fp, const char *what)
+            -> std::string {
+            if (v == kNoVreg)
+                return strprintf("inst %zu (%s): missing %s", i,
+                                 irOpName(inst.op), what);
+            if (v >= trace.numVregs())
+                return strprintf("inst %zu: %s vreg v%u out of range", i,
+                                 what, v);
+            const RegClass want = fp ? RegClass::Fp : RegClass::Int;
+            if (trace.vregClass[v] != want)
+                return strprintf("inst %zu: %s vreg v%u wrong class", i,
+                                 what, v);
+            if (!isBoundVreg(v) && !defined.count(v))
+                return strprintf("inst %zu: temp v%u used before def", i,
+                                 v);
+            return "";
+        };
+
+        // Sources.
+        const bool has_src1 =
+            inst.op != IrOp::LDI && inst.op != IrOp::JEXIT;
+        if (has_src1) {
+            std::string err = check_src(inst.src1, info.fpSrc1, "src1");
+            if (!err.empty())
+                return err;
+        }
+        const bool has_src2 =
+            !inst.useImm && inst.src2 != kNoVreg;
+        if (has_src2) {
+            std::string err = check_src(inst.src2, info.fpSrc2, "src2");
+            if (!err.empty())
+                return err;
+        }
+
+        // Destination.
+        if (info.hasDst) {
+            if (inst.dst == kNoVreg)
+                return strprintf("inst %zu (%s): missing dst", i,
+                                 irOpName(inst.op));
+            if (inst.dst >= trace.numVregs())
+                return strprintf("inst %zu: dst v%u out of range", i,
+                                 inst.dst);
+            const RegClass want = info.fpDst ? RegClass::Fp
+                                             : RegClass::Int;
+            if (trace.vregClass[inst.dst] != want)
+                return strprintf("inst %zu: dst v%u wrong class", i,
+                                 inst.dst);
+            if (!isBoundVreg(inst.dst)) {
+                if (defined.count(inst.dst))
+                    return strprintf("inst %zu: temp v%u assigned twice",
+                                     i, inst.dst);
+                defined.insert(inst.dst);
+            }
+        }
+
+        // Exits.
+        if (info.isExit) {
+            if (inst.exitId >= trace.exits.size())
+                return strprintf("inst %zu: exit id %u out of range", i,
+                                 inst.exitId);
+            if (inst.op != IrOp::BR && i + 1 != trace.insts.size())
+                return strprintf("inst %zu: unconditional exit mid-trace",
+                                 i);
+        }
+    }
+    return "";
+}
+
+std::string
+toString(const IrInst &inst)
+{
+    const IrOpInfo &info = irOpInfo(inst.op);
+    std::string s = irOpName(inst.op);
+    if (inst.op == IrOp::BR)
+        s += strprintf(".%s", ccNames[static_cast<int>(inst.cc)]);
+    if (info.hasDst)
+        s += strprintf(" v%u,", inst.dst);
+    switch (inst.op) {
+      case IrOp::LDI:
+        s += strprintf(" %lld", static_cast<long long>(inst.imm));
+        break;
+      case IrOp::LD:
+      case IrOp::FLD:
+        s += strprintf(" [v%u%+lld]:%u", inst.src1,
+                       static_cast<long long>(inst.imm), inst.size);
+        break;
+      case IrOp::ST:
+      case IrOp::FST:
+        s += strprintf(" [v%u%+lld]:%u, v%u", inst.src1,
+                       static_cast<long long>(inst.imm), inst.size,
+                       inst.src2);
+        break;
+      case IrOp::JEXIT:
+        s += strprintf(" ->exit%u", inst.exitId);
+        break;
+      case IrOp::JINDIRECT:
+        s += strprintf(" v%u ->exit%u", inst.src1, inst.exitId);
+        break;
+      case IrOp::BR:
+        if (inst.useImm) {
+            s += strprintf(" v%u, %lld ->exit%u", inst.src1,
+                           static_cast<long long>(inst.imm), inst.exitId);
+        } else {
+            s += strprintf(" v%u, v%u ->exit%u", inst.src1, inst.src2,
+                           inst.exitId);
+        }
+        break;
+      default:
+        if (inst.src1 != kNoVreg)
+            s += strprintf(" v%u", inst.src1);
+        if (inst.useImm)
+            s += strprintf(", %lld", static_cast<long long>(inst.imm));
+        else if (inst.src2 != kNoVreg)
+            s += strprintf(", v%u", inst.src2);
+        break;
+    }
+    return s;
+}
+
+std::string
+toString(const Trace &trace)
+{
+    std::string s = strprintf("trace @0x%08x (%zu insts, %zu exits)\n",
+                              trace.guestEntry, trace.insts.size(),
+                              trace.exits.size());
+    for (size_t i = 0; i < trace.insts.size(); ++i)
+        s += strprintf("  %3zu: %s\n", i, toString(trace.insts[i]).c_str());
+    for (size_t e = 0; e < trace.exits.size(); ++e) {
+        const IrExit &exit = trace.exits[e];
+        s += strprintf("  exit%zu: %s0x%08x retired=%u flags=%x\n", e,
+                       exit.indirect ? "indirect " : "",
+                       exit.guestTarget, exit.guestInstsRetired,
+                       exit.flagMask);
+    }
+    return s;
+}
+
+} // namespace darco::ir

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Optimizer passes over IR traces — the SBM optimization pipeline of
+ * the paper (§II-A.1): copy propagation, constant propagation,
+ * constant folding, common subexpression elimination, dead code
+ * elimination. Register allocation and instruction scheduling live in
+ * regalloc.hh / scheduler.hh.
+ *
+ * Every pass preserves trace semantics (differentially tested against
+ * the evaluator) and leaves the trace structurally valid
+ * (ir::validate()).
+ */
+
+#ifndef DARCO_IR_PASSES_HH
+#define DARCO_IR_PASSES_HH
+
+#include <cstdint>
+
+#include "ir/ir.hh"
+
+namespace darco::ir {
+
+/** Work/result statistics for one pass application. */
+struct PassStats
+{
+    uint32_t instsVisited = 0;
+    uint32_t copiesPropagated = 0;
+    uint32_t constsPropagated = 0;
+    uint32_t constsFolded = 0;
+    uint32_t branchesResolved = 0;  ///< statically decided BRs
+    uint32_t cseHits = 0;
+    uint32_t loadsForwarded = 0;
+    uint32_t instsRemoved = 0;
+
+    PassStats &
+    operator+=(const PassStats &o)
+    {
+        instsVisited += o.instsVisited;
+        copiesPropagated += o.copiesPropagated;
+        constsPropagated += o.constsPropagated;
+        constsFolded += o.constsFolded;
+        branchesResolved += o.branchesResolved;
+        cseHits += o.cseHits;
+        loadsForwarded += o.loadsForwarded;
+        instsRemoved += o.instsRemoved;
+        return *this;
+    }
+};
+
+/**
+ * Copy propagation: forward MOV/FMOV chains into uses. Does not
+ * remove the copies themselves (DCE does).
+ */
+void copyPropagation(Trace &trace, PassStats *stats = nullptr);
+
+/**
+ * Constant propagation + constant folding: LDI values flow into
+ * immediate operands; fully-constant ALU ops become LDIs; statically
+ * decided branches are removed (never taken) or convert the trace
+ * tail into an unconditional exit (always taken).
+ */
+void constantPropagation(Trace &trace, PassStats *stats = nullptr);
+
+/**
+ * Common subexpression elimination by value numbering, including
+ * redundant-load elimination and store-to-load forwarding with
+ * conservative memory generations (any store invalidates).
+ */
+void commonSubexpressionElimination(Trace &trace,
+                                    PassStats *stats = nullptr);
+
+/**
+ * Dead code elimination: removes instructions whose results cannot
+ * reach any exit. Exit liveness: all guest GPR/FP vregs are live at
+ * every exit; flag vregs are live per the exit's flagMask.
+ */
+void deadCodeElimination(Trace &trace, PassStats *stats = nullptr);
+
+} // namespace darco::ir
+
+#endif // DARCO_IR_PASSES_HH

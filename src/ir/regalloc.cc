@@ -1,0 +1,167 @@
+#include "ir/regalloc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "host/address_map.hh"
+
+namespace darco::ir {
+
+AllocPools
+defaultPools()
+{
+    AllocPools pools;
+    pools.intPoolFirst = host::hreg::TempBase;       // x45
+    pools.intPoolCount = 8;                          // x45..x52
+    pools.fpPoolFirst = host::hreg::FpTempBase;      // f24
+    pools.fpPoolCount = 6;                           // f24..f29
+    return pools;
+}
+
+namespace {
+
+struct Interval
+{
+    Vreg vreg;
+    uint32_t start;
+    uint32_t end;
+    RegClass cls;
+};
+
+} // namespace
+
+Allocation
+allocateRegisters(const Trace &trace, const AllocPools &pools)
+{
+    Allocation alloc;
+    alloc.locs.resize(trace.numVregs());
+
+    // Pre-color bound vregs.
+    for (unsigned r = 0; r < 8; ++r) {
+        alloc.locs[vGpr(r)].reg = host::hreg::guestGpr(r);
+        alloc.locs[vGpr(r)].used = true;
+    }
+    alloc.locs[vFlagZ].reg = host::hreg::FlagZ;
+    alloc.locs[vFlagS].reg = host::hreg::FlagS;
+    alloc.locs[vFlagC].reg = host::hreg::FlagC;
+    alloc.locs[vFlagO].reg = host::hreg::FlagO;
+    for (unsigned i = vFlagZ; i <= vFlagO; ++i)
+        alloc.locs[i].used = true;
+    for (unsigned r = 0; r < 8; ++r) {
+        alloc.locs[vFpr(r)].reg = host::hreg::guestFpr(r);
+        alloc.locs[vFpr(r)].used = true;
+    }
+
+    // Live intervals for temporaries (single-assignment, so the
+    // interval is [def .. last use]).
+    std::vector<Interval> intervals;
+    std::vector<int64_t> def_pos(trace.numVregs(), -1);
+    std::vector<int64_t> last_use(trace.numVregs(), -1);
+
+    for (size_t i = 0; i < trace.insts.size(); ++i) {
+        const IrInst &inst = trace.insts[i];
+        const IrOpInfo &info = irOpInfo(inst.op);
+        auto use = [&](Vreg v) {
+            if (v != kNoVreg && !isBoundVreg(v))
+                last_use[v] = static_cast<int64_t>(i);
+        };
+        use(inst.src1);
+        if (!inst.useImm)
+            use(inst.src2);
+        if (info.hasDst && !isBoundVreg(inst.dst) &&
+            def_pos[inst.dst] < 0) {
+            def_pos[inst.dst] = static_cast<int64_t>(i);
+        }
+    }
+
+    for (Vreg v = kFirstTemp; v < trace.numVregs(); ++v) {
+        if (def_pos[v] < 0)
+            continue;  // dead temp (DCE'd)
+        alloc.locs[v].used = true;
+        const int64_t end = std::max(last_use[v], def_pos[v]);
+        intervals.push_back(Interval{v,
+                                     static_cast<uint32_t>(def_pos[v]),
+                                     static_cast<uint32_t>(end),
+                                     trace.vregClass[v]});
+    }
+
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.start < b.start ||
+                         (a.start == b.start && a.vreg < b.vreg);
+              });
+
+    // Independent linear scans per register class.
+    for (const RegClass cls : {RegClass::Int, RegClass::Fp}) {
+        const uint8_t pool_first = cls == RegClass::Int
+            ? pools.intPoolFirst : pools.fpPoolFirst;
+        const uint8_t pool_count = cls == RegClass::Int
+            ? pools.intPoolCount : pools.fpPoolCount;
+
+        std::vector<bool> reg_free(pool_count, true);
+        // Active intervals sorted by end (small sizes: linear ops).
+        std::vector<Interval> active;
+
+        for (const Interval &cur : intervals) {
+            if (cur.cls != cls)
+                continue;
+
+            // Expire finished intervals.
+            for (auto it = active.begin(); it != active.end();) {
+                if (it->end < cur.start) {
+                    reg_free[alloc.locs[it->vreg].reg - pool_first] =
+                        true;
+                    it = active.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+
+            int free_reg = -1;
+            for (unsigned r = 0; r < pool_count; ++r) {
+                if (reg_free[r]) {
+                    free_reg = static_cast<int>(r);
+                    break;
+                }
+            }
+
+            if (free_reg >= 0) {
+                alloc.locs[cur.vreg].reg =
+                    static_cast<uint8_t>(pool_first + free_reg);
+                reg_free[free_reg] = false;
+                active.push_back(cur);
+                continue;
+            }
+
+            // Spill: evict whichever of {cur, active...} ends last.
+            auto victim = active.end();
+            uint32_t furthest = cur.end;
+            for (auto it = active.begin(); it != active.end(); ++it) {
+                if (it->end > furthest) {
+                    furthest = it->end;
+                    victim = it;
+                }
+            }
+            if (victim == active.end()) {
+                // Current interval ends last: spill it.
+                alloc.locs[cur.vreg].spilled = true;
+                alloc.locs[cur.vreg].slot = alloc.numSpillSlots++;
+                ++alloc.spilledVregs;
+            } else {
+                const uint8_t reg = alloc.locs[victim->vreg].reg;
+                alloc.locs[victim->vreg].spilled = true;
+                alloc.locs[victim->vreg].reg = 0;
+                alloc.locs[victim->vreg].slot = alloc.numSpillSlots++;
+                ++alloc.spilledVregs;
+                alloc.locs[cur.vreg].reg = reg;
+                Interval replacement = cur;
+                active.erase(victim);
+                active.push_back(replacement);
+            }
+        }
+    }
+
+    return alloc;
+}
+
+} // namespace darco::ir

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Linear-scan register allocation for IR traces.
+ *
+ * Bound virtual registers are pre-colored (guest GPRs -> x32..x39,
+ * flags -> x40..x43, guest FP -> f16..f23). Temporaries are allocated
+ * from the application-partition temporary pools; when pressure
+ * exceeds the pools, the interval with the furthest end is spilled to
+ * TOL work memory (slots addressed off a constant base, physical, so
+ * spill traffic does not touch the data TLB).
+ */
+
+#ifndef DARCO_IR_REGALLOC_HH
+#define DARCO_IR_REGALLOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace darco::ir {
+
+/** Where a vreg lives after allocation. */
+struct VregLoc
+{
+    bool spilled = false;
+    uint8_t reg = 0;      ///< host register number (int x, or f index)
+    uint16_t slot = 0;    ///< spill slot index (8 bytes each)
+    bool used = false;    ///< vreg appears in the trace
+};
+
+/** Allocation result. */
+struct Allocation
+{
+    std::vector<VregLoc> locs;   ///< indexed by vreg
+    uint16_t numSpillSlots = 0;
+    uint32_t spilledVregs = 0;
+
+    const VregLoc &of(Vreg v) const { return locs[v]; }
+};
+
+/** Register pools available to the allocator. */
+struct AllocPools
+{
+    uint8_t intPoolFirst;   ///< first allocatable int register
+    uint8_t intPoolCount;
+    uint8_t fpPoolFirst;    ///< first allocatable fp register
+    uint8_t fpPoolCount;
+};
+
+/** Default pools per the address-map conventions (x45..x52, f24..f29;
+ *  x53/x54 and f30/f31 stay reserved as spill/lowering scratch). */
+AllocPools defaultPools();
+
+/**
+ * Allocate registers for all vregs in @p trace.
+ * The trace must be in its final instruction order (run the scheduler
+ * first): linear-scan intervals are positional.
+ */
+Allocation allocateRegisters(const Trace &trace,
+                             const AllocPools &pools = defaultPools());
+
+} // namespace darco::ir
+
+#endif // DARCO_IR_REGALLOC_HH

@@ -1,0 +1,192 @@
+#include "ir/scheduler.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace darco::ir {
+
+unsigned
+scheduleLatency(IrOp op)
+{
+    switch (op) {
+      case IrOp::LD:
+      case IrOp::FLD:
+        return 3;  // L1 hit plus load-to-use distance
+      case IrOp::MUL: case IrOp::MULH: case IrOp::DIV: case IrOp::REM:
+        return 2;
+      case IrOp::FADD: case IrOp::FSUB: case IrOp::FMOV:
+      case IrOp::FABS: case IrOp::FNEG: case IrOp::FCVT_IF:
+      case IrOp::FCVT_FI: case IrOp::FLT: case IrOp::FLE:
+      case IrOp::FEQ: case IrOp::FUNORD:
+        return 2;
+      case IrOp::FMUL: case IrOp::FDIV: case IrOp::FSQRT:
+        return 5;
+      default:
+        return 1;
+    }
+}
+
+namespace {
+
+/** Schedule one segment [first, last) of the trace in place. */
+void
+scheduleSegment(std::vector<IrInst> &insts, size_t first, size_t last,
+                uint16_t num_vregs, ScheduleStats &stats)
+{
+    const size_t n = last - first;
+    if (n < 2)
+        return;
+
+    // Dependence DAG. succs/preds by local index.
+    std::vector<std::vector<uint32_t>> succs(n);
+    std::vector<uint32_t> pred_count(n, 0);
+
+    auto add_edge = [&](size_t from, size_t to) {
+        succs[from].push_back(static_cast<uint32_t>(to));
+        ++pred_count[to];
+        ++stats.edgesBuilt;
+    };
+
+    // Last def and uses-since-def per vreg (local indices, -1 none).
+    std::vector<int64_t> last_def(num_vregs, -1);
+    std::vector<std::vector<uint32_t>> uses_since(num_vregs);
+    int64_t last_store = -1;
+    std::vector<uint32_t> loads_since_store;
+
+    for (size_t li = 0; li < n; ++li) {
+        const IrInst &inst = insts[first + li];
+        const IrOpInfo &info = irOpInfo(inst.op);
+
+        auto use = [&](Vreg v) {
+            if (v == kNoVreg)
+                return;
+            if (last_def[v] >= 0)
+                add_edge(static_cast<size_t>(last_def[v]), li);  // RAW
+            uses_since[v].push_back(static_cast<uint32_t>(li));
+        };
+        use(inst.src1);
+        if (!inst.useImm)
+            use(inst.src2);
+
+        if (info.hasDst && inst.dst != kNoVreg) {
+            // WAR on earlier uses, WAW on earlier def.
+            for (uint32_t u : uses_since[inst.dst]) {
+                if (u != li)
+                    add_edge(u, li);
+            }
+            if (last_def[inst.dst] >= 0)
+                add_edge(static_cast<size_t>(last_def[inst.dst]), li);
+            uses_since[inst.dst].clear();
+            last_def[inst.dst] = static_cast<int64_t>(li);
+        }
+
+        // Conservative memory ordering.
+        if (info.isLoad) {
+            if (last_store >= 0)
+                add_edge(static_cast<size_t>(last_store), li);
+            loads_since_store.push_back(static_cast<uint32_t>(li));
+        } else if (info.isStore) {
+            if (last_store >= 0)
+                add_edge(static_cast<size_t>(last_store), li);
+            for (uint32_t l : loads_since_store)
+                add_edge(l, li);
+            loads_since_store.clear();
+            last_store = static_cast<int64_t>(li);
+        }
+    }
+
+    // Critical-path priority: longest latency path to segment end.
+    std::vector<uint32_t> priority(n, 0);
+    for (size_t li = n; li-- > 0;) {
+        uint32_t best = 0;
+        for (uint32_t s : succs[li])
+            best = std::max(best, priority[s]);
+        priority[li] = best + scheduleLatency(insts[first + li].op);
+    }
+
+    // List scheduling with a 2-wide issue model.
+    std::vector<uint32_t> ready_time(n, 0);
+    std::vector<bool> scheduled(n, false);
+    std::vector<uint32_t> order;
+    order.reserve(n);
+
+    std::vector<uint32_t> ready;
+    for (size_t li = 0; li < n; ++li) {
+        if (pred_count[li] == 0)
+            ready.push_back(static_cast<uint32_t>(li));
+    }
+
+    uint32_t cycle = 0;
+    unsigned issued_this_cycle = 0;
+    while (order.size() < n) {
+        // Pick the highest-priority ready instruction whose operands
+        // are available at the current cycle; prefer original order
+        // on ties (stability).
+        int best = -1;
+        for (size_t k = 0; k < ready.size(); ++k) {
+            const uint32_t cand = ready[k];
+            if (ready_time[cand] > cycle)
+                continue;
+            if (best < 0 ||
+                priority[cand] > priority[ready[best]] ||
+                (priority[cand] == priority[ready[best]] &&
+                 cand < ready[best])) {
+                best = static_cast<int>(k);
+            }
+        }
+
+        if (best < 0 || issued_this_cycle == 2) {
+            ++cycle;
+            issued_this_cycle = 0;
+            continue;
+        }
+
+        const uint32_t li = ready[best];
+        ready.erase(ready.begin() + best);
+        scheduled[li] = true;
+        order.push_back(li);
+        ++issued_this_cycle;
+
+        const uint32_t done = cycle + scheduleLatency(insts[first + li].op);
+        for (uint32_t s : succs[li]) {
+            ready_time[s] = std::max(ready_time[s], done);
+            if (--pred_count[s] == 0)
+                ready.push_back(s);
+        }
+    }
+
+    // Apply the permutation.
+    std::vector<IrInst> tmp;
+    tmp.reserve(n);
+    for (size_t li = 0; li < n; ++li) {
+        if (order[li] != li)
+            ++stats.instsMoved;
+        tmp.push_back(insts[first + order[li]]);
+    }
+    for (size_t li = 0; li < n; ++li)
+        insts[first + li] = tmp[li];
+}
+
+} // namespace
+
+void
+scheduleTrace(Trace &trace, ScheduleStats *stats)
+{
+    ScheduleStats local;
+    size_t seg_start = 0;
+    for (size_t i = 0; i < trace.insts.size(); ++i) {
+        if (trace.insts[i].isExit()) {
+            // Schedule [seg_start, i): the control inst stays put.
+            ++local.segments;
+            scheduleSegment(trace.insts, seg_start, i,
+                            trace.numVregs(), local);
+            seg_start = i + 1;
+        }
+    }
+    if (stats)
+        *stats = local;
+}
+
+} // namespace darco::ir

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * List scheduler for IR traces, targeting the 2-issue in-order host.
+ *
+ * Reorders instructions inside segments delimited by control
+ * instructions (BR / JEXIT / JINDIRECT) so that dependent pairs are
+ * separated and long-latency results (loads, FP, MUL) are started
+ * early. Instructions never cross segment boundaries: side exits
+ * require bound-vreg values to be architecturally correct at the
+ * exit, and the conservative memory model never reorders memory
+ * operations across stores.
+ */
+
+#ifndef DARCO_IR_SCHEDULER_HH
+#define DARCO_IR_SCHEDULER_HH
+
+#include <cstdint>
+
+#include "ir/ir.hh"
+
+namespace darco::ir {
+
+/** Scheduling statistics. */
+struct ScheduleStats
+{
+    uint32_t segments = 0;
+    uint32_t instsMoved = 0;   ///< insts whose position changed
+    uint32_t edgesBuilt = 0;   ///< dependence edges considered
+};
+
+/** Assumed result latency (cycles) of an IR op for scheduling. */
+unsigned scheduleLatency(IrOp op);
+
+/** Reorder @p trace in place. */
+void scheduleTrace(Trace &trace, ScheduleStats *stats = nullptr);
+
+} // namespace darco::ir
+
+#endif // DARCO_IR_SCHEDULER_HH

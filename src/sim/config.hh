@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Top-level simulation configuration: the TOL configuration, the host
+ * microarchitecture (Table I), and controller options.
+ */
+
+#ifndef DARCO_SIM_CONFIG_HH
+#define DARCO_SIM_CONFIG_HH
+
+#include <cstdint>
+
+#include "timing/config.hh"
+#include "tol/config.hh"
+
+namespace darco::sim {
+
+struct SimConfig
+{
+    tol::TolConfig tol;
+    timing::TimingConfig timing;
+
+    /** Guest instructions to simulate (stops at HALT if earlier). */
+    uint64_t guestBudget = 2'000'000;
+
+    /**
+     * Co-simulation: run the authoritative x86 component in lockstep
+     * and compare architectural state at every commit (Figure 2's
+     * state checker). Costs host time; enabled in tests, off in
+     * benchmark sweeps.
+     */
+    bool cosim = false;
+    /** panic() on the first co-simulation mismatch. */
+    bool cosimStrict = true;
+
+    /** TOL-software-stream isolated pipeline (Figures 10/11). */
+    bool tolOnlyPipe = false;
+    /** Application-stream isolated pipeline (Figures 10/11). */
+    bool appOnlyPipe = false;
+    /** TOL-by-module pipeline incl. instrumentation (Figure 8). */
+    bool tolModulePipe = false;
+};
+
+} // namespace darco::sim
+
+#endif // DARCO_SIM_CONFIG_HH

@@ -1,0 +1,171 @@
+#include "sim/metrics.hh"
+
+#include "common/logging.hh"
+
+namespace darco::sim {
+
+BenchMetrics
+runBenchmark(const workloads::BenchParams &params,
+             const MetricsOptions &options)
+{
+    SimConfig cfg;
+    cfg.tol = options.tolConfig;
+    cfg.timing = options.timingConfig;
+    cfg.guestBudget = options.guestBudget;
+    cfg.cosim = false;
+    cfg.tolOnlyPipe = options.tolOnlyPipe;
+    cfg.appOnlyPipe = options.appOnlyPipe;
+    cfg.tolModulePipe = options.tolModulePipe;
+
+    System sys(cfg);
+    sys.load(workloads::buildBenchmark(params));
+    const SystemResult res = sys.run();
+
+    BenchMetrics m;
+    m.name = params.name;
+    m.suite = params.suite;
+    m.guestRetired = res.guestRetired;
+    m.halted = res.halted;
+    m.cycles = res.cycles;
+
+    const tol::TolStats &ts = sys.tolStats();
+    ts.staticCounts(m.staticIm, m.staticBbm, m.staticSbm);
+    m.dynIm = ts.dynIm;
+    m.dynBbm = ts.dynBbm;
+    m.dynSbm = ts.dynSbm;
+    m.sbInvocations = ts.sbsCreated;
+    m.guestIndirect = ts.guestIndirectBranches;
+    m.dynStaticRatio = m.staticTotal()
+        ? static_cast<double>(m.dynTotal()) /
+          static_cast<double>(m.staticTotal())
+        : 0;
+
+    const timing::PipeStats &ps = sys.combinedStats();
+    m.tolCycles = ps.tolCycles();
+    m.appCycles = ps.appCycles();
+    for (unsigned mod = 0; mod < timing::kNumModules; ++mod) {
+        m.moduleCycles[mod] =
+            ps.moduleCycles(static_cast<timing::Module>(mod));
+    }
+    const double total = static_cast<double>(ps.cycles);
+    for (unsigned b = 0; b < timing::kNumBuckets; ++b) {
+        double app = ps.bucket[b][0];
+        double tol_side = 0;
+        for (unsigned mod = 1; mod < timing::kNumModules; ++mod)
+            tol_side += ps.bucket[b][mod];
+        m.bucketFrac[b][0] = total > 0 ? app / total : 0;
+        m.bucketFrac[b][1] = total > 0 ? tol_side / total : 0;
+        m.bucketSrc[b][0] = ps.bucketSrc[b][0];
+        m.bucketSrc[b][1] = ps.bucketSrc[b][1];
+    }
+
+    if (const timing::PipeStats *tp = sys.tolOnlyStats()) {
+        m.haveTolOnly = true;
+        m.tolOnlyCycles = tp->cycles;
+        for (unsigned b = 0; b < timing::kNumBuckets; ++b) {
+            m.tolOnlyBucket[b] =
+                tp->bucketTotal(static_cast<timing::Bucket>(b));
+        }
+    }
+    // Figure 8 characteristics come from the module-filtered TOL
+    // instance (includes profiling instrumentation); fall back to the
+    // source-split instance when only that one was requested.
+    const timing::PipeStats *tchar = sys.tolModuleStats()
+        ? sys.tolModuleStats() : sys.tolOnlyStats();
+    if (tchar) {
+        m.tolIpc = tchar->ipc();
+        m.tolDmissRate = tchar->l1d.missRate();
+        m.tolImissRate = tchar->l1i.missRate();
+        m.tolBpMissRate = tchar->bp.mispredictRate();
+    }
+    if (const timing::PipeStats *ap = sys.appOnlyStats()) {
+        m.appOnlyCycles = ap->cycles;
+        for (unsigned b = 0; b < timing::kNumBuckets; ++b) {
+            m.appOnlyBucket[b] =
+                ap->bucketTotal(static_cast<timing::Bucket>(b));
+        }
+        m.haveIsolation = m.haveTolOnly;
+    }
+
+    return m;
+}
+
+BenchMetrics
+averageMetrics(const std::vector<BenchMetrics> &all,
+               const std::string &label)
+{
+    panic_if(all.empty(), "averageMetrics over empty set");
+    BenchMetrics avg;
+    avg.name = label;
+    avg.suite = label;
+
+    const double n = static_cast<double>(all.size());
+    double dyn_ratio = 0;
+    for (const BenchMetrics &m : all) {
+        avg.guestRetired += m.guestRetired;
+        avg.cycles += m.cycles;
+        avg.staticIm += m.staticIm;
+        avg.staticBbm += m.staticBbm;
+        avg.staticSbm += m.staticSbm;
+        avg.dynIm += m.dynIm;
+        avg.dynBbm += m.dynBbm;
+        avg.dynSbm += m.dynSbm;
+        avg.sbInvocations += m.sbInvocations;
+        avg.guestIndirect += m.guestIndirect;
+        avg.tolCycles += m.tolCycles;
+        avg.appCycles += m.appCycles;
+        dyn_ratio += m.dynStaticRatio;
+        for (unsigned mod = 0; mod < timing::kNumModules; ++mod)
+            avg.moduleCycles[mod] += m.moduleCycles[mod];
+        for (unsigned b = 0; b < timing::kNumBuckets; ++b) {
+            avg.bucketFrac[b][0] += m.bucketFrac[b][0] / n;
+            avg.bucketFrac[b][1] += m.bucketFrac[b][1] / n;
+            avg.bucketSrc[b][0] += m.bucketSrc[b][0];
+            avg.bucketSrc[b][1] += m.bucketSrc[b][1];
+        }
+        avg.tolIpc += m.tolIpc / n;
+        avg.tolDmissRate += m.tolDmissRate / n;
+        avg.tolImissRate += m.tolImissRate / n;
+        avg.tolBpMissRate += m.tolBpMissRate / n;
+        avg.haveTolOnly = avg.haveTolOnly || m.haveTolOnly;
+        avg.haveIsolation = avg.haveIsolation || m.haveIsolation;
+        avg.tolOnlyCycles += m.tolOnlyCycles;
+        avg.appOnlyCycles += m.appOnlyCycles;
+        for (unsigned b = 0; b < timing::kNumBuckets; ++b) {
+            avg.tolOnlyBucket[b] += m.tolOnlyBucket[b];
+            avg.appOnlyBucket[b] += m.appOnlyBucket[b];
+        }
+    }
+    avg.dynStaticRatio = dyn_ratio / n;
+
+    // Report per-benchmark means for extensive quantities too.
+    const auto mean = [&n](uint64_t total) {
+        return static_cast<uint64_t>(
+            static_cast<double>(total) / n + 0.5);
+    };
+    avg.guestRetired = mean(avg.guestRetired);
+    avg.cycles = mean(avg.cycles);
+    avg.staticIm = mean(avg.staticIm);
+    avg.staticBbm = mean(avg.staticBbm);
+    avg.staticSbm = mean(avg.staticSbm);
+    avg.dynIm = mean(avg.dynIm);
+    avg.dynBbm = mean(avg.dynBbm);
+    avg.dynSbm = mean(avg.dynSbm);
+    avg.sbInvocations = mean(avg.sbInvocations);
+    avg.guestIndirect = mean(avg.guestIndirect);
+    avg.tolCycles /= n;
+    avg.appCycles /= n;
+    for (unsigned mod = 0; mod < timing::kNumModules; ++mod)
+        avg.moduleCycles[mod] /= n;
+    avg.tolOnlyCycles = mean(avg.tolOnlyCycles);
+    avg.appOnlyCycles = mean(avg.appOnlyCycles);
+    for (unsigned b = 0; b < timing::kNumBuckets; ++b) {
+        avg.tolOnlyBucket[b] /= n;
+        avg.appOnlyBucket[b] /= n;
+        avg.bucketSrc[b][0] /= n;
+        avg.bucketSrc[b][1] /= n;
+    }
+    return avg;
+}
+
+} // namespace darco::sim

@@ -1,0 +1,123 @@
+#include "sim/state_checker.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "host/address_map.hh"
+#include "ir/ir.hh"
+
+namespace darco::sim {
+
+void
+StateChecker::fail(const std::string &what)
+{
+    if (strictMode)
+        panic("co-simulation mismatch: %s", what.c_str());
+    if (fails.size() < 32)
+        fails.push_back(what);
+}
+
+void
+StateChecker::onCommit(uint64_t retired, const guest::State &state,
+                       uint8_t known_flags)
+{
+    ++numCommits;
+    const uint64_t executed = emu.run(retired);
+    checked += executed;
+    if (executed != retired) {
+        fail(strprintf("authoritative side halted after %llu of %llu "
+                       "instructions",
+                       static_cast<unsigned long long>(executed),
+                       static_cast<unsigned long long>(retired)));
+        return;
+    }
+
+    const guest::State &ref = emu.state();
+    if (ref.eip != state.eip) {
+        fail(strprintf("EIP mismatch: authoritative 0x%08x vs "
+                       "co-design 0x%08x after %llu insts",
+                       ref.eip, state.eip,
+                       static_cast<unsigned long long>(checked)));
+        return;
+    }
+    for (unsigned r = 0; r < guest::NumGprs; ++r) {
+        if (ref.gpr[r] != state.gpr[r]) {
+            fail(strprintf("GPR %u mismatch at eip 0x%08x: "
+                           "authoritative 0x%08x vs co-design 0x%08x",
+                           r, ref.eip, ref.gpr[r], state.gpr[r]));
+            return;
+        }
+    }
+
+    struct FlagBit
+    {
+        uint8_t mask;
+        uint32_t eflag;
+        const char *name;
+    };
+    static const FlagBit bits[] = {
+        {ir::fmask::Z, guest::flag::ZF, "ZF"},
+        {ir::fmask::S, guest::flag::SF, "SF"},
+        {ir::fmask::C, guest::flag::CF, "CF"},
+        {ir::fmask::O, guest::flag::OF, "OF"},
+    };
+    for (const FlagBit &fb : bits) {
+        if (!(known_flags & fb.mask))
+            continue;
+        const bool want = ref.eflags & fb.eflag;
+        const bool got = state.eflags & fb.eflag;
+        if (want != got) {
+            fail(strprintf("%s mismatch at eip 0x%08x: authoritative "
+                           "%d vs co-design %d",
+                           fb.name, ref.eip, want, got));
+            return;
+        }
+    }
+
+    for (unsigned r = 0; r < guest::NumFprs; ++r) {
+        // Bitwise compare (NaN-safe).
+        uint64_t a, b;
+        std::memcpy(&a, &ref.fpr[r], 8);
+        std::memcpy(&b, &state.fpr[r], 8);
+        if (a != b) {
+            fail(strprintf("FPR %u mismatch at eip 0x%08x: "
+                           "authoritative %a vs co-design %a",
+                           r, ref.eip, ref.fpr[r], state.fpr[r]));
+            return;
+        }
+    }
+}
+
+std::string
+compareGuestMemory(const guest::Memory &authoritative,
+                   const host::Memory &codesign)
+{
+    // Union of dirty guest pages on both sides.
+    std::unordered_set<uint32_t> pages;
+    for (uint32_t page : authoritative.dirtyPages())
+        pages.insert(page);
+    for (uint32_t page : codesign.dirtyPages()) {
+        if (page < host::amap::kGuestLimit)
+            pages.insert(page);
+    }
+
+    std::vector<uint8_t> a(guest::Memory::kPageSize);
+    std::vector<uint8_t> b(guest::Memory::kPageSize);
+    for (uint32_t page : pages) {
+        authoritative.readBytes(page, a.data(), a.size());
+        codesign.readBytes(page, b.data(), b.size());
+        if (std::memcmp(a.data(), b.data(), a.size()) != 0) {
+            for (size_t i = 0; i < a.size(); ++i) {
+                if (a[i] != b[i]) {
+                    return strprintf(
+                        "guest memory mismatch at 0x%08x: "
+                        "authoritative 0x%02x vs co-design 0x%02x",
+                        page + static_cast<uint32_t>(i), a[i], b[i]);
+                }
+            }
+        }
+    }
+    return "";
+}
+
+} // namespace darco::sim

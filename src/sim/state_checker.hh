@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Co-simulation state checker (Figure 2).
+ *
+ * Observes the co-design component's architectural commits, replays
+ * the same number of guest instructions on the authoritative x86
+ * component, and compares GPRs, EIP, the architecturally-valid subset
+ * of EFLAGS (lazy flags: bits the DBT proved dead are skipped, and PF
+ * is never materialized), and FP registers bit-for-bit.
+ */
+
+#ifndef DARCO_SIM_STATE_CHECKER_HH
+#define DARCO_SIM_STATE_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "guest/emulator.hh"
+#include "tol/runtime.hh"
+
+namespace darco::sim {
+
+class StateChecker : public tol::CommitObserver
+{
+  public:
+    StateChecker(guest::Emulator &authoritative, bool strict)
+        : emu(authoritative), strictMode(strict)
+    {}
+
+    void onCommit(uint64_t retired, const guest::State &state,
+                  uint8_t known_flags) override;
+
+    /** All mismatches observed (empty means success so far). */
+    const std::vector<std::string> &failures() const { return fails; }
+
+    uint64_t commits() const { return numCommits; }
+    uint64_t instructionsChecked() const { return checked; }
+
+  private:
+    void fail(const std::string &what);
+
+    guest::Emulator &emu;
+    bool strictMode;
+    std::vector<std::string> fails;
+    uint64_t numCommits = 0;
+    uint64_t checked = 0;
+};
+
+/**
+ * Compare the dirty guest pages of the authoritative memory against
+ * the guest portion of the co-design component's host memory.
+ * @return a diagnostic string, empty when equal.
+ */
+std::string compareGuestMemory(const guest::Memory &authoritative,
+                               const host::Memory &codesign);
+
+} // namespace darco::sim
+
+#endif // DARCO_SIM_STATE_CHECKER_HH

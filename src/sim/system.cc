@@ -1,0 +1,72 @@
+#include "sim/system.hh"
+
+#include "common/logging.hh"
+
+namespace darco::sim {
+
+System::System(const SimConfig &config) : cfg(config)
+{
+    combined = std::make_unique<timing::Pipeline>(
+        cfg.timing, timing::Pipeline::Filter::All);
+    fanout.add(combined.get());
+    if (cfg.tolOnlyPipe) {
+        tolOnly = std::make_unique<timing::Pipeline>(
+            cfg.timing, timing::Pipeline::Filter::TolOnly);
+        fanout.add(tolOnly.get());
+    }
+    if (cfg.appOnlyPipe) {
+        appOnly = std::make_unique<timing::Pipeline>(
+            cfg.timing, timing::Pipeline::Filter::AppOnly);
+        fanout.add(appOnly.get());
+    }
+    if (cfg.tolModulePipe) {
+        tolModule = std::make_unique<timing::Pipeline>(
+            cfg.timing, timing::Pipeline::Filter::TolModule);
+        fanout.add(tolModule.get());
+    }
+
+    runtime = std::make_unique<tol::Runtime>(cfg.tol, hostMem, fanout);
+    authEmu = std::make_unique<guest::Emulator>(authMem);
+}
+
+void
+System::load(const guest::Program &program)
+{
+    panic_if(loaded, "System::load called twice");
+    loaded = true;
+    runtime->load(program);
+    if (cfg.cosim) {
+        authEmu->reset(program);
+        stateChecker = std::make_unique<StateChecker>(*authEmu,
+                                                      cfg.cosimStrict);
+        runtime->setObserver(stateChecker.get());
+    }
+}
+
+SystemResult
+System::run()
+{
+    panic_if(!loaded, "System::run before load");
+    panic_if(ran, "System::run called twice");
+    ran = true;
+
+    const tol::Runtime::RunResult rr = runtime->run(cfg.guestBudget);
+
+    combined->finish();
+    if (tolOnly)
+        tolOnly->finish();
+    if (appOnly)
+        appOnly->finish();
+    if (tolModule)
+        tolModule->finish();
+
+    SystemResult result;
+    result.guestRetired = rr.guestRetired;
+    result.halted = rr.halted;
+    result.cycles = combined->stats().cycles;
+    if (cfg.cosim)
+        result.memoryDiff = compareGuestMemory(authMem, hostMem);
+    return result;
+}
+
+} // namespace darco::sim

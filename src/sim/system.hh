@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The DARCO-style system controller (Figure 2): wires the x86
+ * component (authoritative emulator + its own memory), the co-design
+ * component (TOL runtime over the host memory), the timing
+ * simulator instances (combined + optional TOL-only / APP-only
+ * isolation instances fed from the same functional pass), and the
+ * state checker.
+ */
+
+#ifndef DARCO_SIM_SYSTEM_HH
+#define DARCO_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+
+#include "guest/emulator.hh"
+#include "sim/config.hh"
+#include "sim/state_checker.hh"
+#include "timing/pipeline.hh"
+#include "tol/runtime.hh"
+
+namespace darco::sim {
+
+struct SystemResult
+{
+    uint64_t guestRetired = 0;
+    bool halted = false;
+    uint64_t cycles = 0;            ///< combined-pipeline cycles
+    std::string memoryDiff;         ///< co-simulation memory check
+};
+
+class System
+{
+  public:
+    explicit System(const SimConfig &config);
+
+    /** Load a guest program into both components. */
+    void load(const guest::Program &program);
+
+    /** Run to the budget (or HALT), then drain the pipelines. */
+    SystemResult run();
+
+    const tol::TolStats &tolStats() const { return runtime->stats(); }
+    const timing::PipeStats &combinedStats() const
+    {
+        return combined->stats();
+    }
+    const timing::PipeStats *tolOnlyStats() const
+    {
+        return tolOnly ? &tolOnly->stats() : nullptr;
+    }
+    const timing::PipeStats *appOnlyStats() const
+    {
+        return appOnly ? &appOnly->stats() : nullptr;
+    }
+    const timing::PipeStats *tolModuleStats() const
+    {
+        return tolModule ? &tolModule->stats() : nullptr;
+    }
+    const StateChecker *checker() const { return stateChecker.get(); }
+    const guest::State &guestState() const
+    {
+        return runtime->guestState();
+    }
+    tol::Runtime &tolRuntime() { return *runtime; }
+    host::Memory &hostMemory() { return hostMem; }
+    guest::Memory &authMemory() { return authMem; }
+
+  private:
+    SimConfig cfg;
+
+    host::Memory hostMem;
+    guest::Memory authMem;
+    std::unique_ptr<guest::Emulator> authEmu;
+
+    timing::RecordFanout fanout;
+    std::unique_ptr<timing::Pipeline> combined;
+    std::unique_ptr<timing::Pipeline> tolOnly;
+    std::unique_ptr<timing::Pipeline> appOnly;
+    std::unique_ptr<timing::Pipeline> tolModule;
+
+    std::unique_ptr<tol::Runtime> runtime;
+    std::unique_ptr<StateChecker> stateChecker;
+
+    bool loaded = false;
+    bool ran = false;
+};
+
+} // namespace darco::sim
+
+#endif // DARCO_SIM_SYSTEM_HH

@@ -1,0 +1,126 @@
+#include "timing/branch_predictor.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace darco::timing {
+
+BranchPredictor::BranchPredictor(const TimingConfig &config)
+    : cfg(config)
+{
+    historyMask = (1u << cfg.bpHistoryBits) - 1;
+    pht.assign(1u << cfg.bpHistoryBits, 1);  // weakly not-taken
+    btbSets = cfg.btbEntries / cfg.btbWays;
+    panic_if(!isPowerOf2(btbSets), "BTB sets must be a power of two");
+    btb.assign(cfg.btbEntries, BtbEntry());
+}
+
+void
+BranchPredictor::reset()
+{
+    pht.assign(pht.size(), 1);
+    history = 0;
+    btb.assign(btb.size(), BtbEntry());
+    stat = BpStats();
+}
+
+bool
+BranchPredictor::btbLookup(uint32_t pc, uint32_t &target_out)
+{
+    const uint32_t set = (pc >> 2) & (btbSets - 1);
+    const uint32_t tag = (pc >> 2) / btbSets;
+    const size_t base = static_cast<size_t>(set) * cfg.btbWays;
+    for (uint32_t w = 0; w < cfg.btbWays; ++w) {
+        BtbEntry &e = btb[base + w];
+        if (e.valid && e.tag == tag) {
+            target_out = e.target;
+            e.lru = 0;
+            for (uint32_t o = 0; o < cfg.btbWays; ++o) {
+                if (o != w && btb[base + o].lru < 255)
+                    ++btb[base + o].lru;
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+BranchPredictor::btbUpdate(uint32_t pc, uint32_t target)
+{
+    const uint32_t set = (pc >> 2) & (btbSets - 1);
+    const uint32_t tag = (pc >> 2) / btbSets;
+    const size_t base = static_cast<size_t>(set) * cfg.btbWays;
+    uint32_t victim = 0;
+    uint8_t oldest = 0;
+    for (uint32_t w = 0; w < cfg.btbWays; ++w) {
+        BtbEntry &e = btb[base + w];
+        if (e.valid && e.tag == tag) {
+            e.target = target;
+            e.lru = 0;
+            return;
+        }
+        if (!e.valid) {
+            victim = w;
+            oldest = 255;
+        } else if (e.lru >= oldest) {
+            victim = w;
+            oldest = e.lru;
+        }
+    }
+    BtbEntry &e = btb[base + victim];
+    e.valid = true;
+    e.tag = tag;
+    e.target = target;
+    e.lru = 0;
+}
+
+bool
+BranchPredictor::predict(uint32_t pc, bool taken, uint32_t target,
+                         bool is_cond, bool is_indirect)
+{
+    ++stat.branches;
+
+    bool predicted_taken = true;
+    if (is_cond) {
+        ++stat.condBranches;
+        const uint32_t index = ((pc >> 2) ^ history) & historyMask;
+        predicted_taken = pht[index] >= 2;
+        // Update the 2-bit counter and global history.
+        uint8_t &counter = pht[index];
+        if (taken && counter < 3)
+            ++counter;
+        else if (!taken && counter > 0)
+            --counter;
+        history = ((history << 1) | (taken ? 1 : 0)) & historyMask;
+    }
+
+    bool correct;
+    if (is_cond && !taken) {
+        // Not-taken path: correct iff direction was predicted
+        // not-taken (target irrelevant).
+        correct = !predicted_taken;
+        if (!correct)
+            ++stat.directionMispredicts;
+    } else {
+        // Taken (or unconditional/indirect): need direction and target.
+        uint32_t btb_target = 0;
+        const bool btb_hit = btbLookup(pc, btb_target);
+        const bool dir_ok = !is_cond || predicted_taken;
+        const bool tgt_ok = btb_hit && btb_target == target;
+        correct = dir_ok && tgt_ok;
+        if (!dir_ok)
+            ++stat.directionMispredicts;
+        else if (!tgt_ok)
+            ++stat.targetMispredicts;
+        if (!correct && is_indirect)
+            ++stat.indirectMispredicts;
+        btbUpdate(pc, target);
+    }
+
+    if (!correct)
+        ++stat.mispredicts;
+    return correct;
+}
+
+} // namespace darco::timing

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Gshare branch predictor (12-bit global history, Table I) plus a
+ * set-associative Branch Target Buffer. Conditional direction comes
+ * from the gshare PHT; targets of taken/indirect transfers come from
+ * the BTB's last-seen target (no return-address stack: the paper
+ * never mentions one, and its absence is consistent with the paper's
+ * emphasis on indirect-branch cost).
+ */
+
+#ifndef DARCO_TIMING_BRANCH_PREDICTOR_HH
+#define DARCO_TIMING_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "timing/config.hh"
+
+namespace darco::timing {
+
+struct BpStats
+{
+    uint64_t branches = 0;
+    uint64_t condBranches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t directionMispredicts = 0;
+    uint64_t targetMispredicts = 0;
+    uint64_t indirectMispredicts = 0;
+
+    double
+    mispredictRate() const
+    {
+        return branches ? static_cast<double>(mispredicts) /
+                          static_cast<double>(branches)
+                        : 0.0;
+    }
+};
+
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const TimingConfig &config);
+
+    /**
+     * Predict-and-update for one executed branch.
+     *
+     * @param pc        branch host PC
+     * @param taken     actual direction
+     * @param target    actual target (valid when taken)
+     * @param is_cond   conditional branch
+     * @param is_indirect JALR-class transfer
+     * @return true if both direction and target were predicted right.
+     */
+    bool predict(uint32_t pc, bool taken, uint32_t target, bool is_cond,
+                 bool is_indirect);
+
+    const BpStats &stats() const { return stat; }
+
+    void reset();
+
+  private:
+    const TimingConfig &cfg;
+    std::vector<uint8_t> pht;   ///< 2-bit counters
+    uint32_t history = 0;
+    uint32_t historyMask;
+
+    struct BtbEntry
+    {
+        uint32_t tag = 0;
+        uint32_t target = 0;
+        bool valid = false;
+        uint8_t lru = 0;
+    };
+    std::vector<BtbEntry> btb;
+    uint32_t btbSets;
+
+    BpStats stat;
+
+    bool btbLookup(uint32_t pc, uint32_t &target_out);
+    void btbUpdate(uint32_t pc, uint32_t target);
+};
+
+} // namespace darco::timing
+
+#endif // DARCO_TIMING_BRANCH_PREDICTOR_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Set-associative cache with tree-PLRU replacement, write-back /
+ * write-allocate, used for L1-I, L1-D and the unified L2 (Table I).
+ */
+
+#ifndef DARCO_TIMING_CACHE_HH
+#define DARCO_TIMING_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "timing/config.hh"
+
+namespace darco::timing {
+
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t writebacks = 0;
+    uint64_t prefetchFills = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                          static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+class Cache
+{
+  public:
+    /**
+     * @param geometry size/line/ways/latency
+     * @param next     next level (nullptr = main memory)
+     * @param mem_latency latency charged when next == nullptr
+     */
+    Cache(const CacheGeometry &geometry, Cache *next,
+          uint32_t mem_latency);
+
+    /**
+     * Access @p addr. Returns the total latency in cycles including
+     * lower levels on a miss; fills the line and handles dirty
+     * writebacks.
+     */
+    uint32_t access(uint32_t addr, bool write, bool &miss_out);
+
+    /** Hit check without any state change (for tests). */
+    bool probe(uint32_t addr) const;
+
+    /**
+     * Prefetch @p addr into this cache (and lower levels), without a
+     * latency charge. Counts as a prefetch fill, not an access.
+     */
+    void prefetch(uint32_t addr);
+
+    const CacheStats &stats() const { return stat; }
+
+    /** Drop all contents (used between experiments). */
+    void reset();
+
+    uint32_t lineBytes() const { return geom.lineBytes; }
+
+  private:
+    struct Way
+    {
+        uint32_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    uint32_t setIndex(uint32_t addr) const
+    {
+        return (addr / geom.lineBytes) & (numSets - 1);
+    }
+
+    uint32_t tagOf(uint32_t addr) const
+    {
+        return addr / geom.lineBytes / numSets;
+    }
+
+    int findWay(uint32_t set, uint32_t tag) const;
+    uint32_t plruVictim(uint32_t set) const;
+    void plruTouch(uint32_t set, uint32_t way);
+    /** Insert a line, handling victim writeback. Returns way used. */
+    uint32_t fillLine(uint32_t addr, bool dirty, bool charge_fill);
+
+    CacheGeometry geom;
+    Cache *nextLevel;
+    uint32_t memLatency;
+    uint32_t numSets;
+    std::vector<Way> ways;         ///< numSets * geom.ways
+    std::vector<uint8_t> plruBits; ///< numSets * (ways - 1) tree bits
+    CacheStats stat;
+};
+
+} // namespace darco::timing
+
+#endif // DARCO_TIMING_CACHE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Host microarchitecture configuration — Table I of the paper.
+ *
+ * Parameters the paper does not specify (BTB geometry, TLB walk
+ * penalty, redirect depth) are exposed here with defaults documented
+ * in DESIGN.md §4.5.
+ */
+
+#ifndef DARCO_TIMING_CONFIG_HH
+#define DARCO_TIMING_CONFIG_HH
+
+#include <cstdint>
+
+namespace darco::timing {
+
+struct CacheGeometry
+{
+    uint32_t sizeBytes;
+    uint32_t lineBytes;
+    uint32_t ways;
+    uint32_t hitLatency;
+};
+
+struct TimingConfig
+{
+    // General (Table I).
+    uint32_t issueWidth = 2;
+    uint32_t iqSize = 16;
+
+    // Branch prediction: Gshare with a 12-bit history register.
+    uint32_t bpHistoryBits = 12;
+    uint32_t btbEntries = 1024;     ///< not in Table I (DESIGN.md)
+    uint32_t btbWays = 4;
+    uint32_t mispredictPenalty = 6;
+
+    // L1 caches: 32KB, 64B lines, 4-way, PLRU, 1-cycle hit.
+    CacheGeometry l1i{32 * 1024, 64, 4, 1};
+    CacheGeometry l1d{32 * 1024, 64, 4, 1};
+    // L2 unified: 512KB, 128B lines, 8-way, PLRU, 16-cycle hit.
+    CacheGeometry l2{512 * 1024, 128, 8, 16};
+    uint32_t memLatency = 128;
+
+    // Stride prefetcher: 256 entries.
+    uint32_t prefetcherEntries = 256;
+    bool prefetcherEnabled = true;
+
+    // Data TLBs: L1 64-entry/8-way, L2 256-entry/8-way, PLRU.
+    uint32_t tlbL1Entries = 64;
+    uint32_t tlbL1Ways = 8;
+    uint32_t tlbL1Latency = 1;
+    uint32_t tlbL2Entries = 256;
+    uint32_t tlbL2Ways = 8;
+    uint32_t tlbL2Latency = 16;
+    uint32_t tlbWalkLatency = 128;  ///< not in Table I (DESIGN.md)
+    uint32_t pageBits = 12;
+
+    // Execution latencies (Table I narrative).
+    uint32_t intSimpleLatency = 1;
+    uint32_t intComplexLatency = 2;
+    uint32_t fpSimpleLatency = 2;
+    uint32_t fpComplexLatency = 5;
+};
+
+} // namespace darco::timing
+
+#endif // DARCO_TIMING_CONFIG_HH

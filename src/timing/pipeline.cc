@@ -1,0 +1,372 @@
+#include "timing/pipeline.hh"
+
+#include "common/logging.hh"
+#include "host/address_map.hh"
+
+namespace darco::timing {
+
+const char *
+bucketName(Bucket b)
+{
+    static const char *names[] = {
+        "instructions", "dcache-bubble", "icache-bubble",
+        "branch-bubble", "scheduling",
+    };
+    return names[static_cast<unsigned>(b)];
+}
+
+const char *
+moduleName(Module m)
+{
+    static const char *names[] = {
+        "app", "tol-other", "im", "bbm", "sbm", "chaining", "lookup",
+    };
+    return names[static_cast<unsigned>(m)];
+}
+
+double
+PipeStats::bucketTotal(Bucket b) const
+{
+    double total = 0;
+    for (unsigned m = 0; m < kNumModules; ++m)
+        total += bucket[static_cast<unsigned>(b)][m];
+    return total;
+}
+
+double
+PipeStats::sourceCycles(bool region) const
+{
+    double total = 0;
+    for (unsigned b = 0; b < kNumBuckets; ++b)
+        total += bucketSrc[b][region ? 1 : 0];
+    return total;
+}
+
+double
+PipeStats::moduleCycles(Module m) const
+{
+    double total = 0;
+    for (unsigned b = 0; b < kNumBuckets; ++b)
+        total += bucket[b][static_cast<unsigned>(m)];
+    return total;
+}
+
+double
+PipeStats::tolCycles() const
+{
+    double total = 0;
+    for (unsigned m = 1; m < kNumModules; ++m)
+        total += moduleCycles(static_cast<Module>(m));
+    return total;
+}
+
+double
+PipeStats::appCycles() const
+{
+    return moduleCycles(Module::App);
+}
+
+uint64_t
+PipeStats::tolInsts() const
+{
+    uint64_t total = 0;
+    for (unsigned m = 1; m < kNumModules; ++m)
+        total += insts[m];
+    return total;
+}
+
+uint64_t
+PipeStats::appInsts() const
+{
+    return insts[static_cast<unsigned>(Module::App)];
+}
+
+double
+PipeStats::ipc() const
+{
+    uint64_t total = 0;
+    for (unsigned m = 0; m < kNumModules; ++m)
+        total += insts[m];
+    return cycles ? static_cast<double>(total) /
+                    static_cast<double>(cycles)
+                  : 0.0;
+}
+
+Pipeline::Pipeline(const TimingConfig &config, Filter f)
+    : cfg(config), filter(f),
+      l2c(config.l2, nullptr, config.memLatency),
+      l1ic(config.l1i, &l2c, config.memLatency),
+      l1dc(config.l1d, &l2c, config.memLatency),
+      dtlb(config),
+      bp(config),
+      pf(config.prefetcherEntries, l2c)
+{}
+
+void
+Pipeline::consume(const Record &rec)
+{
+    panic_if(finished, "consume after finish");
+    // Isolation instances split by stream source so the two sides
+    // never share instruction-cache lines (see record.hh).
+    if (filter == Filter::TolOnly && rec.fromRegion)
+        return;
+    if (filter == Filter::AppOnly && !rec.fromRegion)
+        return;
+    if (filter == Filter::TolModule && rec.module == Module::App)
+        return;
+
+    ++stat.records;
+    pending.push_back(InFlight{rec, 0, false});
+
+    // Keep the in-flight window bounded; advance the clock as needed.
+    while (pending.size() > 64)
+        step();
+}
+
+bool
+Pipeline::workRemains() const
+{
+    return !pending.empty() || !frontend.empty() || !iq.empty();
+}
+
+void
+Pipeline::finish()
+{
+    if (finished)
+        return;
+    while (workRemains())
+        step();
+    finished = true;
+    stat.cycles = now;
+    stat.l1i = l1ic.stats();
+    stat.l1d = l1dc.stats();
+    stat.l2 = l2c.stats();
+    stat.tlb = dtlb.stats();
+    stat.bp = bp.stats();
+    stat.prefetch = pf.stats();
+}
+
+void
+Pipeline::issueOne(InFlight &inflight)
+{
+    const Record &rec = inflight.rec;
+    const host::HOpInfo &info = host::hopInfo(rec.op);
+    const unsigned mod = static_cast<unsigned>(rec.module);
+
+    uint32_t latency;
+    switch (info.execClass) {
+      case host::ExecClass::IntSimple:  latency = cfg.intSimpleLatency; break;
+      case host::ExecClass::IntComplex: latency = cfg.intComplexLatency; break;
+      case host::ExecClass::FpSimple:   latency = cfg.fpSimpleLatency; break;
+      case host::ExecClass::FpComplex:  latency = cfg.fpComplexLatency; break;
+      default:                          latency = 1; break;
+    }
+
+    bool load_missed = false;
+    if (rec.isLoad) {
+        uint32_t extra = 0;
+        if (host::amap::isGuestAddr(rec.memAddr))
+            extra = dtlb.access(rec.memAddr);
+        bool miss = false;
+        const uint32_t dlat = l1dc.access(rec.memAddr, false, miss);
+        if (cfg.prefetcherEnabled)
+            pf.train(rec.pc, rec.memAddr);
+        latency = 1 + extra + dlat;
+        load_missed = miss || extra > 0;
+    } else if (rec.isStore) {
+        // Stores retire through an ideal store buffer: they update the
+        // hierarchy (and may evict) but never stall the pipe.
+        if (host::amap::isGuestAddr(rec.memAddr))
+            (void)dtlb.access(rec.memAddr);
+        bool miss = false;
+        (void)l1dc.access(rec.memAddr, true, miss);
+        latency = 1;
+    }
+
+    if (rec.rd != host::kNoReg) {
+        regReady[rec.rd] = now + 1 + (latency > 1 ? latency - 1 : 0);
+        regProducer[rec.rd] = rec.module;
+        regProducerSrc[rec.rd] = rec.fromRegion;
+        regLoadMiss[rec.rd] = rec.isLoad && load_missed;
+    }
+
+    if (rec.isBranch && inflight.mispredicted) {
+        // Resolved in EXE; the front-end refetches afterwards so the
+        // end-to-end penalty equals cfg.mispredictPenalty.
+        fetchBlockedUntil = now + cfg.mispredictPenalty - 3;
+        fetchHaltedForBranch = false;
+        starveBucket = Bucket::BranchBubble;
+        starveModule = rec.module;
+        starveSrcRegion = rec.fromRegion;
+    }
+
+    ++stat.insts[mod];
+}
+
+void
+Pipeline::issuePhase(unsigned &issued_count)
+{
+    issued_count = 0;
+    std::array<unsigned, 8> issued_modules{};
+    std::array<bool, 8> issued_src{};
+    unsigned issued_n = 0;
+
+    while (issued_count < cfg.issueWidth && !iq.empty()) {
+        InFlight &head = iq.front();
+        if (head.arrival > now)
+            break;
+
+        // Scoreboard: both sources ready?
+        uint8_t blocking = host::kNoReg;
+        const uint8_t srcs[2] = {head.rec.rs1, head.rec.rs2};
+        for (uint8_t src : srcs) {
+            if (src != host::kNoReg && src < regReady.size() &&
+                regReady[src] > now) {
+                blocking = src;
+                break;
+            }
+        }
+        if (blocking != host::kNoReg)
+            break;
+
+        issueOne(head);
+        issued_modules[issued_n % issued_modules.size()] =
+            static_cast<unsigned>(head.rec.module);
+        issued_src[issued_n % issued_src.size()] = head.rec.fromRegion;
+        ++issued_n;
+        iq.pop_front();
+        ++issued_count;
+    }
+
+    if (issued_count) {
+        const double share = 1.0 / static_cast<double>(issued_count);
+        for (unsigned i = 0; i < issued_count; ++i) {
+            stat.bucket[static_cast<unsigned>(Bucket::Insts)]
+                       [issued_modules[i]] += share;
+            stat.bucketSrc[static_cast<unsigned>(Bucket::Insts)]
+                          [issued_src[i] ? 1 : 0] += share;
+        }
+    }
+}
+
+void
+Pipeline::accountCycle(unsigned issued_count)
+{
+    if (issued_count)
+        return;  // credited in issuePhase
+
+    if (!iq.empty() && iq.front().arrival <= now) {
+        // Head present but not issuable: scoreboard stall.
+        const InFlight &head = iq.front();
+        uint8_t blocking = host::kNoReg;
+        const uint8_t srcs[2] = {head.rec.rs1, head.rec.rs2};
+        for (uint8_t src : srcs) {
+            if (src != host::kNoReg && src < regReady.size() &&
+                regReady[src] > now) {
+                blocking = src;
+                break;
+            }
+        }
+        if (blocking != host::kNoReg && regLoadMiss[blocking]) {
+            stat.bucket[static_cast<unsigned>(Bucket::DcacheBubble)]
+                       [static_cast<unsigned>(regProducer[blocking])] +=
+                1.0;
+            stat.bucketSrc[static_cast<unsigned>(Bucket::DcacheBubble)]
+                          [regProducerSrc[blocking] ? 1 : 0] += 1.0;
+        } else {
+            stat.bucket[static_cast<unsigned>(Bucket::SchedBubble)]
+                       [static_cast<unsigned>(head.rec.module)] += 1.0;
+            stat.bucketSrc[static_cast<unsigned>(Bucket::SchedBubble)]
+                          [head.rec.fromRegion ? 1 : 0] += 1.0;
+        }
+        return;
+    }
+
+    // IQ empty (or only future arrivals): front-end starvation.
+    stat.bucket[static_cast<unsigned>(starveBucket)]
+               [static_cast<unsigned>(starveModule)] += 1.0;
+    stat.bucketSrc[static_cast<unsigned>(starveBucket)]
+                  [starveSrcRegion ? 1 : 0] += 1.0;
+}
+
+void
+Pipeline::fetchPhase()
+{
+    // Move front-end arrivals into the IQ.
+    while (!frontend.empty() && frontend.front().arrival <= now + 1 &&
+           iq.size() < cfg.iqSize) {
+        iq.push_back(frontend.front());
+        frontend.pop_front();
+    }
+
+    if (now < fetchBlockedUntil || fetchHaltedForBranch)
+        return;
+
+    unsigned fetched = 0;
+    while (fetched < cfg.issueWidth && !pending.empty() &&
+           frontend.size() < 8) {
+        InFlight inflight = pending.front();
+        const Record &rec = inflight.rec;
+
+        const uint32_t line = rec.pc / cfg.l1i.lineBytes;
+        if (line != lastFetchLine) {
+            bool miss = false;
+            const uint32_t lat = l1ic.access(rec.pc, false, miss);
+            lastFetchLine = line;
+            if (miss) {
+                // Fetch resumes after the fill; this instruction
+                // completes its front-end traversal afterwards.
+                fetchBlockedUntil = now + lat;
+                starveBucket = Bucket::IcacheBubble;
+                starveModule = rec.module;
+                starveSrcRegion = rec.fromRegion;
+                inflight.arrival = now + lat + 3;
+                if (rec.isBranch) {
+                    inflight.mispredicted = !bp.predict(
+                        rec.pc, rec.taken, rec.branchTarget,
+                        rec.isCondBranch, rec.isIndirect);
+                    if (inflight.mispredicted) {
+                        fetchHaltedForBranch = true;
+                        starveBucket = Bucket::BranchBubble;
+                        starveModule = rec.module;
+                        starveSrcRegion = rec.fromRegion;
+                    }
+                }
+                frontend.push_back(inflight);
+                pending.pop_front();
+                return;
+            }
+        }
+
+        inflight.arrival = now + 3;  // AC/IF/DEC traversal
+        if (rec.isBranch) {
+            inflight.mispredicted = !bp.predict(
+                rec.pc, rec.taken, rec.branchTarget, rec.isCondBranch,
+                rec.isIndirect);
+        }
+        frontend.push_back(inflight);
+        pending.pop_front();
+        ++fetched;
+
+        if (rec.isBranch && inflight.mispredicted) {
+            // Wrong-path fetch suppressed until the branch resolves.
+            fetchHaltedForBranch = true;
+            starveBucket = Bucket::BranchBubble;
+            starveModule = rec.module;
+            starveSrcRegion = rec.fromRegion;
+            return;
+        }
+    }
+}
+
+void
+Pipeline::step()
+{
+    unsigned issued = 0;
+    issuePhase(issued);
+    accountCycle(issued);
+    fetchPhase();
+    ++now;
+}
+
+} // namespace darco::timing

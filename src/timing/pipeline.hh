@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Cycle-level model of the host processor (Figure 4): a 2-issue
+ * in-order pipeline with an AC/IF/DEC front-end, a 16-entry
+ * instruction queue, scoreboarded issue, and EXE-resolved branches
+ * with a 6-cycle misprediction penalty; backed by the Table I memory
+ * hierarchy (split L1, unified L2, data TLB, stride prefetcher) and a
+ * Gshare+BTB predictor.
+ *
+ * Every cycle is attributed to exactly one accounting bucket
+ * {instructions, D$-miss bubble, I$-miss bubble, branch bubble,
+ * instruction scheduling} and, within the bucket, to the module
+ * (application or one of the TOL components) responsible — the
+ * Figure 7 / Figure 9 decomposition. Bucket totals sum exactly to
+ * total cycles (asserted by tests).
+ *
+ * Three instances are fed from one functional pass (combined,
+ * TOL-only, APP-only) to reproduce the paper's isolation methodology
+ * (§III-C, §III-D): a filter drops records of the other side before
+ * they touch this instance's pipeline or hierarchy.
+ */
+
+#ifndef DARCO_TIMING_PIPELINE_HH
+#define DARCO_TIMING_PIPELINE_HH
+
+#include <array>
+#include <deque>
+
+#include "timing/branch_predictor.hh"
+#include "timing/cache.hh"
+#include "timing/config.hh"
+#include "timing/prefetcher.hh"
+#include "timing/record.hh"
+#include "timing/tlb.hh"
+
+namespace darco::timing {
+
+/** Cycle accounting buckets (Figure 9 categories). */
+enum class Bucket : uint8_t {
+    Insts = 0,       ///< at least one instruction issued
+    DcacheBubble,    ///< waiting on a load (or DTLB) miss
+    IcacheBubble,    ///< front-end starved by an instruction miss
+    BranchBubble,    ///< front-end starved by a misprediction redirect
+    SchedBubble,     ///< IQ head not issuable: dependencies/latency
+    NumBuckets,
+};
+
+const char *bucketName(Bucket b);
+
+constexpr unsigned kNumModules =
+    static_cast<unsigned>(Module::NumModules);
+constexpr unsigned kNumBuckets =
+    static_cast<unsigned>(Bucket::NumBuckets);
+
+struct PipeStats
+{
+    uint64_t cycles = 0;
+    uint64_t records = 0;
+    std::array<uint64_t, kNumModules> insts{};
+    /** Fractional cycles: [bucket][module]. */
+    std::array<std::array<double, kNumModules>, kNumBuckets> bucket{};
+    /**
+     * Secondary accounting by stream source for the isolation study
+     * (Figures 10/11): [bucket][0 = TOL software, 1 = region code].
+     */
+    std::array<std::array<double, 2>, kNumBuckets> bucketSrc{};
+
+    CacheStats l1i, l1d, l2;
+    TlbStats tlb;
+    BpStats bp;
+    PrefetcherStats prefetch;
+
+    double bucketTotal(Bucket b) const;
+    double moduleCycles(Module m) const;
+    /** Cycles by stream source (0 = TOL software, 1 = region code). */
+    double sourceCycles(bool region) const;
+    double tolCycles() const;
+    double appCycles() const;
+    uint64_t tolInsts() const;
+    uint64_t appInsts() const;
+    double ipc() const;
+};
+
+class Pipeline : public RecordSink
+{
+  public:
+    /**
+     * All: every record. TolOnly/AppOnly: split by stream *source*
+     * (TOL software vs translated-region code; Figures 10/11).
+     * TolModule: everything attributed to TOL by *module* including
+     * the profiling instrumentation embedded in regions — the
+     * population Figure 8 characterizes.
+     */
+    enum class Filter : uint8_t { All, TolOnly, AppOnly, TolModule };
+
+    Pipeline(const TimingConfig &config, Filter filter);
+
+    void consume(const Record &rec) override;
+
+    /** Drain everything in flight and snapshot component stats. */
+    void finish();
+
+    const PipeStats &stats() const { return stat; }
+
+    uint64_t cyclesNow() const { return now; }
+
+  private:
+    struct InFlight
+    {
+        Record rec;
+        uint64_t arrival = 0;     ///< first issueable cycle
+        bool mispredicted = false;
+    };
+
+    void step();
+    bool workRemains() const;
+    void issuePhase(unsigned &issued_count);
+    void accountCycle(unsigned issued_count);
+    void fetchPhase();
+    void issueOne(InFlight &inst);
+
+    const TimingConfig &cfg;
+    Filter filter;
+
+    Cache l2c;
+    Cache l1ic;
+    Cache l1dc;
+    Tlb dtlb;
+    BranchPredictor bp;
+    StridePrefetcher pf;
+
+    std::deque<InFlight> pending;     ///< accepted, not yet fetched
+    std::deque<InFlight> frontend;    ///< fetched, in AC/IF/DEC
+    std::deque<InFlight> iq;
+
+    uint64_t now = 0;
+    uint64_t fetchBlockedUntil = 0;
+    bool fetchHaltedForBranch = false;
+    uint32_t lastFetchLine = 0xFFFFFFFFu;
+
+    /** Sticky cause of front-end starvation for empty-IQ accounting. */
+    Bucket starveBucket = Bucket::IcacheBubble;
+    Module starveModule = Module::App;
+    bool starveSrcRegion = true;
+
+    // Scoreboard over 96 register ids (64 int + 32 fp).
+    std::array<uint64_t, 96> regReady{};
+    std::array<Module, 96> regProducer{};
+    std::array<bool, 96> regProducerSrc{};
+    std::array<bool, 96> regLoadMiss{};
+
+    PipeStats stat;
+    bool finished = false;
+};
+
+/** Fan-out sink: forwards each record to several pipelines. */
+class RecordFanout : public RecordSink
+{
+  public:
+    void add(RecordSink *sink) { sinks.push_back(sink); }
+
+    void
+    consume(const Record &rec) override
+    {
+        for (RecordSink *s : sinks)
+            s->consume(rec);
+    }
+
+  private:
+    std::vector<RecordSink *> sinks;
+};
+
+} // namespace darco::timing
+
+#endif // DARCO_TIMING_PIPELINE_HH

@@ -1,0 +1,110 @@
+#include "timing/tlb.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace darco::timing {
+
+void
+Tlb::Level::init(uint32_t entries, uint32_t num_ways)
+{
+    ways = num_ways;
+    sets = entries / num_ways;
+    panic_if(!isPowerOf2(sets), "TLB sets must be a power of two");
+    tags.assign(static_cast<size_t>(sets) * ways, 0);
+    valid.assign(static_cast<size_t>(sets) * ways, false);
+    plru.assign(static_cast<size_t>(sets) * (ways - 1), 0);
+}
+
+uint32_t
+Tlb::Level::victim(uint32_t set) const
+{
+    const size_t base = static_cast<size_t>(set) * (ways - 1);
+    uint32_t node = 0;
+    const uint32_t levels = floorLog2(ways);
+    for (uint32_t l = 0; l < levels; ++l)
+        node = 2 * node + 1 + plru[base + node];
+    return node - (ways - 1);
+}
+
+void
+Tlb::Level::touch(uint32_t set, uint32_t way)
+{
+    const size_t base = static_cast<size_t>(set) * (ways - 1);
+    uint32_t node = way + (ways - 1);
+    while (node != 0) {
+        const uint32_t parent = (node - 1) / 2;
+        const bool is_right = (node == 2 * parent + 2);
+        plru[base + parent] = is_right ? 0 : 1;
+        node = parent;
+    }
+}
+
+bool
+Tlb::Level::lookup(uint32_t vpn)
+{
+    const uint32_t set = vpn & (sets - 1);
+    const uint32_t tag = vpn / sets;
+    const size_t base = static_cast<size_t>(set) * ways;
+    for (uint32_t w = 0; w < ways; ++w) {
+        if (valid[base + w] && tags[base + w] == tag) {
+            touch(set, w);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Tlb::Level::insert(uint32_t vpn)
+{
+    const uint32_t set = vpn & (sets - 1);
+    const uint32_t tag = vpn / sets;
+    const size_t base = static_cast<size_t>(set) * ways;
+    for (uint32_t w = 0; w < ways; ++w) {
+        if (!valid[base + w]) {
+            valid[base + w] = true;
+            tags[base + w] = tag;
+            touch(set, w);
+            return;
+        }
+    }
+    const uint32_t w = victim(set);
+    tags[base + w] = tag;
+    valid[base + w] = true;
+    touch(set, w);
+}
+
+Tlb::Tlb(const TimingConfig &config) : cfg(config)
+{
+    l1.init(cfg.tlbL1Entries, cfg.tlbL1Ways);
+    l2.init(cfg.tlbL2Entries, cfg.tlbL2Ways);
+}
+
+void
+Tlb::reset()
+{
+    l1.init(cfg.tlbL1Entries, cfg.tlbL1Ways);
+    l2.init(cfg.tlbL2Entries, cfg.tlbL2Ways);
+    stat = TlbStats();
+}
+
+uint32_t
+Tlb::access(uint32_t addr)
+{
+    ++stat.accesses;
+    const uint32_t vpn = addr >> cfg.pageBits;
+    if (l1.lookup(vpn))
+        return 0;
+    ++stat.l1Misses;
+    if (l2.lookup(vpn)) {
+        l1.insert(vpn);
+        return cfg.tlbL2Latency;
+    }
+    ++stat.l2Misses;
+    l2.insert(vpn);
+    l1.insert(vpn);
+    return cfg.tlbL2Latency + cfg.tlbWalkLatency;
+}
+
+} // namespace darco::timing

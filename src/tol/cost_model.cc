@@ -1,0 +1,172 @@
+#include "tol/cost_model.hh"
+
+namespace darco::tol {
+
+using host::HOp;
+using host::hreg::TolScratch0;
+using timing::Record;
+
+uint32_t
+CostStream::nextPc()
+{
+    const uint32_t pc = pcBase + pcOffset;
+    pcOffset += host::kHostInstBytes;
+    if (pcOffset >= pcBytes)
+        pcOffset = 0;
+    return pc;
+}
+
+uint8_t
+CostStream::nextDst()
+{
+    // Rotate over six TOL scratch registers: adjacent emitted
+    // instructions are partly dependent (rs1 = previous dst), partly
+    // independent, giving realistic (not perfectly parallel, not
+    // fully serial) TOL ILP.
+    rotor = static_cast<uint8_t>((rotor + 1) % 6);
+    return static_cast<uint8_t>(TolScratch0 + rotor);
+}
+
+void
+CostStream::emit(Record &rec)
+{
+    rec.module = mod;
+    sink.consume(rec);
+    ++emitted;
+}
+
+void
+CostStream::alu(unsigned count)
+{
+    for (unsigned i = 0; i < count; ++i) {
+        Record rec;
+        rec.pc = nextPc();
+        rec.op = HOp::ADD;
+        rec.rs1 = lastDst;
+        rec.rs2 = static_cast<uint8_t>(TolScratch0 + rotor);
+        rec.rd = nextDst();
+        lastDst = rec.rd;
+        emit(rec);
+    }
+}
+
+void
+CostStream::load(uint32_t addr, uint8_t size)
+{
+    Record rec;
+    rec.pc = nextPc();
+    rec.op = HOp::LD;
+    rec.isLoad = true;
+    rec.memAddr = addr;
+    rec.size = size;
+    rec.rs1 = lastDst;
+    rec.rd = nextDst();
+    lastDst = rec.rd;
+    emit(rec);
+}
+
+void
+CostStream::store(uint32_t addr, uint8_t size)
+{
+    Record rec;
+    rec.pc = nextPc();
+    rec.op = HOp::ST;
+    rec.isStore = true;
+    rec.memAddr = addr;
+    rec.size = size;
+    rec.rs1 = static_cast<uint8_t>(TolScratch0 + rotor);
+    rec.rs2 = lastDst;
+    emit(rec);
+}
+
+void
+CostStream::branch(bool taken)
+{
+    Record rec;
+    rec.pc = nextPc();
+    rec.op = HOp::BNE;
+    rec.isBranch = true;
+    rec.isCondBranch = true;
+    rec.taken = taken;
+    rec.rs1 = lastDst;
+    rec.rs2 = host::hreg::Zero;
+    if (taken) {
+        // Short forward skip inside the window.
+        rec.branchTarget = pcBase + ((pcOffset + 16) % pcBytes);
+        pcOffset = (pcOffset + 16) % pcBytes;
+    }
+    emit(rec);
+}
+
+void
+CostStream::dispatch(uint32_t selector)
+{
+    Record rec;
+    // Direct-threaded dispatch: each handler ends in its own indirect
+    // jump, so the BTB learns per-predecessor targets — the standard
+    // technique production interpreters use to stay predictable.
+    rec.pc = pcBase + 64 + (lastSelector % 64) * 256 + 252;
+    rec.op = HOp::JALR;
+    rec.isBranch = true;
+    rec.isIndirect = true;
+    rec.taken = true;
+    rec.rs1 = lastDst;
+    // Each selector gets its own handler block inside the window.
+    rec.branchTarget = pcBase + 64 + (selector % 64) * 256;
+    lastSelector = selector;
+    pcOffset = (rec.branchTarget - pcBase) % pcBytes;
+    emit(rec);
+}
+
+void
+CostStream::loopBack()
+{
+    Record rec;
+    rec.pc = nextPc();
+    rec.op = HOp::JAL;
+    rec.isBranch = true;
+    rec.taken = true;
+    rec.branchTarget = pcBase;
+    pcOffset = 0;
+    emit(rec);
+}
+
+namespace {
+
+using host::amap::kTolCodeBase;
+
+// PC window layout inside the TOL code region. Total TOL code
+// footprint ~28 KiB: mostly L1-I resident, as the paper observes.
+constexpr uint32_t kImBase = kTolCodeBase + 0x01000;
+constexpr uint32_t kImBytes = 0x4800;      // 18 KiB: hub + handlers
+constexpr uint32_t kBbmBase = kTolCodeBase + 0x08000;
+constexpr uint32_t kBbmBytes = 0x1000;     // 4 KiB translator loop
+constexpr uint32_t kSbmBase = kTolCodeBase + 0x0A000;
+constexpr uint32_t kSbmBytes = 0x1800;     // 6 KiB optimizer loops
+constexpr uint32_t kChainBase = kTolCodeBase + 0x0C000;
+constexpr uint32_t kChainBytes = 0x200;
+constexpr uint32_t kLookupBase = kTolCodeBase + 0x0D000;
+constexpr uint32_t kLookupBytes = 0x200;
+constexpr uint32_t kOtherBase = kTolCodeBase + 0x0E000;
+constexpr uint32_t kOtherBytes = 0x400;
+
+} // namespace
+
+CostModel::CostModel(timing::RecordSink &sink)
+    : im(sink, timing::Module::IM, kImBase, kImBytes),
+      bbm(sink, timing::Module::BBM, kBbmBase, kBbmBytes),
+      sbm(sink, timing::Module::SBM, kSbmBase, kSbmBytes),
+      chain(sink, timing::Module::Chaining, kChainBase, kChainBytes),
+      lookup(sink, timing::Module::Lookup, kLookupBase, kLookupBytes),
+      other(sink, timing::Module::TolOther, kOtherBase, kOtherBytes)
+{}
+
+uint64_t
+CostModel::totalEmitted() const
+{
+    return im.instsEmitted() + bbm.instsEmitted() + sbm.instsEmitted() +
+           chain.instsEmitted() + lookup.instsEmitted() +
+           other.instsEmitted();
+}
+
+} // namespace darco::tol

@@ -1,0 +1,601 @@
+#include "tol/emitter.hh"
+
+#include "common/logging.hh"
+#include "host/address_map.hh"
+#include "timing/record.hh"
+#include "tol/profile.hh"
+
+namespace darco::tol {
+
+using host::HOp;
+using host::HostInst;
+using host::kNoReg;
+using timing::Module;
+namespace amap = host::amap;
+namespace hreg = host::hreg;
+
+namespace {
+
+/** Spill slot area (TOL work memory; physical, no TLB). */
+constexpr uint32_t kSpillBase = amap::kWorkBase + 0x200000;
+
+constexpr bool
+fitsI12(int64_t value)
+{
+    return value >= -2048 && value <= 2047;
+}
+
+class RegionBuilder
+{
+  public:
+    RegionBuilder(const ir::Trace &ir_trace, const ir::Allocation &ra,
+                  const EmitOptions &options, EmitStats &es)
+        : trace(ir_trace), alloc(ra), opt(options), stats(es)
+    {
+        region = std::make_unique<host::CodeRegion>();
+        region->kind = opt.kind;
+        region->guestEntry = trace.guestEntry;
+        region->guestEips = trace.guestEips;
+    }
+
+    std::unique_ptr<host::CodeRegion> build();
+
+  private:
+    std::vector<HostInst> &code() { return region->insts; }
+
+    uint32_t
+    put(HostInst inst, Module attr)
+    {
+        inst.attr = static_cast<uint8_t>(attr);
+        region->insts.push_back(inst);
+        ++stats.hostInsts;
+        return static_cast<uint32_t>(region->insts.size() - 1);
+    }
+
+    HostInst
+    make(HOp op, uint8_t rd, uint8_t rs1, uint8_t rs2, int64_t imm = 0)
+    {
+        HostInst inst;
+        inst.op = op;
+        inst.rd = rd;
+        inst.rs1 = rs1;
+        inst.rs2 = rs2;
+        inst.imm = imm;
+        return inst;
+    }
+
+    /** Materialize a 32-bit constant into @p rd (1-2 instructions). */
+    void
+    emitLi(uint8_t rd, uint32_t value, Module attr)
+    {
+        if (fitsI12(static_cast<int32_t>(value))) {
+            put(make(HOp::ADDI, rd, hreg::Zero, kNoReg,
+                     static_cast<int32_t>(value)), attr);
+            return;
+        }
+        put(make(HOp::LUI, rd, kNoReg, kNoReg,
+                 static_cast<int32_t>(value & 0xFFFFF000u)), attr);
+        if (value & 0xFFF) {
+            put(make(HOp::ORI, rd, rd, kNoReg,
+                     static_cast<int64_t>(value & 0xFFF)), attr);
+        }
+    }
+
+    /** Memory instruction with arbitrary displacement off @p base. */
+    void
+    emitMem(HOp op, uint8_t data_reg, uint8_t base, int64_t disp,
+            uint8_t size, Module attr)
+    {
+        uint8_t b = base;
+        int64_t d = disp;
+        if (!fitsI12(disp)) {
+            emitLi(hreg::StubScratch2, static_cast<uint32_t>(disp),
+                   attr);
+            put(make(HOp::ADD, hreg::StubScratch2, hreg::StubScratch2,
+                     base), attr);
+            b = hreg::StubScratch2;
+            d = 0;
+        }
+        HostInst inst = (op == HOp::ST || op == HOp::FST)
+            ? make(op, kNoReg, b, data_reg, d)
+            : make(op, data_reg, b, kNoReg, d);
+        inst.size = size;
+        put(inst, attr);
+    }
+
+    uint32_t
+    spillAddr(uint16_t slot) const
+    {
+        return kSpillBase + slot * 8u;
+    }
+
+    /** Host register holding vreg @p v, reloading spills. */
+    uint8_t
+    srcReg(ir::Vreg v, unsigned which, Module attr)
+    {
+        const ir::VregLoc &loc = alloc.of(v);
+        if (!loc.spilled)
+            return loc.reg;
+        const bool fp = trace.vregClass[v] == ir::RegClass::Fp;
+        const uint8_t scratch = fp
+            ? static_cast<uint8_t>(30 + which)            // f30/f31
+            : static_cast<uint8_t>(53 + which);           // x53/x54
+        emitLi(hreg::StubScratch2, spillAddr(loc.slot), attr);
+        emitMem(fp ? HOp::FLD : HOp::LD, scratch, hreg::StubScratch2,
+                0, fp ? 8 : 4, attr);
+        ++stats.spillLoads;
+        return scratch;
+    }
+
+    /** Destination register for vreg @p v (flushed by finishDst). */
+    uint8_t
+    dstReg(ir::Vreg v)
+    {
+        const ir::VregLoc &loc = alloc.of(v);
+        if (!loc.spilled)
+            return loc.reg;
+        return trace.vregClass[v] == ir::RegClass::Fp ? 30 : 53;
+    }
+
+    /** Store a spilled destination back to its slot. */
+    void
+    finishDst(ir::Vreg v, Module attr)
+    {
+        const ir::VregLoc &loc = alloc.of(v);
+        if (!loc.spilled)
+            return;
+        const bool fp = trace.vregClass[v] == ir::RegClass::Fp;
+        emitLi(hreg::StubScratch2, spillAddr(loc.slot), attr);
+        emitMem(fp ? HOp::FST : HOp::ST, fp ? 30 : 53,
+                hreg::StubScratch2, 0, fp ? 8 : 4, attr);
+        ++stats.spillStores;
+    }
+
+    void emitPrologue();
+    void lowerInst(const ir::IrInst &inst);
+    void lowerAluImm(const ir::IrInst &inst);
+    void emitStubs();
+
+    const ir::Trace &trace;
+    const ir::Allocation &alloc;
+    const EmitOptions &opt;
+    EmitStats &stats;
+    std::unique_ptr<host::CodeRegion> region;
+
+    struct PendingBranch
+    {
+        uint32_t instIndex;
+        uint16_t exitId;
+    };
+    std::vector<PendingBranch> pending;
+    /** Register carrying the computed target of an indirect exit. */
+    std::vector<uint8_t> indirectTargetReg;
+};
+
+void
+RegionBuilder::emitPrologue()
+{
+    if (!opt.bbEntryProfiling)
+        return;
+    // Execution counter bump + BB->SB promotion check (§II-A.1).
+    emitLi(hreg::StubScratch0, opt.profBlockAddr, Module::BBM);
+    HostInst ld = make(HOp::LD, hreg::StubScratch1, hreg::StubScratch0,
+                       kNoReg, 0);
+    ld.size = 4;
+    put(ld, Module::BBM);
+    put(make(HOp::ADDI, hreg::StubScratch1, hreg::StubScratch1, kNoReg,
+             1), Module::BBM);
+    HostInst st = make(HOp::ST, kNoReg, hreg::StubScratch0,
+                       hreg::StubScratch1, 0);
+    st.size = 4;
+    put(st, Module::BBM);
+    // if (count < threshold) skip the promote jump
+    HostInst blt = make(HOp::BLT, kNoReg, hreg::StubScratch1,
+                        hreg::SbThreshold, 0);
+    blt.targetIsIndex = true;
+    const uint32_t blt_idx = put(blt, Module::BBM);
+    region->insts[blt_idx].imm = blt_idx + 2;
+    put(make(HOp::JAL, hreg::Zero, kNoReg, kNoReg,
+             static_cast<int64_t>(amap::kSvcPromote)), Module::BBM);
+}
+
+void
+RegionBuilder::lowerAluImm(const ir::IrInst &inst)
+{
+    const Module attr = Module::App;
+    const uint8_t s1 = srcReg(inst.src1, 0, attr);
+    const uint8_t rd = dstReg(inst.dst);
+    const int64_t imm = inst.imm;
+
+    auto reg_fallback = [&](HOp op) {
+        emitLi(hreg::StubScratch0,
+               static_cast<uint32_t>(static_cast<int32_t>(imm)), attr);
+        put(make(op, rd, s1, hreg::StubScratch0), attr);
+    };
+
+    switch (inst.op) {
+      case ir::IrOp::ADD:
+        if (fitsI12(imm))
+            put(make(HOp::ADDI, rd, s1, kNoReg, imm), attr);
+        else
+            reg_fallback(HOp::ADD);
+        break;
+      case ir::IrOp::SUB:
+        if (fitsI12(-imm))
+            put(make(HOp::ADDI, rd, s1, kNoReg, -imm), attr);
+        else
+            reg_fallback(HOp::SUB);
+        break;
+      case ir::IrOp::AND:
+        if (imm >= 0 && imm <= 2047)
+            put(make(HOp::ANDI, rd, s1, kNoReg, imm), attr);
+        else
+            reg_fallback(HOp::AND);
+        break;
+      case ir::IrOp::OR:
+        if (imm >= 0 && imm <= 2047)
+            put(make(HOp::ORI, rd, s1, kNoReg, imm), attr);
+        else
+            reg_fallback(HOp::OR);
+        break;
+      case ir::IrOp::XOR:
+        if (imm >= 0 && imm <= 2047)
+            put(make(HOp::XORI, rd, s1, kNoReg, imm), attr);
+        else
+            reg_fallback(HOp::XOR);
+        break;
+      case ir::IrOp::SLL:
+        put(make(HOp::SLLI, rd, s1, kNoReg, imm & 31), attr);
+        break;
+      case ir::IrOp::SRL:
+        put(make(HOp::SRLI, rd, s1, kNoReg, imm & 31), attr);
+        break;
+      case ir::IrOp::SRA:
+        put(make(HOp::SRAI, rd, s1, kNoReg, imm & 31), attr);
+        break;
+      case ir::IrOp::SLT:
+        if (fitsI12(imm))
+            put(make(HOp::SLTI, rd, s1, kNoReg, imm), attr);
+        else
+            reg_fallback(HOp::SLT);
+        break;
+      case ir::IrOp::SLTU:
+        if (imm >= 0 && imm <= 2047)
+            put(make(HOp::SLTUI, rd, s1, kNoReg, imm), attr);
+        else
+            reg_fallback(HOp::SLTU);
+        break;
+      case ir::IrOp::MUL: reg_fallback(HOp::MUL); break;
+      case ir::IrOp::MULH: reg_fallback(HOp::MULH); break;
+      case ir::IrOp::DIV: reg_fallback(HOp::DIV); break;
+      case ir::IrOp::REM: reg_fallback(HOp::REM); break;
+      default:
+        panic("lowerAluImm: unexpected op %s", ir::irOpName(inst.op));
+    }
+    finishDst(inst.dst, attr);
+}
+
+void
+RegionBuilder::lowerInst(const ir::IrInst &inst)
+{
+    const Module attr = Module::App;
+
+    switch (inst.op) {
+      case ir::IrOp::LDI: {
+        emitLi(dstReg(inst.dst),
+               static_cast<uint32_t>(static_cast<int32_t>(inst.imm)),
+               attr);
+        finishDst(inst.dst, attr);
+        return;
+      }
+      case ir::IrOp::MOV: {
+        const uint8_t s1 = srcReg(inst.src1, 0, attr);
+        put(make(HOp::ADD, dstReg(inst.dst), s1, hreg::Zero), attr);
+        finishDst(inst.dst, attr);
+        return;
+      }
+      case ir::IrOp::FMOV: {
+        const uint8_t s1 = srcReg(inst.src1, 0, attr);
+        put(make(HOp::FMOV, dstReg(inst.dst), s1, kNoReg), attr);
+        finishDst(inst.dst, attr);
+        return;
+      }
+
+      case ir::IrOp::ADD: case ir::IrOp::SUB: case ir::IrOp::AND:
+      case ir::IrOp::OR: case ir::IrOp::XOR: case ir::IrOp::SLL:
+      case ir::IrOp::SRL: case ir::IrOp::SRA: case ir::IrOp::SLT:
+      case ir::IrOp::SLTU: case ir::IrOp::MUL: case ir::IrOp::MULH:
+      case ir::IrOp::DIV: case ir::IrOp::REM: {
+        if (inst.useImm) {
+            lowerAluImm(inst);
+            return;
+        }
+        static const HOp map[] = {
+            HOp::ADD, HOp::SUB, HOp::AND, HOp::OR, HOp::XOR, HOp::SLL,
+            HOp::SRL, HOp::SRA, HOp::SLT, HOp::SLTU, HOp::MUL,
+            HOp::MULH, HOp::DIV, HOp::REM,
+        };
+        const unsigned idx = static_cast<unsigned>(inst.op) -
+                             static_cast<unsigned>(ir::IrOp::ADD);
+        const uint8_t s1 = srcReg(inst.src1, 0, attr);
+        const uint8_t s2 = srcReg(inst.src2, 1, attr);
+        put(make(map[idx], dstReg(inst.dst), s1, s2), attr);
+        finishDst(inst.dst, attr);
+        return;
+      }
+
+      case ir::IrOp::LD: {
+        const uint8_t base = srcReg(inst.src1, 0, attr);
+        emitMem(HOp::LD, dstReg(inst.dst), base, inst.imm, inst.size,
+                attr);
+        finishDst(inst.dst, attr);
+        return;
+      }
+      case ir::IrOp::ST: {
+        const uint8_t base = srcReg(inst.src1, 0, attr);
+        const uint8_t data = srcReg(inst.src2, 1, attr);
+        emitMem(HOp::ST, data, base, inst.imm, inst.size, attr);
+        return;
+      }
+      case ir::IrOp::FLD: {
+        const uint8_t base = srcReg(inst.src1, 0, attr);
+        emitMem(HOp::FLD, dstReg(inst.dst), base, inst.imm, 8, attr);
+        finishDst(inst.dst, attr);
+        return;
+      }
+      case ir::IrOp::FST: {
+        const uint8_t base = srcReg(inst.src1, 0, attr);
+        const uint8_t data = srcReg(inst.src2, 1, attr);
+        emitMem(HOp::FST, data, base, inst.imm, 8, attr);
+        return;
+      }
+
+      case ir::IrOp::FADD: case ir::IrOp::FSUB: case ir::IrOp::FMUL:
+      case ir::IrOp::FDIV: {
+        static const HOp map[] = {HOp::FADD, HOp::FSUB, HOp::FMUL,
+                                  HOp::FDIV};
+        const unsigned idx = static_cast<unsigned>(inst.op) -
+                             static_cast<unsigned>(ir::IrOp::FADD);
+        const uint8_t s1 = srcReg(inst.src1, 0, attr);
+        const uint8_t s2 = srcReg(inst.src2, 1, attr);
+        put(make(map[idx], dstReg(inst.dst), s1, s2), attr);
+        finishDst(inst.dst, attr);
+        return;
+      }
+      case ir::IrOp::FSQRT: case ir::IrOp::FABS: case ir::IrOp::FNEG: {
+        static const HOp map[] = {HOp::FSQRT, HOp::FABS, HOp::FNEG};
+        const unsigned idx = static_cast<unsigned>(inst.op) -
+                             static_cast<unsigned>(ir::IrOp::FSQRT);
+        const uint8_t s1 = srcReg(inst.src1, 0, attr);
+        put(make(map[idx], dstReg(inst.dst), s1, kNoReg), attr);
+        finishDst(inst.dst, attr);
+        return;
+      }
+      case ir::IrOp::FCVT_IF: {
+        const uint8_t s1 = srcReg(inst.src1, 0, attr);
+        put(make(HOp::FCVT_IF, dstReg(inst.dst), s1, kNoReg), attr);
+        finishDst(inst.dst, attr);
+        return;
+      }
+      case ir::IrOp::FCVT_FI: {
+        const uint8_t s1 = srcReg(inst.src1, 0, attr);
+        put(make(HOp::FCVT_FI, dstReg(inst.dst), s1, kNoReg), attr);
+        finishDst(inst.dst, attr);
+        return;
+      }
+      case ir::IrOp::FLT: case ir::IrOp::FLE: case ir::IrOp::FEQ:
+      case ir::IrOp::FUNORD: {
+        static const HOp map[] = {HOp::FLT, HOp::FLE, HOp::FEQ,
+                                  HOp::FUNORD};
+        const unsigned idx = static_cast<unsigned>(inst.op) -
+                             static_cast<unsigned>(ir::IrOp::FLT);
+        const uint8_t s1 = srcReg(inst.src1, 0, attr);
+        const uint8_t s2 = srcReg(inst.src2, 1, attr);
+        put(make(map[idx], dstReg(inst.dst), s1, s2), attr);
+        finishDst(inst.dst, attr);
+        return;
+      }
+
+      case ir::IrOp::BR: {
+        static const HOp map[] = {HOp::BEQ, HOp::BNE, HOp::BLT,
+                                  HOp::BGE, HOp::BLTU, HOp::BGEU};
+        const uint8_t s1 = srcReg(inst.src1, 0, attr);
+        uint8_t s2;
+        if (inst.useImm) {
+            if (inst.imm == 0) {
+                s2 = hreg::Zero;
+            } else {
+                emitLi(hreg::StubScratch0,
+                       static_cast<uint32_t>(
+                           static_cast<int32_t>(inst.imm)), attr);
+                s2 = hreg::StubScratch0;
+            }
+        } else {
+            s2 = srcReg(inst.src2, 1, attr);
+        }
+        HostInst br = make(map[static_cast<unsigned>(inst.cc)], kNoReg,
+                           s1, s2);
+        const uint32_t idx = put(br, attr);
+        pending.push_back(PendingBranch{idx, inst.exitId});
+        return;
+      }
+
+      case ir::IrOp::JEXIT: {
+        HostInst jal = make(HOp::JAL, hreg::Zero, kNoReg, kNoReg);
+        const uint32_t idx = put(jal, attr);
+        pending.push_back(PendingBranch{idx, inst.exitId});
+        return;
+      }
+
+      case ir::IrOp::JINDIRECT: {
+        const uint8_t rt = srcReg(inst.src1, 0, attr);
+        indirectTargetReg[inst.exitId] = rt;
+        if (!opt.enableIbtc) {
+            HostInst jal = make(HOp::JAL, hreg::Zero, kNoReg, kNoReg);
+            const uint32_t idx = put(jal, attr);
+            pending.push_back(PendingBranch{idx, inst.exitId});
+            return;
+        }
+        // Inline IBTC probe (hit: JALR straight to the target region).
+        put(make(HOp::SRLI, hreg::StubScratch0, rt, kNoReg, 2), attr);
+        if (opt.ibtcMask <= 2047) {
+            put(make(HOp::ANDI, hreg::StubScratch0, hreg::StubScratch0,
+                     kNoReg, opt.ibtcMask), attr);
+        } else {
+            emitLi(hreg::StubScratch1, opt.ibtcMask, attr);
+            put(make(HOp::AND, hreg::StubScratch0, hreg::StubScratch0,
+                     hreg::StubScratch1), attr);
+        }
+        put(make(HOp::SLLI, hreg::StubScratch0, hreg::StubScratch0,
+                 kNoReg, opt.ibtcWays == 2 ? 4 : 3), attr);
+        put(make(HOp::ADD, hreg::StubScratch0, hreg::StubScratch0,
+                 hreg::IbtcBase), attr);
+
+        auto emit_way = [&](int64_t tag_off, bool last_way) {
+            HostInst tag_ld = make(HOp::LD, hreg::StubScratch1,
+                                   hreg::StubScratch0, kNoReg, tag_off);
+            tag_ld.size = 4;
+            put(tag_ld, attr);
+            HostInst miss = make(HOp::BNE, kNoReg, hreg::StubScratch1,
+                                 rt);
+            const uint32_t miss_idx = put(miss, attr);
+            if (last_way) {
+                pending.push_back(
+                    PendingBranch{miss_idx, inst.exitId});
+            } else {
+                // Fall through to the next way's check (2 insts away).
+                region->insts[miss_idx].imm = miss_idx + 3;
+                region->insts[miss_idx].targetIsIndex = true;
+            }
+            HostInst tgt_ld = make(HOp::LD, hreg::StubScratch1,
+                                   hreg::StubScratch0, kNoReg,
+                                   tag_off + 4);
+            tgt_ld.size = 4;
+            put(tgt_ld, attr);
+            HostInst jalr = make(HOp::JALR, hreg::Zero,
+                                 hreg::StubScratch1, kNoReg, 0);
+            jalr.guestBoundary = true;
+            jalr.guestIndex = static_cast<uint16_t>(
+                trace.exits[inst.exitId].guestInstsRetired);
+            put(jalr, attr);
+        };
+
+        emit_way(0, opt.ibtcWays == 1);
+        if (opt.ibtcWays == 2)
+            emit_way(8, true);
+        return;
+      }
+
+      default:
+        panic("lowerInst: unhandled IR op %s", ir::irOpName(inst.op));
+    }
+}
+
+void
+RegionBuilder::emitStubs()
+{
+    std::vector<uint32_t> stub_start(trace.exits.size(), 0);
+
+    for (size_t e = 0; e < trace.exits.size(); ++e) {
+        const ir::IrExit &exit = trace.exits[e];
+        stub_start[e] = static_cast<uint32_t>(code().size());
+
+        host::ExitInfo info;
+        info.guestTarget = exit.guestTarget;
+        info.guestInstsRetired = exit.guestInstsRetired;
+        info.indirect = exit.indirect;
+        info.halt = exit.halt;
+        info.flagMask = exit.flagMask;
+
+        if (exit.halt) {
+            // Pass the HALT EIP so the runtime can leave the guest
+            // state architecturally precise.
+            emitLi(hreg::ExitTarget, exit.guestTarget, Module::TolOther);
+            put(make(HOp::ADDI, hreg::ExitId, hreg::Zero, kNoReg,
+                     static_cast<int64_t>(e)), Module::TolOther);
+            HostInst jal = make(HOp::JAL, hreg::Zero, kNoReg, kNoReg,
+                                static_cast<int64_t>(amap::kSvcHalt));
+            jal.guestBoundary = true;
+            jal.guestIndex =
+                static_cast<uint16_t>(exit.guestInstsRetired);
+            info.branchIndex = put(jal, Module::TolOther);
+        } else if (exit.indirect) {
+            // IBTC probe miss: hand the computed target to the runtime.
+            const uint8_t rt = indirectTargetReg[e];
+            panic_if(rt == kNoReg, "indirect exit without a target reg");
+            put(make(HOp::ADD, hreg::ExitTarget, rt, hreg::Zero),
+                Module::TolOther);
+            put(make(HOp::ADDI, hreg::ExitId, hreg::Zero, kNoReg,
+                     static_cast<int64_t>(e)), Module::TolOther);
+            HostInst jal = make(HOp::JAL, hreg::Zero, kNoReg, kNoReg,
+                                static_cast<int64_t>(amap::kSvcIbtcMiss));
+            jal.guestBoundary = true;
+            jal.guestIndex =
+                static_cast<uint16_t>(exit.guestInstsRetired);
+            info.branchIndex = put(jal, Module::TolOther);
+        } else {
+            if (opt.edgeProfiling && e <= 1) {
+                // taken counter for exit 0, fallthrough for exit 1.
+                const uint32_t cnt_addr = opt.profBlockAddr +
+                    (e == 0 ? BbProfileBlock::kTakenOffset
+                            : BbProfileBlock::kFallthroughOffset);
+                emitLi(hreg::StubScratch0, cnt_addr, Module::BBM);
+                HostInst ld = make(HOp::LD, hreg::StubScratch1,
+                                   hreg::StubScratch0, kNoReg, 0);
+                ld.size = 4;
+                put(ld, Module::BBM);
+                put(make(HOp::ADDI, hreg::StubScratch1,
+                         hreg::StubScratch1, kNoReg, 1), Module::BBM);
+                HostInst st = make(HOp::ST, kNoReg, hreg::StubScratch0,
+                                   hreg::StubScratch1, 0);
+                st.size = 4;
+                put(st, Module::BBM);
+            }
+            emitLi(hreg::ExitTarget, exit.guestTarget, Module::TolOther);
+            put(make(HOp::ADDI, hreg::ExitId, hreg::Zero, kNoReg,
+                     static_cast<int64_t>(e)), Module::TolOther);
+            HostInst jal = make(HOp::JAL, hreg::Zero, kNoReg, kNoReg,
+                                static_cast<int64_t>(amap::kSvcDispatch));
+            jal.guestBoundary = true;
+            jal.guestIndex =
+                static_cast<uint16_t>(exit.guestInstsRetired);
+            info.branchIndex = put(jal, Module::TolOther);
+        }
+
+        region->exits.push_back(info);
+    }
+
+    // Point body branches at their stubs.
+    for (const PendingBranch &pb : pending) {
+        HostInst &inst = region->insts[pb.instIndex];
+        inst.imm = stub_start[pb.exitId];
+        inst.targetIsIndex = true;
+    }
+}
+
+std::unique_ptr<host::CodeRegion>
+RegionBuilder::build()
+{
+    indirectTargetReg.assign(trace.exits.size(), kNoReg);
+    emitPrologue();
+    for (const ir::IrInst &inst : trace.insts)
+        lowerInst(inst);
+    emitStubs();
+    return std::move(region);
+}
+
+} // namespace
+
+std::unique_ptr<host::CodeRegion>
+emitRegion(const ir::Trace &trace, const ir::Allocation &alloc,
+           const EmitOptions &options, EmitStats *stats)
+{
+    EmitStats local;
+    RegionBuilder builder(trace, alloc, options, local);
+    auto region = builder.build();
+    if (stats)
+        *stats = local;
+    return region;
+}
+
+} // namespace darco::tol

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * IR -> host code emission.
+ *
+ * Lowers a register-allocated IR trace into a host CodeRegion:
+ *
+ *  - BBM regions get an entry profiling prologue (counter
+ *    load/increment/store + SB-threshold check branching to the
+ *    promote service) and inline edge-counter instrumentation ahead
+ *    of the exit stubs of a conditional terminator — this is the
+ *    "profiling through instrumentation" of §II-A.1, and its
+ *    instructions are tagged as TOL/BBM time.
+ *  - Every exit gets a stub: [edge profiling] + load of the guest
+ *    target into x58 + exit id into x59 + a patchable JAL to the
+ *    dispatch service. Chaining later rewrites that JAL's target to
+ *    the successor region's entry.
+ *  - Indirect exits (JINDIRECT) emit the inline IBTC probe; the probe
+ *    hit ends in a JALR straight into the target region, the miss
+ *    falls to a stub that exits to the IBTC-miss service.
+ *  - Region-leaving transfers carry the exit's guest retirement count
+ *    (executor accounting; see host/isa.hh).
+ */
+
+#ifndef DARCO_TOL_EMITTER_HH
+#define DARCO_TOL_EMITTER_HH
+
+#include <memory>
+
+#include "host/code_store.hh"
+#include "ir/ir.hh"
+#include "ir/regalloc.hh"
+#include "tol/config.hh"
+
+namespace darco::tol {
+
+struct EmitOptions
+{
+    host::RegionKind kind = host::RegionKind::BasicBlock;
+    /** Emit the BB entry counter + promotion check. */
+    bool bbEntryProfiling = false;
+    /** Simulated address of the BB profile block (exec/taken/ft). */
+    uint32_t profBlockAddr = 0;
+    /** Instrument direct exits 0/1 with taken/fallthrough counters. */
+    bool edgeProfiling = false;
+    /** Emit inline IBTC probes for indirect exits. */
+    bool enableIbtc = true;
+    /** IBTC set-index mask (numSets - 1). */
+    uint32_t ibtcMask = 511;
+    /** IBTC associativity (1 or 2); see tol/ibtc.hh. */
+    uint32_t ibtcWays = 1;
+};
+
+/** Emission statistics (feeds the SBM/BBM cost model). */
+struct EmitStats
+{
+    uint32_t hostInsts = 0;
+    uint32_t spillLoads = 0;
+    uint32_t spillStores = 0;
+};
+
+/**
+ * Emit @p trace into a new (not yet installed) code region. Branch
+ * targets inside the region are instruction indices until
+ * CodeStore::install() rebases them.
+ */
+std::unique_ptr<host::CodeRegion>
+emitRegion(const ir::Trace &trace, const ir::Allocation &alloc,
+           const EmitOptions &options, EmitStats *stats = nullptr);
+
+} // namespace darco::tol
+
+#endif // DARCO_TOL_EMITTER_HH

@@ -1,0 +1,89 @@
+#include "tol/flag_scan.hh"
+
+namespace darco::tol {
+
+namespace {
+
+/** Map guest EFLAGS bits to the IR fmask (PF intentionally dropped). */
+uint8_t
+toFmask(uint32_t eflags_mask)
+{
+    uint8_t m = 0;
+    if (eflags_mask & guest::flag::ZF)
+        m |= ir::fmask::Z;
+    if (eflags_mask & guest::flag::SF)
+        m |= ir::fmask::S;
+    if (eflags_mask & guest::flag::CF)
+        m |= ir::fmask::C;
+    if (eflags_mask & guest::flag::OF)
+        m |= ir::fmask::O;
+    return m;
+}
+
+} // namespace
+
+uint8_t
+FlagScanner::liveFlagsAt(uint32_t eip)
+{
+    auto it = memo.find(eip);
+    if (it != memo.end())
+        return it->second;
+    unsigned budget = 48;
+    const uint8_t result =
+        scan(eip, ir::fmask::All, budget, 0) & ir::fmask::All;
+    memo.emplace(eip, result);
+    return result;
+}
+
+uint8_t
+FlagScanner::scan(uint32_t eip, uint8_t remaining, unsigned &budget,
+                  unsigned depth)
+{
+    uint8_t live = 0;
+    while (remaining) {
+        if (budget == 0 || depth > 4)
+            return live | remaining;  // ran out: conservative
+        --budget;
+
+        const guest::Inst &inst = reader.at(eip);
+        const guest::OpInfo &info = guest::opInfo(inst.op);
+        const uint32_t next = eip + inst.length;
+
+        if (inst.op == guest::Op::JCC) {
+            const uint8_t consumed =
+                toFmask(guest::condFlagsRead(inst.cond)) & remaining;
+            live |= consumed;
+            const uint32_t taken = next + static_cast<uint32_t>(inst.imm);
+            live |= scan(taken, remaining, budget, depth + 1);
+            live |= scan(next, remaining, budget, depth + 1);
+            return live;
+        }
+
+        uint8_t written = toFmask(info.flagsWritten);
+        if (info.keepsCf)
+            written &= static_cast<uint8_t>(~ir::fmask::C);
+        remaining &= static_cast<uint8_t>(~written);
+        if (!remaining)
+            return live;
+
+        switch (inst.op) {
+          case guest::Op::JMP:
+            eip = next + static_cast<uint32_t>(inst.imm);
+            break;
+          case guest::Op::CALL:
+            eip = next + static_cast<uint32_t>(inst.imm);
+            break;
+          case guest::Op::JMPI:
+          case guest::Op::CALLI:
+          case guest::Op::RET:
+          case guest::Op::HALT:
+            return live | remaining;  // unknown continuation
+          default:
+            eip = next;
+            break;
+        }
+    }
+    return live;
+}
+
+} // namespace darco::tol

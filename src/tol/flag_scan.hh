@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Flag-liveness oracle: bounded forward scan of guest code.
+ *
+ * liveFlagsAt(eip) returns the set of guest flags (Z,S,C,O as fmask
+ * bits) that may be consumed before being redefined on some path
+ * starting at eip. The translator uses it to decide which flag-vreg
+ * definitions must survive DCE at each region exit; anything it
+ * cannot prove dead within the scan budget is conservatively live.
+ */
+
+#ifndef DARCO_TOL_FLAG_SCAN_HH
+#define DARCO_TOL_FLAG_SCAN_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ir/ir.hh"
+#include "tol/guest_reader.hh"
+
+namespace darco::tol {
+
+class FlagScanner
+{
+  public:
+    explicit FlagScanner(GuestCodeReader &code_reader)
+        : reader(code_reader)
+    {}
+
+    /** fmask bits possibly live at @p eip. */
+    uint8_t liveFlagsAt(uint32_t eip);
+
+  private:
+    uint8_t scan(uint32_t eip, uint8_t remaining, unsigned &budget,
+                 unsigned depth);
+
+    GuestCodeReader &reader;
+    std::unordered_map<uint32_t, uint8_t> memo;
+};
+
+} // namespace darco::tol
+
+#endif // DARCO_TOL_FLAG_SCAN_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Decode-cached reader of guest code out of the co-design component's
+ * host memory (where the emulated guest image lives in the low 3 GiB).
+ * Shared by the interpreter, the translator's path builders and the
+ * flag-liveness scanner. Guest code is immutable (GX86 has no
+ * self-modifying-code support; documented in DESIGN.md), so entries
+ * never invalidate.
+ */
+
+#ifndef DARCO_TOL_GUEST_READER_HH
+#define DARCO_TOL_GUEST_READER_HH
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "guest/encoding.hh"
+#include "host/executor.hh"
+
+namespace darco::tol {
+
+class GuestCodeReader
+{
+  public:
+    explicit GuestCodeReader(host::Memory &memory) : mem(memory) {}
+
+    /** Decoded instruction at @p eip (panics on undecodable bytes). */
+    const guest::Inst &
+    at(uint32_t eip)
+    {
+        auto it = cache.find(eip);
+        if (it != cache.end())
+            return it->second;
+        uint8_t buf[guest::kMaxInstLength];
+        mem.readBytes(eip, buf, sizeof(buf));
+        guest::Inst inst;
+        const guest::DecodeStatus status =
+            guest::decode(buf, sizeof(buf), inst);
+        panic_if(status != guest::DecodeStatus::Ok,
+                 "TOL: undecodable guest instruction at 0x%08x (%d)",
+                 eip, static_cast<int>(status));
+        return cache.emplace(eip, inst).first->second;
+    }
+
+  private:
+    host::Memory &mem;
+    std::unordered_map<uint32_t, guest::Inst> cache;
+};
+
+} // namespace darco::tol
+
+#endif // DARCO_TOL_GUEST_READER_HH

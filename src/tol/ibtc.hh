@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Indirect Branch Translation Cache (IBTC), per Hiser et al. [20] as
+ * used by the paper's TOL (§III-B).
+ *
+ * A table in simulated memory with 8-byte entries {guest target tag,
+ * host entry}. Translated indirect branches embed an inline probe
+ * (emitted by the emitter); on a probe miss control exits to the
+ * runtime, which performs a translation-map lookup and fills the
+ * entry here. The inline probe reads the very words this class
+ * writes — the executor executes the probe for real.
+ *
+ * Associativity (TolConfig::ibtcWays):
+ *  - 1 way: the classic direct-mapped design;
+ *  - 2 ways: the §III-E "software enhancement of indirect branches"
+ *    extension — a set holds two {tag, host} pairs (16 bytes) with
+ *    MRU-insertion replacement; the probe checks way 0 first and
+ *    falls through to way 1 (two extra instructions on that path).
+ */
+
+#ifndef DARCO_TOL_IBTC_HH
+#define DARCO_TOL_IBTC_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "host/address_map.hh"
+#include "host/executor.hh"
+#include "tol/config.hh"
+#include "tol/cost_model.hh"
+
+namespace darco::tol {
+
+class Ibtc
+{
+  public:
+    Ibtc(const TolConfig &config, host::Memory &memory)
+        : cfg(config), mem(memory)
+    {
+        panic_if(cfg.ibtcWays != 1 && cfg.ibtcWays != 2,
+                 "IBTC associativity must be 1 or 2");
+    }
+
+    /** Number of sets (entries / ways). */
+    uint32_t numSets() const { return cfg.ibtcEntries / cfg.ibtcWays; }
+
+    /** Set index for a guest target (must match the inline probe). */
+    uint32_t
+    indexOf(uint32_t guest_target) const
+    {
+        return (guest_target >> 2) & (numSets() - 1);
+    }
+
+    /** Simulated address of the set for @p guest_target. */
+    uint32_t
+    setAddr(uint32_t guest_target) const
+    {
+        return host::amap::kIbtcBase + indexOf(guest_target) * setBytes();
+    }
+
+    /** Bytes per set (8 per way). */
+    uint32_t setBytes() const { return 8 * cfg.ibtcWays; }
+
+    /** Install a mapping (runtime miss path). */
+    void
+    fill(uint32_t guest_target, uint32_t host_entry, CostStream &stream)
+    {
+        const uint32_t set = setAddr(guest_target);
+        stream.alu(cfg.ibtcFillAlus);
+        if (cfg.ibtcWays == 2) {
+            // MRU insertion: keep the previous way-0 entry in way 1
+            // unless one of the ways already holds this tag.
+            const uint32_t tag0 = mem.load32(set);
+            const uint32_t tag1 = mem.load32(set + 8);
+            stream.load(set);
+            stream.load(set + 8);
+            if (tag0 != guest_target && tag1 != guest_target &&
+                tag0 != 0) {
+                mem.store32(set + 8, tag0);
+                mem.store32(set + 12, mem.load32(set + 4));
+                stream.store(set + 8);
+                stream.store(set + 12);
+            } else if (tag1 == guest_target) {
+                // Promote: the new fill goes to way 0; drop way 1's
+                // stale copy to keep the set canonical.
+                mem.store32(set + 8, 0);
+                mem.store32(set + 12, 0);
+                stream.store(set + 8);
+            }
+        }
+        mem.store32(set, guest_target);
+        mem.store32(set + 4, host_entry);
+        stream.store(set);
+        stream.store(set + 4);
+        ++fills;
+    }
+
+    /** Invalidate everything (code-cache flush). */
+    void
+    clear(CostStream &stream)
+    {
+        for (uint32_t i = 0; i < cfg.ibtcEntries; ++i) {
+            const uint32_t addr = host::amap::kIbtcBase + i * 8;
+            mem.store32(addr, 0);
+            mem.store32(addr + 4, 0);
+            if ((i & 7) == 0)
+                stream.store(addr);
+        }
+    }
+
+    uint64_t numFills() const { return fills; }
+
+  private:
+    const TolConfig &cfg;
+    host::Memory &mem;
+    uint64_t fills = 0;
+};
+
+} // namespace darco::tol
+
+#endif // DARCO_TOL_IBTC_HH

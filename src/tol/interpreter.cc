@@ -1,0 +1,106 @@
+#include "tol/interpreter.hh"
+
+namespace darco::tol {
+
+namespace g = darco::guest;
+namespace ctx = darco::host::ctx;
+namespace amap = darco::host::amap;
+
+guest::ExecResult
+Interpreter::step(guest::State &state)
+{
+    const uint32_t eip = state.eip;
+    const g::Inst &inst = reader.at(eip);
+    const g::OpInfo &info = g::opInfo(inst.op);
+
+    // --- fetch: instruction bytes read through the data path -------
+    im.load(eip, 4);
+    if (inst.length > 4)
+        im.load(eip + 4, 4);
+
+    // --- decode + dispatch -------------------------------------------
+    im.alu(cfg.imDecodeAlus);
+    im.load(amap::kWorkBase + static_cast<uint32_t>(inst.op) * 16);
+    im.dispatch(static_cast<uint32_t>(inst.op));
+    im.alu(cfg.imDispatchOverheadAlus);
+
+    // --- handler: guest-context traffic ---------------------------------
+    const uint32_t cbase = amap::kContextBase;
+    auto ctx_read_gpr = [&](unsigned r) {
+        im.load(cbase + ctx::gprAddr(r));
+    };
+    auto ctx_write_gpr = [&](unsigned r) {
+        im.store(cbase + ctx::gprAddr(r));
+    };
+
+    switch (inst.form) {
+      case g::Form::RR:
+        ctx_read_gpr(inst.reg1);
+        ctx_read_gpr(inst.reg2);
+        break;
+      case g::Form::RI:
+        ctx_read_gpr(inst.reg1);
+        break;
+      case g::Form::RM:
+      case g::Form::MR:
+      case g::Form::M:
+        ctx_read_gpr(inst.mem.base);
+        if (inst.mem.hasIndex)
+            ctx_read_gpr(inst.mem.index);
+        im.alu(2);  // effective-address computation
+        if (inst.form != g::Form::M)
+            ctx_read_gpr(inst.reg1);
+        break;
+      case g::Form::R:
+        ctx_read_gpr(inst.reg1);
+        break;
+      default:
+        break;
+    }
+
+    if (info.isBranch) {
+        if (inst.op == g::Op::JCC)
+            im.load(cbase + ctx::flagAddr(0));  // condition evaluation
+        im.alu(2);
+    }
+
+    // --- execute (functionally; guest memory accesses recorded) ------
+    RecordingMem rmem{mem, im};
+    const g::ExecResult result = g::execInst(state, rmem, inst);
+
+    // --- writeback -------------------------------------------------------
+    im.alu(info.complexAlu ? 4 : 2);
+    switch (inst.op) {
+      case g::Op::IDIV:
+        ctx_write_gpr(g::EAX);
+        ctx_write_gpr(g::EDX);
+        break;
+      case g::Op::PUSH:
+      case g::Op::POP:
+        ctx_write_gpr(g::ESP);
+        if (inst.op == g::Op::POP)
+            ctx_write_gpr(inst.reg1);
+        break;
+      default:
+        if (inst.form == g::Form::RR || inst.form == g::Form::RI ||
+            inst.form == g::Form::RM || inst.form == g::Form::R) {
+            if (!info.isBranch && inst.op != g::Op::CMP &&
+                inst.op != g::Op::TEST && inst.op != g::Op::HALT) {
+                ctx_write_gpr(inst.reg1);
+            }
+        }
+        break;
+    }
+    if (info.flagsWritten)
+        im.store(cbase + ctx::flagAddr(0));
+    if (info.isCall || info.isRet)
+        ctx_write_gpr(g::ESP);
+
+    // EIP update + interpreter loop-back.
+    im.alu(1);
+    im.loopBack();
+
+    return result;
+}
+
+} // namespace darco::tol

@@ -1,0 +1,51 @@
+#include "tol/profile.hh"
+
+namespace darco::tol {
+
+uint32_t
+Profiler::bumpImTarget(uint32_t eip, CostStream &stream)
+{
+    const uint32_t count = ++imCounts[eip];
+    const uint32_t addr = imCounterAddr(eip);
+    stream.routine(0x200);
+    // load-increment-store + threshold compare, like real counters.
+    stream.load(addr);
+    stream.alu(2);
+    mem.store32(addr, count);
+    stream.store(addr);
+    stream.branch(false);
+    return count;
+}
+
+uint32_t
+Profiler::imCount(uint32_t eip) const
+{
+    auto it = imCounts.find(eip);
+    return it == imCounts.end() ? 0 : it->second;
+}
+
+uint32_t
+Profiler::allocBbBlock()
+{
+    const uint32_t addr = nextBbBlock;
+    nextBbBlock += BbProfileBlock::kSize;
+    mem.store32(addr + BbProfileBlock::kExecOffset, 0);
+    mem.store32(addr + BbProfileBlock::kTakenOffset, 0);
+    mem.store32(addr + BbProfileBlock::kFallthroughOffset, 0);
+    return addr;
+}
+
+uint32_t
+Profiler::readWord(uint32_t addr, CostStream &stream)
+{
+    stream.load(addr);
+    return mem.load32(addr);
+}
+
+void
+Profiler::clearImCounters()
+{
+    imCounts.clear();
+}
+
+} // namespace darco::tol

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * TOL profiler.
+ *
+ * Two kinds of profile state (paper §II-A.1):
+ *  - interpreter branch-target execution counters, consulted for the
+ *    IM -> BBM promotion (threshold IM/BBth);
+ *  - per-BB profile blocks {execution count, taken count,
+ *    fallthrough count} updated by instrumentation *inside* the
+ *    translated BB code (the executor really loads/increments/stores
+ *    them in simulated memory), consulted for BBM -> SBM promotion
+ *    and superblock trace selection.
+ */
+
+#ifndef DARCO_TOL_PROFILE_HH
+#define DARCO_TOL_PROFILE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "host/address_map.hh"
+#include "host/executor.hh"
+#include "tol/config.hh"
+#include "tol/cost_model.hh"
+
+namespace darco::tol {
+
+/** Layout of a per-BB profile block in simulated memory. */
+struct BbProfileBlock
+{
+    static constexpr uint32_t kExecOffset = 0;
+    static constexpr uint32_t kTakenOffset = 4;
+    static constexpr uint32_t kFallthroughOffset = 8;
+    static constexpr uint32_t kSize = 16;
+};
+
+class Profiler
+{
+  public:
+    Profiler(const TolConfig &config, host::Memory &memory)
+        : cfg(config), mem(memory)
+    {}
+
+    /**
+     * Bump the interpreter's execution counter for branch target
+     * @p eip; returns the new count. The C++ map is the precise
+     * functional store; the hashed counter slot in simulated memory
+     * is written too so the traffic is real.
+     */
+    uint32_t bumpImTarget(uint32_t eip, CostStream &stream);
+
+    /** Current IM counter for @p eip (no cost: debug/tests). */
+    uint32_t imCount(uint32_t eip) const;
+
+    /** Allocate a zeroed BB profile block; returns its sim address. */
+    uint32_t allocBbBlock();
+
+    /** Read a profile word with lookup cost charged to @p stream. */
+    uint32_t readWord(uint32_t addr, CostStream &stream);
+
+    /** Reset interpreter counters (used on code-cache flush). */
+    void clearImCounters();
+
+  private:
+    static constexpr uint32_t kImCounterEntries = 1u << 16;
+    static constexpr uint32_t kBbBlocksBase =
+        host::amap::kProfileBase + kImCounterEntries * 4;
+
+    uint32_t imCounterAddr(uint32_t eip) const
+    {
+        const uint32_t idx = (eip * 2654435761u) >> 10 &
+                             (kImCounterEntries - 1);
+        return host::amap::kProfileBase + idx * 4;
+    }
+
+    const TolConfig &cfg;
+    host::Memory &mem;
+    std::unordered_map<uint32_t, uint32_t> imCounts;
+    uint32_t nextBbBlock = kBbBlocksBase;
+};
+
+} // namespace darco::tol
+
+#endif // DARCO_TOL_PROFILE_HH

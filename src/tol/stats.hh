@@ -1,0 +1,80 @@
+/**
+ * @file
+ * TOL activity counters: mode distribution (static and dynamic),
+ * region/translation counts, control-flow service counts. These feed
+ * Figures 5, 6 and 7 directly.
+ */
+
+#ifndef DARCO_TOL_STATS_HH
+#define DARCO_TOL_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+namespace darco::tol {
+
+/** Execution mode of a guest instruction (paper Figure 3). */
+enum class Mode : uint8_t { IM = 0, BBM = 1, SBM = 2 };
+
+struct TolStats
+{
+    // Dynamic guest instructions executed per mode (Figure 5b).
+    uint64_t dynIm = 0;
+    uint64_t dynBbm = 0;
+    uint64_t dynSbm = 0;
+
+    // Static mode map: guest EIP -> highest mode reached (Figure 5a).
+    std::unordered_map<uint32_t, uint8_t> staticMode;
+
+    // Translation activity (Figure 6 secondary axis).
+    uint64_t bbsTranslated = 0;
+    uint64_t sbsCreated = 0;        ///< "SBM invocations"
+    uint64_t guestInstsTranslatedBb = 0;
+    uint64_t guestInstsTranslatedSb = 0;
+    uint64_t hostInstsEmittedBb = 0;
+    uint64_t hostInstsEmittedSb = 0;
+
+    // Runtime services.
+    uint64_t dispatchLoops = 0;
+    uint64_t mapLookups = 0;
+    uint64_t mapHits = 0;
+    uint64_t chainsPatched = 0;
+    uint64_t entryForwards = 0;     ///< BB entries redirected to SBs
+    uint64_t ibtcMisses = 0;
+    uint64_t ibtcFills = 0;
+    uint64_t promotions = 0;
+    uint64_t codeCacheFlushes = 0;
+    uint64_t contextFills = 0;      ///< ctx -> register transitions
+    uint64_t contextSpills = 0;     ///< register -> ctx transitions
+
+    // Guest-level dynamic characteristics (Figure 7 secondary axis).
+    uint64_t guestIndirectBranches = 0;
+
+    void
+    noteStatic(uint32_t eip, Mode mode)
+    {
+        uint8_t &slot = staticMode[eip];
+        slot = std::max(slot, static_cast<uint8_t>(mode));
+    }
+
+    uint64_t dynTotal() const { return dynIm + dynBbm + dynSbm; }
+
+    /** Static instruction counts per terminal mode (Figure 5a). */
+    void
+    staticCounts(uint64_t &im, uint64_t &bbm, uint64_t &sbm) const
+    {
+        im = bbm = sbm = 0;
+        for (const auto &[eip, mode] : staticMode) {
+            switch (mode) {
+              case 0: ++im; break;
+              case 1: ++bbm; break;
+              default: ++sbm; break;
+            }
+        }
+    }
+};
+
+} // namespace darco::tol
+
+#endif // DARCO_TOL_STATS_HH

@@ -1,0 +1,73 @@
+#include "tol/trans_map.hh"
+
+#include "common/logging.hh"
+
+namespace darco::tol {
+
+uint32_t
+TransMap::lookup(uint32_t eip, CostStream &stream)
+{
+    stream.routine(0);
+    stream.alu(cfg.lookupHashAlus);
+    uint32_t index = hashEip(eip);
+    for (uint32_t probes = 0; probes < cfg.transMapBuckets; ++probes) {
+        const uint32_t addr = bucketAddr(index);
+        const uint32_t tag = mem.load32(addr);
+        stream.load(addr);
+        if (tag == eip) {
+            const uint32_t entry = mem.load32(addr + 4);
+            stream.load(addr + 4);
+            stream.branch(false);  // found: loop not re-taken
+            return entry;
+        }
+        if (tag == 0) {
+            stream.branch(false);
+            return 0;
+        }
+        stream.branch(true);       // collision: probe again
+        index = (index + 1) & (cfg.transMapBuckets - 1);
+    }
+    panic("translation map full during lookup");
+}
+
+void
+TransMap::insert(uint32_t eip, uint32_t host_entry, CostStream &stream)
+{
+    panic_if(eip == 0, "cannot map guest EIP 0");
+    stream.routine(0x80);
+    stream.alu(cfg.lookupHashAlus);
+    uint32_t index = hashEip(eip);
+    for (uint32_t probes = 0; probes < cfg.transMapBuckets; ++probes) {
+        const uint32_t addr = bucketAddr(index);
+        const uint32_t tag = mem.load32(addr);
+        stream.load(addr);
+        if (tag == 0 || tag == eip) {
+            if (tag == 0)
+                ++liveEntries;
+            mem.store32(addr, eip);
+            mem.store32(addr + 4, host_entry);
+            stream.store(addr);
+            stream.store(addr + 4);
+            return;
+        }
+        stream.branch(true);
+        index = (index + 1) & (cfg.transMapBuckets - 1);
+    }
+    panic("translation map full during insert");
+}
+
+void
+TransMap::clear(CostStream &stream)
+{
+    // Full flush: zero every bucket tag. Charge a store per 8 buckets
+    // (real implementations memset whole cache lines).
+    for (uint32_t i = 0; i < cfg.transMapBuckets; ++i) {
+        mem.store32(bucketAddr(i), 0);
+        mem.store32(bucketAddr(i) + 4, 0);
+        if ((i & 7) == 0)
+            stream.store(bucketAddr(i));
+    }
+    liveEntries = 0;
+}
+
+} // namespace darco::tol

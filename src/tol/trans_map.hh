@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Translation map: guest EIP -> host code-cache entry address.
+ *
+ * Fully resident in simulated memory as an open-addressing hash table
+ * (8-byte buckets: {guest tag, host entry}); every probe the C++ code
+ * performs is also emitted as a timed load at the bucket's simulated
+ * address. The paper identifies exactly this structure's traffic as
+ * the "code cache lookup" data-intensive work that pollutes the data
+ * cache for indirect-branch-heavy applications (§III-B, §III-D).
+ */
+
+#ifndef DARCO_TOL_TRANS_MAP_HH
+#define DARCO_TOL_TRANS_MAP_HH
+
+#include <cstdint>
+
+#include "host/address_map.hh"
+#include "host/executor.hh"
+#include "tol/config.hh"
+#include "tol/cost_model.hh"
+
+namespace darco::tol {
+
+class TransMap
+{
+  public:
+    TransMap(const TolConfig &config, host::Memory &memory)
+        : cfg(config), mem(memory)
+    {}
+
+    /**
+     * Look up @p eip. Returns the host entry address or 0.
+     * Probe loads (and hashing ALUs) are emitted to @p stream.
+     */
+    uint32_t lookup(uint32_t eip, CostStream &stream);
+
+    /** Insert or replace a mapping; emits probe+store traffic. */
+    void insert(uint32_t eip, uint32_t host_entry, CostStream &stream);
+
+    /** Drop all mappings (code-cache flush). */
+    void clear(CostStream &stream);
+
+    uint32_t numEntries() const { return liveEntries; }
+
+  private:
+    uint32_t bucketAddr(uint32_t index) const
+    {
+        return host::amap::kTransMapBase + index * 8;
+    }
+
+    uint32_t hashEip(uint32_t eip) const
+    {
+        return (eip * 2654435761u) >> 8 & (cfg.transMapBuckets - 1);
+    }
+
+    const TolConfig &cfg;
+    host::Memory &mem;
+    uint32_t liveEntries = 0;
+};
+
+} // namespace darco::tol
+
+#endif // DARCO_TOL_TRANS_MAP_HH

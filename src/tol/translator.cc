@@ -1,0 +1,945 @@
+#include "tol/translator.hh"
+
+#include "common/logging.hh"
+
+namespace darco::tol {
+
+using namespace ir;
+namespace g = darco::guest;
+
+namespace {
+
+/** How the most recent in-trace flag producer can fuse with JCC. */
+enum class FlagKind : uint8_t {
+    None = 0,
+    SubLike,     ///< CMP/SUB: full condition set from (a, b, r)
+    AddLike,     ///< ADD: E/NE/S/NS from r; B/AE via (r <u a)
+    ResultOnly,  ///< logic/shift/imul/inc/dec/neg: E/NE/S/NS from r
+};
+
+/** Trace under construction. */
+struct Build
+{
+    explicit Build(const TolConfig &config) : cfg(config) {}
+
+    const TolConfig &cfg;
+    Trace trace;
+    uint16_t guestIndex = 0;
+
+    // Flag-producer tracking for fusion (temps are SSA-stable).
+    FlagKind fkind = FlagKind::None;
+    Vreg fa = kNoVreg;   ///< first operand snapshot
+    Vreg fb = kNoVreg;   ///< second operand snapshot
+    Vreg fr = kNoVreg;   ///< result
+
+    Vreg
+    temp()
+    {
+        return trace.newTemp(RegClass::Int);
+    }
+
+    Vreg
+    ftemp()
+    {
+        return trace.newTemp(RegClass::Fp);
+    }
+
+    IrInst &
+    put(IrOp op)
+    {
+        IrInst inst;
+        inst.op = op;
+        inst.guestIndex = guestIndex;
+        trace.insts.push_back(inst);
+        return trace.insts.back();
+    }
+
+    Vreg
+    ldi(int64_t value)
+    {
+        const Vreg t = temp();
+        IrInst &inst = put(IrOp::LDI);
+        inst.dst = t;
+        inst.imm = value;
+        return t;
+    }
+
+    Vreg
+    alu(IrOp op, Vreg s1, Vreg s2)
+    {
+        const Vreg t = temp();
+        IrInst &inst = put(op);
+        inst.dst = t;
+        inst.src1 = s1;
+        inst.src2 = s2;
+        return t;
+    }
+
+    Vreg
+    aluImm(IrOp op, Vreg s1, int64_t imm)
+    {
+        const Vreg t = temp();
+        IrInst &inst = put(op);
+        inst.dst = t;
+        inst.src1 = s1;
+        inst.useImm = true;
+        inst.imm = imm;
+        return t;
+    }
+
+    void
+    movTo(Vreg dst, Vreg src)
+    {
+        IrInst &inst = put(IrOp::MOV);
+        inst.dst = dst;
+        inst.src1 = src;
+    }
+
+    void
+    fmovTo(Vreg dst, Vreg src)
+    {
+        IrInst &inst = put(IrOp::FMOV);
+        inst.dst = dst;
+        inst.src1 = src;
+    }
+
+    Vreg
+    snapshotGpr(unsigned reg)
+    {
+        const Vreg t = temp();
+        movTo(t, vGpr(reg));
+        return t;
+    }
+
+    Vreg
+    snapshotFpr(unsigned reg)
+    {
+        const Vreg t = ftemp();
+        fmovTo(t, vFpr(reg));
+        return t;
+    }
+
+    /** Effective address of a memory operand, as a (vreg, disp) pair. */
+    struct Addr
+    {
+        Vreg base;
+        int32_t disp;
+    };
+
+    Addr
+    memAddr(const g::MemOperand &mem)
+    {
+        if (!mem.hasIndex)
+            return Addr{vGpr(mem.base), mem.disp};
+        Vreg scaled = vGpr(mem.index);
+        if (mem.scaleLog2)
+            scaled = aluImm(IrOp::SLL, vGpr(mem.index), mem.scaleLog2);
+        const Vreg sum = alu(IrOp::ADD, vGpr(mem.base), scaled);
+        return Addr{sum, mem.disp};
+    }
+
+    Vreg
+    load(const Addr &addr, uint8_t size)
+    {
+        const Vreg t = temp();
+        IrInst &inst = put(IrOp::LD);
+        inst.dst = t;
+        inst.src1 = addr.base;
+        inst.imm = addr.disp;
+        inst.size = size;
+        return t;
+    }
+
+    void
+    store(const Addr &addr, Vreg data, uint8_t size)
+    {
+        IrInst &inst = put(IrOp::ST);
+        inst.src1 = addr.base;
+        inst.src2 = data;
+        inst.imm = addr.disp;
+        inst.size = size;
+    }
+
+    Vreg
+    fload(const Addr &addr)
+    {
+        const Vreg t = ftemp();
+        IrInst &inst = put(IrOp::FLD);
+        inst.dst = t;
+        inst.src1 = addr.base;
+        inst.imm = addr.disp;
+        inst.size = 8;
+        return t;
+    }
+
+    void
+    fstore(const Addr &addr, Vreg data)
+    {
+        IrInst &inst = put(IrOp::FST);
+        inst.src1 = addr.base;
+        inst.src2 = data;
+        inst.imm = addr.disp;
+        inst.size = 8;
+    }
+
+    /** Integer source of an RR/RI/RM instruction, snapshotted. */
+    Vreg
+    intSrc(const g::Inst &gi)
+    {
+        switch (gi.form) {
+          case g::Form::RR: return snapshotGpr(gi.reg2);
+          case g::Form::RI: return ldi(gi.imm);
+          case g::Form::RM: return load(memAddr(gi.mem), 4);
+          default: panic("intSrc: bad form for %s", g::opName(gi.op));
+        }
+    }
+
+    /** FP source of an RR/RM instruction. */
+    Vreg
+    fpSrc(const g::Inst &gi)
+    {
+        if (gi.form == g::Form::RR)
+            return snapshotFpr(gi.reg2);
+        return fload(memAddr(gi.mem));
+    }
+
+    /** Value of an R/M single operand. */
+    Vreg
+    rmValue(const g::Inst &gi)
+    {
+        if (gi.form == g::Form::R)
+            return snapshotGpr(gi.reg1);
+        return load(memAddr(gi.mem), 4);
+    }
+
+    // ----- flag materialization ------------------------------------------
+
+    void
+    setZS(Vreg result)
+    {
+        IrInst &z = put(IrOp::SLTU);
+        z.dst = vFlagZ;
+        z.src1 = result;
+        z.useImm = true;
+        z.imm = 1;
+        IrInst &s = put(IrOp::SRL);
+        s.dst = vFlagS;
+        s.src1 = result;
+        s.useImm = true;
+        s.imm = 31;
+    }
+
+    void
+    clearCO()
+    {
+        IrInst &c = put(IrOp::LDI);
+        c.dst = vFlagC;
+        c.imm = 0;
+        IrInst &o = put(IrOp::LDI);
+        o.dst = vFlagO;
+        o.imm = 0;
+    }
+
+    void
+    flagsAdd(Vreg a, Vreg b, Vreg r)
+    {
+        setZS(r);
+        IrInst &c = put(IrOp::SLTU);   // CF = r <u a
+        c.dst = vFlagC;
+        c.src1 = r;
+        c.src2 = a;
+        // OF = ((a^r) & ~(a^b)) >> 31
+        const Vreg x1 = alu(IrOp::XOR, a, r);
+        const Vreg x2 = alu(IrOp::XOR, a, b);
+        const Vreg x3 = aluImm(IrOp::XOR, x2, -1);
+        const Vreg x4 = alu(IrOp::AND, x1, x3);
+        IrInst &o = put(IrOp::SRL);
+        o.dst = vFlagO;
+        o.src1 = x4;
+        o.useImm = true;
+        o.imm = 31;
+    }
+
+    void
+    flagsSub(Vreg a, Vreg b, Vreg r)
+    {
+        setZS(r);
+        IrInst &c = put(IrOp::SLTU);   // CF = a <u b
+        c.dst = vFlagC;
+        c.src1 = a;
+        c.src2 = b;
+        // OF = ((a^b) & (a^r)) >> 31
+        const Vreg x1 = alu(IrOp::XOR, a, b);
+        const Vreg x2 = alu(IrOp::XOR, a, r);
+        const Vreg x3 = alu(IrOp::AND, x1, x2);
+        IrInst &o = put(IrOp::SRL);
+        o.dst = vFlagO;
+        o.src1 = x3;
+        o.useImm = true;
+        o.imm = 31;
+    }
+
+    void
+    flagsLogic(Vreg r)
+    {
+        setZS(r);
+        clearCO();
+    }
+
+    void
+    recordProducer(FlagKind kind, Vreg a, Vreg b, Vreg r)
+    {
+        fkind = kind;
+        fa = a;
+        fb = b;
+        fr = r;
+    }
+
+    // ----- exits -------------------------------------------------------
+
+    uint16_t
+    addExit(uint32_t target, uint32_t retired, bool indirect,
+            bool halt = false)
+    {
+        IrExit exit;
+        exit.guestTarget = target;
+        exit.guestInstsRetired = retired;
+        exit.indirect = indirect;
+        exit.halt = halt;
+        exit.flagMask = halt ? 0 : fmask::All;
+        trace.exits.push_back(exit);
+        return static_cast<uint16_t>(trace.exits.size() - 1);
+    }
+
+    void
+    jexit(uint16_t exit_id)
+    {
+        IrInst &inst = put(IrOp::JEXIT);
+        inst.exitId = exit_id;
+    }
+
+    void
+    jindirect(Vreg target, uint16_t exit_id)
+    {
+        IrInst &inst = put(IrOp::JINDIRECT);
+        inst.src1 = target;
+        inst.exitId = exit_id;
+    }
+
+    void
+    br(BrCc cc, Vreg s1, Vreg s2, uint16_t exit_id)
+    {
+        IrInst &inst = put(IrOp::BR);
+        inst.cc = cc;
+        inst.src1 = s1;
+        inst.src2 = s2;
+        inst.exitId = exit_id;
+    }
+
+    void
+    brImm(BrCc cc, Vreg s1, int64_t imm, uint16_t exit_id)
+    {
+        IrInst &inst = put(IrOp::BR);
+        inst.cc = cc;
+        inst.src1 = s1;
+        inst.useImm = true;
+        inst.imm = imm;
+        inst.exitId = exit_id;
+    }
+};
+
+BrCc
+negateCc(BrCc cc)
+{
+    switch (cc) {
+      case BrCc::EQ:  return BrCc::NE;
+      case BrCc::NE:  return BrCc::EQ;
+      case BrCc::LT:  return BrCc::GE;
+      case BrCc::GE:  return BrCc::LT;
+      case BrCc::LTU: return BrCc::GEU;
+      case BrCc::GEU: return BrCc::LTU;
+      default: panic("bad BrCc");
+    }
+}
+
+/**
+ * Emit "branch to exits[exit_id] iff guest condition cond holds"
+ * (or its negation). Uses fusion with the recorded flag producer
+ * where possible, else consumes the flag vregs.
+ */
+void
+emitCondExit(Build &b, g::Cond cond, bool negate, uint16_t exit_id)
+{
+    using g::Cond;
+
+    // Fused forms from a SUB/CMP producer.
+    if (b.fkind == FlagKind::SubLike) {
+        BrCc cc;
+        Vreg s1 = b.fa;
+        Vreg s2 = b.fb;
+        bool from_result = false;
+        switch (cond) {
+          case Cond::E:  cc = BrCc::EQ; break;
+          case Cond::NE: cc = BrCc::NE; break;
+          case Cond::L:  cc = BrCc::LT; break;
+          case Cond::GE: cc = BrCc::GE; break;
+          case Cond::LE: cc = BrCc::GE; std::swap(s1, s2); break;
+          case Cond::G:  cc = BrCc::LT; std::swap(s1, s2); break;
+          case Cond::B:  cc = BrCc::LTU; break;
+          case Cond::AE: cc = BrCc::GEU; break;
+          case Cond::S:  cc = BrCc::LT; from_result = true; break;
+          case Cond::NS: cc = BrCc::GE; from_result = true; break;
+          default: panic("bad cond");
+        }
+        if (negate)
+            cc = negateCc(cc);
+        if (from_result)
+            b.brImm(cc, b.fr, 0, exit_id);
+        else
+            b.br(cc, s1, s2, exit_id);
+        return;
+    }
+
+    // ADD: zero/sign from the result, carry via r <u a.
+    if (b.fkind == FlagKind::AddLike) {
+        switch (cond) {
+          case Cond::E:
+            b.brImm(negate ? BrCc::NE : BrCc::EQ, b.fr, 0, exit_id);
+            return;
+          case Cond::NE:
+            b.brImm(negate ? BrCc::EQ : BrCc::NE, b.fr, 0, exit_id);
+            return;
+          case Cond::S:
+            b.brImm(negate ? BrCc::GE : BrCc::LT, b.fr, 0, exit_id);
+            return;
+          case Cond::NS:
+            b.brImm(negate ? BrCc::LT : BrCc::GE, b.fr, 0, exit_id);
+            return;
+          case Cond::B:
+            b.br(negate ? BrCc::GEU : BrCc::LTU, b.fr, b.fa, exit_id);
+            return;
+          case Cond::AE:
+            b.br(negate ? BrCc::LTU : BrCc::GEU, b.fr, b.fa, exit_id);
+            return;
+          default:
+            break;  // overflow-involving conditions: flag fallback
+        }
+    }
+
+    if (b.fkind == FlagKind::ResultOnly) {
+        switch (cond) {
+          case Cond::E:
+            b.brImm(negate ? BrCc::NE : BrCc::EQ, b.fr, 0, exit_id);
+            return;
+          case Cond::NE:
+            b.brImm(negate ? BrCc::EQ : BrCc::NE, b.fr, 0, exit_id);
+            return;
+          case Cond::S:
+            b.brImm(negate ? BrCc::GE : BrCc::LT, b.fr, 0, exit_id);
+            return;
+          case Cond::NS:
+            b.brImm(negate ? BrCc::LT : BrCc::GE, b.fr, 0, exit_id);
+            return;
+          default:
+            break;
+        }
+    }
+
+    // Generic fallback: evaluate the condition from the flag vregs
+    // (correct whether they were defined in-trace or are live-in).
+    Vreg c;
+    bool sense = true;  // branch when c != 0
+    switch (cond) {
+      case Cond::E:  c = vFlagZ; break;
+      case Cond::NE: c = vFlagZ; sense = false; break;
+      case Cond::S:  c = vFlagS; break;
+      case Cond::NS: c = vFlagS; sense = false; break;
+      case Cond::B:  c = vFlagC; break;
+      case Cond::AE: c = vFlagC; sense = false; break;
+      case Cond::L:
+        c = b.alu(IrOp::XOR, vFlagS, vFlagO);
+        break;
+      case Cond::GE:
+        c = b.alu(IrOp::XOR, vFlagS, vFlagO);
+        sense = false;
+        break;
+      case Cond::LE: {
+        const Vreg t = b.alu(IrOp::XOR, vFlagS, vFlagO);
+        c = b.alu(IrOp::OR, t, vFlagZ);
+        break;
+      }
+      case Cond::G: {
+        const Vreg t = b.alu(IrOp::XOR, vFlagS, vFlagO);
+        c = b.alu(IrOp::OR, t, vFlagZ);
+        sense = false;
+        break;
+      }
+      default: panic("bad cond");
+    }
+    if (negate)
+        sense = !sense;
+    b.brImm(sense ? BrCc::NE : BrCc::EQ, c, 0, exit_id);
+}
+
+/** Translate one guest instruction (excluding control flow). */
+void
+translateStraightLine(Build &b, const g::Inst &gi)
+{
+    using g::Form;
+    using g::Op;
+
+    switch (gi.op) {
+      case Op::MOV:
+        switch (gi.form) {
+          case Form::RR: b.movTo(vGpr(gi.reg1), vGpr(gi.reg2)); break;
+          case Form::RI: {
+            const Vreg t = b.ldi(gi.imm);
+            b.movTo(vGpr(gi.reg1), t);
+            break;
+          }
+          case Form::RM: {
+            const Vreg t = b.load(b.memAddr(gi.mem), 4);
+            b.movTo(vGpr(gi.reg1), t);
+            break;
+          }
+          case Form::MR:
+            b.store(b.memAddr(gi.mem), vGpr(gi.reg1), 4);
+            break;
+          default: panic("mov: bad form");
+        }
+        break;
+
+      case Op::MOVB:
+        if (gi.form == Form::RM) {
+            const Vreg t = b.load(b.memAddr(gi.mem), 1);
+            b.movTo(vGpr(gi.reg1), t);
+        } else {
+            b.store(b.memAddr(gi.mem), vGpr(gi.reg1), 1);
+        }
+        break;
+
+      case Op::LEA: {
+        const Build::Addr addr = b.memAddr(gi.mem);
+        const Vreg t = b.aluImm(IrOp::ADD, addr.base, addr.disp);
+        b.movTo(vGpr(gi.reg1), t);
+        break;
+      }
+
+      case Op::ADD: case Op::SUB: case Op::CMP: {
+        const Vreg a = b.snapshotGpr(gi.reg1);
+        const Vreg src = b.intSrc(gi);
+        const IrOp op = gi.op == Op::ADD ? IrOp::ADD : IrOp::SUB;
+        const Vreg r = b.alu(op, a, src);
+        if (gi.op != Op::CMP)
+            b.movTo(vGpr(gi.reg1), r);
+        if (gi.op == Op::ADD) {
+            b.flagsAdd(a, src, r);
+            b.recordProducer(FlagKind::AddLike, a, src, r);
+        } else {
+            b.flagsSub(a, src, r);
+            b.recordProducer(FlagKind::SubLike, a, src, r);
+        }
+        break;
+      }
+
+      case Op::AND: case Op::OR: case Op::XOR: case Op::TEST: {
+        const Vreg a = b.snapshotGpr(gi.reg1);
+        const Vreg src = b.intSrc(gi);
+        IrOp op;
+        switch (gi.op) {
+          case Op::AND: case Op::TEST: op = IrOp::AND; break;
+          case Op::OR: op = IrOp::OR; break;
+          default: op = IrOp::XOR; break;
+        }
+        const Vreg r = b.alu(op, a, src);
+        if (gi.op != Op::TEST)
+            b.movTo(vGpr(gi.reg1), r);
+        b.flagsLogic(r);
+        b.recordProducer(FlagKind::ResultOnly, a, src, r);
+        break;
+      }
+
+      case Op::SHL: case Op::SHR: case Op::SAR: {
+        const Vreg a = b.snapshotGpr(gi.reg1);
+        const Vreg rawcnt = gi.form == Form::RI
+            ? b.ldi(gi.imm) : b.snapshotGpr(gi.reg2);
+        const Vreg cnt = b.aluImm(IrOp::AND, rawcnt, 31);
+        IrOp op;
+        switch (gi.op) {
+          case Op::SHL: op = IrOp::SLL; break;
+          case Op::SHR: op = IrOp::SRL; break;
+          default: op = IrOp::SRA; break;
+        }
+        const Vreg r = b.alu(op, a, cnt);
+        b.movTo(vGpr(gi.reg1), r);
+        b.setZS(r);
+        // CF (branchless, matching the documented GX86 semantics):
+        // bitpos = (-cnt) & 31; CF = ((a >>/<< path) & 1) & (cnt != 0)
+        const Vreg zero = b.ldi(0);
+        Vreg bitpos;
+        if (gi.op == Op::SHL) {
+            const Vreg neg = b.alu(IrOp::SUB, zero, cnt);
+            bitpos = b.aluImm(IrOp::AND, neg, 31);
+        } else {
+            const Vreg cm1 = b.aluImm(IrOp::ADD, cnt, -1);
+            bitpos = b.aluImm(IrOp::AND, cm1, 31);
+        }
+        const IrOp extract = gi.op == Op::SAR ? IrOp::SRA : IrOp::SRL;
+        const Vreg shifted = b.alu(extract, a, bitpos);
+        const Vreg bit = b.aluImm(IrOp::AND, shifted, 1);
+        const Vreg nz = b.alu(IrOp::SLTU, zero, cnt);
+        IrInst &c = b.put(IrOp::AND);
+        c.dst = vFlagC;
+        c.src1 = bit;
+        c.src2 = nz;
+        // GX86 shifts leave OF untouched (opInfo mask: S/Z/P/C only),
+        // so vFlagO is deliberately not defined here.
+        b.recordProducer(FlagKind::ResultOnly, a, cnt, r);
+        break;
+      }
+
+      case Op::IMUL: {
+        const Vreg a = b.snapshotGpr(gi.reg1);
+        const Vreg src = b.intSrc(gi);
+        const Vreg r = b.alu(IrOp::MUL, a, src);
+        b.movTo(vGpr(gi.reg1), r);
+        b.setZS(r);
+        const Vreg hi = b.alu(IrOp::MULH, a, src);
+        const Vreg sgn = b.aluImm(IrOp::SRA, r, 31);
+        const Vreg dif = b.alu(IrOp::XOR, hi, sgn);
+        const Vreg zero = b.ldi(0);
+        IrInst &c = b.put(IrOp::SLTU);  // CF = (dif != 0)
+        c.dst = vFlagC;
+        c.src1 = zero;
+        c.src2 = dif;
+        IrInst &o = b.put(IrOp::MOV);
+        o.dst = vFlagO;
+        o.src1 = vFlagC;
+        b.recordProducer(FlagKind::ResultOnly, a, src, r);
+        break;
+      }
+
+      case Op::IDIV: {
+        const Vreg divisor = b.rmValue(gi);
+        const Vreg dividend = b.snapshotGpr(g::EAX);
+        const Vreg q = b.alu(IrOp::DIV, dividend, divisor);
+        const Vreg rem = b.alu(IrOp::REM, dividend, divisor);
+        b.movTo(vGpr(g::EAX), q);
+        b.movTo(vGpr(g::EDX), rem);
+        break;
+      }
+
+      case Op::INC: case Op::DEC: {
+        const Vreg a = b.snapshotGpr(gi.reg1);
+        const Vreg r = b.aluImm(IrOp::ADD, a,
+                                gi.op == Op::INC ? 1 : -1);
+        b.movTo(vGpr(gi.reg1), r);
+        b.setZS(r);
+        const int64_t edge = gi.op == Op::INC
+            ? 0x7FFFFFFFll : static_cast<int64_t>(
+                  static_cast<int32_t>(0x80000000u));
+        const Vreg t = b.aluImm(IrOp::XOR, a, edge);
+        IrInst &o = b.put(IrOp::SLTU);  // OF = (a == edge)
+        o.dst = vFlagO;
+        o.src1 = t;
+        o.useImm = true;
+        o.imm = 1;
+        b.recordProducer(FlagKind::ResultOnly, a, kNoVreg, r);
+        break;
+      }
+
+      case Op::NEG: {
+        const Vreg a = b.snapshotGpr(gi.reg1);
+        const Vreg zero = b.ldi(0);
+        const Vreg r = b.alu(IrOp::SUB, zero, a);
+        b.movTo(vGpr(gi.reg1), r);
+        b.setZS(r);
+        IrInst &c = b.put(IrOp::SLTU);  // CF = (a != 0)
+        c.dst = vFlagC;
+        c.src1 = zero;
+        c.src2 = a;
+        const Vreg t = b.aluImm(IrOp::XOR, a,
+            static_cast<int64_t>(static_cast<int32_t>(0x80000000u)));
+        IrInst &o = b.put(IrOp::SLTU);  // OF = (a == INT_MIN)
+        o.dst = vFlagO;
+        o.src1 = t;
+        o.useImm = true;
+        o.imm = 1;
+        b.recordProducer(FlagKind::ResultOnly, a, kNoVreg, r);
+        break;
+      }
+
+      case Op::NOT: {
+        const Vreg a = b.snapshotGpr(gi.reg1);
+        const Vreg r = b.aluImm(IrOp::XOR, a, -1);
+        b.movTo(vGpr(gi.reg1), r);
+        break;
+      }
+
+      case Op::PUSH: {
+        Vreg value;
+        switch (gi.form) {
+          case Form::R: value = b.snapshotGpr(gi.reg1); break;
+          case Form::I: value = b.ldi(gi.imm); break;
+          case Form::M: value = b.load(b.memAddr(gi.mem), 4); break;
+          default: panic("push: bad form");
+        }
+        const Vreg sp = b.aluImm(IrOp::ADD, vGpr(g::ESP), -4);
+        b.store(Build::Addr{sp, 0}, value, 4);
+        b.movTo(vGpr(g::ESP), sp);
+        break;
+      }
+
+      case Op::POP: {
+        const Vreg t = b.load(Build::Addr{vGpr(g::ESP), 0}, 4);
+        const Vreg sp = b.aluImm(IrOp::ADD, vGpr(g::ESP), 4);
+        b.movTo(vGpr(g::ESP), sp);
+        b.movTo(vGpr(gi.reg1), t);
+        break;
+      }
+
+      case Op::FMOV:
+        b.fmovTo(vFpr(gi.reg1), vFpr(gi.reg2));
+        break;
+      case Op::FLD: {
+        const Vreg t = b.fload(b.memAddr(gi.mem));
+        b.fmovTo(vFpr(gi.reg1), t);
+        break;
+      }
+      case Op::FST:
+        b.fstore(b.memAddr(gi.mem), vFpr(gi.reg1));
+        break;
+
+      case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FDIV: {
+        const Vreg a = b.snapshotFpr(gi.reg1);
+        const Vreg src = b.fpSrc(gi);
+        IrOp op;
+        switch (gi.op) {
+          case Op::FADD: op = IrOp::FADD; break;
+          case Op::FSUB: op = IrOp::FSUB; break;
+          case Op::FMUL: op = IrOp::FMUL; break;
+          default: op = IrOp::FDIV; break;
+        }
+        const Vreg r = b.ftemp();
+        IrInst &inst = b.put(op);
+        inst.dst = r;
+        inst.src1 = a;
+        inst.src2 = src;
+        b.fmovTo(vFpr(gi.reg1), r);
+        break;
+      }
+
+      case Op::FCMP: {
+        const Vreg a = b.snapshotFpr(gi.reg1);
+        const Vreg src = b.fpSrc(gi);
+        const Vreg e = b.trace.newTemp(RegClass::Int);
+        IrInst &ie = b.put(IrOp::FEQ);
+        ie.dst = e;
+        ie.src1 = a;
+        ie.src2 = src;
+        const Vreg l = b.trace.newTemp(RegClass::Int);
+        IrInst &il = b.put(IrOp::FLT);
+        il.dst = l;
+        il.src1 = a;
+        il.src2 = src;
+        const Vreg u = b.trace.newTemp(RegClass::Int);
+        IrInst &iu = b.put(IrOp::FUNORD);
+        iu.dst = u;
+        iu.src1 = a;
+        iu.src2 = src;
+        IrInst &z = b.put(IrOp::OR);
+        z.dst = vFlagZ;
+        z.src1 = e;
+        z.src2 = u;
+        IrInst &c = b.put(IrOp::OR);
+        c.dst = vFlagC;
+        c.src1 = l;
+        c.src2 = u;
+        IrInst &s = b.put(IrOp::LDI);
+        s.dst = vFlagS;
+        s.imm = 0;
+        IrInst &o = b.put(IrOp::LDI);
+        o.dst = vFlagO;
+        o.imm = 0;
+        b.recordProducer(FlagKind::None, kNoVreg, kNoVreg, kNoVreg);
+        break;
+      }
+
+      case Op::FSQRT: case Op::FABS: case Op::FNEG: {
+        const Vreg src = b.snapshotFpr(gi.reg2);
+        IrOp op;
+        switch (gi.op) {
+          case Op::FSQRT: op = IrOp::FSQRT; break;
+          case Op::FABS: op = IrOp::FABS; break;
+          default: op = IrOp::FNEG; break;
+        }
+        const Vreg r = b.ftemp();
+        IrInst &inst = b.put(op);
+        inst.dst = r;
+        inst.src1 = src;
+        b.fmovTo(vFpr(gi.reg1), r);
+        break;
+      }
+
+      case Op::CVTIF: {
+        const Vreg r = b.ftemp();
+        IrInst &inst = b.put(IrOp::FCVT_IF);
+        inst.dst = r;
+        inst.src1 = vGpr(gi.reg2);
+        b.fmovTo(vFpr(gi.reg1), r);
+        break;
+      }
+      case Op::CVTFI: {
+        const Vreg r = b.temp();
+        IrInst &inst = b.put(IrOp::FCVT_FI);
+        inst.dst = r;
+        inst.src1 = vFpr(gi.reg2);
+        b.movTo(vGpr(gi.reg1), r);
+        break;
+      }
+
+      case Op::NOP:
+        break;
+
+      default:
+        panic("translateStraightLine: unexpected op %s",
+              g::opName(gi.op));
+    }
+}
+
+} // namespace
+
+ir::Trace
+Translator::translate(const std::vector<PathInst> &path) const
+{
+    panic_if(path.empty(), "translate: empty path");
+
+    Build b(cfg);
+    b.trace.guestEntry = path.front().eip;
+
+    for (size_t i = 0; i < path.size(); ++i) {
+        const PathInst &pi = path[i];
+        const g::Inst &gi = pi.inst;
+        const uint32_t next_eip = pi.eip + gi.length;
+        const bool last = i + 1 == path.size();
+        b.guestIndex = static_cast<uint16_t>(i);
+        b.trace.guestEips.push_back(pi.eip);
+
+        const g::OpInfo &info = g::opInfo(gi.op);
+        if (!info.isBranch && gi.op != g::Op::HALT) {
+            translateStraightLine(b, gi);
+            if (last) {
+                // Straight-line path end: exit to the next address.
+                const uint16_t exit_id = b.addExit(
+                    next_eip, static_cast<uint32_t>(i + 1), false);
+                b.jexit(exit_id);
+            }
+            continue;
+        }
+
+        switch (gi.op) {
+          case g::Op::HALT: {
+            panic_if(!last, "HALT in the middle of a path");
+            const uint16_t exit_id = b.addExit(
+                pi.eip, static_cast<uint32_t>(i), false, true);
+            b.jexit(exit_id);
+            break;
+          }
+
+          case g::Op::JMP: {
+            const uint32_t target = next_eip +
+                static_cast<uint32_t>(gi.imm);
+            if (last) {
+                const uint16_t exit_id = b.addExit(
+                    target, static_cast<uint32_t>(i + 1), false);
+                b.jexit(exit_id);
+            }
+            // Mid-path: the superblock simply continues at the target.
+            break;
+          }
+
+          case g::Op::JCC: {
+            const uint32_t taken = next_eip +
+                static_cast<uint32_t>(gi.imm);
+            if (last) {
+                const uint16_t taken_exit = b.addExit(
+                    taken, static_cast<uint32_t>(i + 1), false);
+                emitCondExit(b, gi.cond, false, taken_exit);
+                const uint16_t ft_exit = b.addExit(
+                    next_eip, static_cast<uint32_t>(i + 1), false);
+                b.jexit(ft_exit);
+            } else if (pi.followTaken) {
+                // Side exit on the fallthrough direction.
+                const uint16_t ft_exit = b.addExit(
+                    next_eip, static_cast<uint32_t>(i + 1), false);
+                emitCondExit(b, gi.cond, true, ft_exit);
+            } else {
+                const uint16_t taken_exit = b.addExit(
+                    taken, static_cast<uint32_t>(i + 1), false);
+                emitCondExit(b, gi.cond, false, taken_exit);
+            }
+            break;
+          }
+
+          case g::Op::CALL: {
+            // Push the return address, then transfer.
+            const Vreg ra = b.ldi(next_eip);
+            const Vreg sp = b.aluImm(IrOp::ADD, vGpr(g::ESP), -4);
+            b.store(Build::Addr{sp, 0}, ra, 4);
+            b.movTo(vGpr(g::ESP), sp);
+            const uint32_t target = next_eip +
+                static_cast<uint32_t>(gi.imm);
+            if (last) {
+                const uint16_t exit_id = b.addExit(
+                    target, static_cast<uint32_t>(i + 1), false);
+                b.jexit(exit_id);
+            }
+            // Mid-path (sbFollowCalls): continue into the callee.
+            break;
+          }
+
+          case g::Op::RET: {
+            panic_if(!last, "indirect transfer mid-path");
+            const Vreg t = b.load(Build::Addr{vGpr(g::ESP), 0}, 4);
+            const Vreg sp = b.aluImm(IrOp::ADD, vGpr(g::ESP), 4);
+            b.movTo(vGpr(g::ESP), sp);
+            const uint16_t exit_id = b.addExit(
+                0, static_cast<uint32_t>(i + 1), true);
+            b.jindirect(t, exit_id);
+            break;
+          }
+
+          case g::Op::JMPI: {
+            panic_if(!last, "indirect transfer mid-path");
+            const Vreg t = b.rmValue(gi);
+            const uint16_t exit_id = b.addExit(
+                0, static_cast<uint32_t>(i + 1), true);
+            b.jindirect(t, exit_id);
+            break;
+          }
+
+          case g::Op::CALLI: {
+            panic_if(!last, "indirect transfer mid-path");
+            const Vreg target = b.rmValue(gi);
+            const Vreg ra = b.ldi(next_eip);
+            const Vreg sp = b.aluImm(IrOp::ADD, vGpr(g::ESP), -4);
+            b.store(Build::Addr{sp, 0}, ra, 4);
+            b.movTo(vGpr(g::ESP), sp);
+            const uint16_t exit_id = b.addExit(
+                0, static_cast<uint32_t>(i + 1), true);
+            b.jindirect(target, exit_id);
+            break;
+          }
+
+          default:
+            panic("translate: unexpected branch op %s", g::opName(gi.op));
+        }
+    }
+
+    const std::string err = ir::validate(b.trace);
+    panic_if(!err.empty(), "translator produced invalid trace: %s",
+             err.c_str());
+    return std::move(b.trace);
+}
+
+} // namespace darco::tol

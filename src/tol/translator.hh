@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Guest -> IR translator.
+ *
+ * Lowers a guest execution path (one basic block in BBM, a multi-
+ * block superblock in SBM) into a linear IR trace:
+ *
+ *  - Guest GPR/FP registers map to bound vregs; every computation
+ *    flows through fresh SSA temporaries, with operand snapshots so
+ *    flag definitions and compare/branch fusion always reference
+ *    stable values.
+ *  - EFLAGS are materialized *eagerly* as explicit defs of the flag
+ *    vregs (Z,S,C,O) after each flag-writing instruction; DCE removes
+ *    the dead ones using per-exit flag liveness. PF is never
+ *    materialized (no GX86 condition consumes it).
+ *  - Conditional guest branches fuse with their in-trace flag
+ *    producer into a single IR BR where a direct mapping exists
+ *    (CMP/SUB full condition set; ADD carry/zero/sign; result-only
+ *    ops zero/sign); otherwise the BR consumes the flag vregs.
+ *  - Mid-path conditional branches become side exits in the
+ *    not-followed direction; indirect transfers end the trace with
+ *    JINDIRECT (lowered to an inline IBTC probe by the emitter).
+ */
+
+#ifndef DARCO_TOL_TRANSLATOR_HH
+#define DARCO_TOL_TRANSLATOR_HH
+
+#include <vector>
+
+#include "guest/isa.hh"
+#include "ir/ir.hh"
+#include "tol/config.hh"
+
+namespace darco::tol {
+
+/** One guest instruction on a translation path. */
+struct PathInst
+{
+    guest::Inst inst;
+    uint32_t eip = 0;
+    /**
+     * For conditional branches that are *not* the last path element:
+     * true if the path continues on the taken side (the fallthrough
+     * becomes the side exit), false if it continues on fallthrough.
+     */
+    bool followTaken = false;
+};
+
+class Translator
+{
+  public:
+    explicit Translator(const TolConfig &config) : cfg(config) {}
+
+    /**
+     * Translate @p path into an IR trace. The path must be non-empty;
+     * every element except the last must either fall through (non-
+     * branch), be a direct JMP/CALL (path continues at the target),
+     * or be a conditional branch with followTaken set appropriately.
+     */
+    ir::Trace translate(const std::vector<PathInst> &path) const;
+
+  private:
+    const TolConfig &cfg;
+};
+
+} // namespace darco::tol
+
+#endif // DARCO_TOL_TRANSLATOR_HH

@@ -1,0 +1,649 @@
+/**
+ * @file
+ * The 48 paper benchmarks (SPEC CPU2006 INT and FP, Physicsbench,
+ * MediaBench) as synthetic-workload parameterizations.
+ *
+ * Parameters target the per-benchmark characteristics the paper
+ * reports or implies (§III-B):
+ *  - 462.libquantum: tiny hot loop with enormous repetition (the
+ *    paper: 385K repetitions/instruction) and negligible indirects;
+ *  - 400.perlbench: many indirect branches (22.7M per 4B) and large
+ *    static code -> code$-lookup dominated TOL time;
+ *  - 401.bzip2: small static code, high repetition, almost no
+ *    indirect branches (1933 per 4B);
+ *  - 000.cjpeg/001.djpeg/433.milc: similar ~15K-instruction static
+ *    footprint, but milc executes vastly more dynamic instructions;
+ *  - 006.jpg2000dec: execution concentrated in few hot blocks (the
+ *    paper: 96 superblocks) vs 007.jpg2000enc: spread over many
+ *    near-threshold blocks (450 superblocks);
+ *  - 470.lbm: extreme dynamic/static ratio, minimal TOL visibility;
+ *  - 107.novis_ragdoll: big per-phase code with low repetition ->
+ *    high interpreter/BBM share.
+ */
+
+#include "workloads/params.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace darco::workloads {
+
+namespace {
+
+std::vector<BenchParams>
+makeTable()
+{
+    std::vector<BenchParams> t;
+    auto add = [&t](BenchParams p) { t.push_back(std::move(p)); };
+
+    // ================= SPEC CPU2006 INT =================
+    {
+        BenchParams p;
+        p.name = "400.perlbench";
+        p.suite = "SPEC INT";
+        p.seed = 4001;
+        p.coldBlobInsts = 2500;
+        p.warmLoops = 18;
+        p.warmIters = 60;
+        p.warmBody = 7;
+        p.hotLoops = 3;
+        p.hotIters = 2500;
+        p.hotBody = 6;
+        p.dispatchIters = 14000;
+        p.dispatchTargets = 768;
+        p.callPairs = 2400;
+        p.dataKb = 512;
+        p.strideBytes = 32;
+        p.chaseIters = 12000;
+        p.chaseNodes = 16384;
+        add(p);
+    }
+    {
+        BenchParams p;
+        p.name = "401.bzip2";
+        p.suite = "SPEC INT";
+        p.seed = 4010;
+        p.coldBlobInsts = 300;
+        p.warmLoops = 4;
+        p.warmIters = 200;
+        p.hotLoops = 3;
+        p.hotIters = 30000;
+        p.hotBody = 8;
+        p.dataKb = 512;
+        p.strideBytes = 4;
+        add(p);
+    }
+    {
+        BenchParams p;
+        p.name = "403.gcc";
+        p.suite = "SPEC INT";
+        p.seed = 4030;
+        p.coldBlobInsts = 6000;
+        p.warmLoops = 30;
+        p.warmIters = 45;
+        p.warmBody = 6;
+        p.hotLoops = 2;
+        p.hotIters = 2000;
+        p.dispatchIters = 5000;
+        p.dispatchTargets = 384;
+        p.callPairs = 1200;
+        p.dataKb = 512;
+        p.strideBytes = 32;
+        p.chaseIters = 5000;
+        p.chaseNodes = 16384;
+        add(p);
+    }
+    {
+        BenchParams p;
+        p.name = "429.mcf";
+        p.suite = "SPEC INT";
+        p.seed = 4290;
+        p.coldBlobInsts = 400;
+        p.warmLoops = 3;
+        p.warmIters = 150;
+        p.hotLoops = 2;
+        p.hotIters = 25000;
+        p.hotBody = 4;
+        p.chaseIters = 30000;
+        p.chaseNodes = 32768;
+        p.dataKb = 2048;
+        add(p);
+    }
+    {
+        BenchParams p;
+        p.name = "445.gobmk";
+        p.suite = "SPEC INT";
+        p.seed = 4450;
+        p.coldBlobInsts = 4000;
+        p.warmLoops = 35;
+        p.warmIters = 80;
+        p.warmBody = 5;
+        p.hotLoops = 2;
+        p.hotIters = 4000;
+        p.callPairs = 1500;
+        p.dataKb = 128;
+        p.strideBytes = 16;
+        add(p);
+    }
+    {
+        BenchParams p;
+        p.name = "458.sjeng";
+        p.suite = "SPEC INT";
+        p.seed = 4580;
+        p.coldBlobInsts = 2000;
+        p.warmLoops = 20;
+        p.warmIters = 120;
+        p.warmBody = 6;
+        p.hotLoops = 2;
+        p.hotIters = 8000;
+        p.callPairs = 1000;
+        p.dispatchIters = 1200;
+        p.dispatchTargets = 64;
+        p.dataKb = 256;
+        p.strideBytes = 16;
+        add(p);
+    }
+    {
+        BenchParams p;
+        p.name = "462.libquantum";
+        p.suite = "SPEC INT";
+        p.seed = 4620;
+        p.coldBlobInsts = 100;
+        p.warmLoops = 1;
+        p.warmIters = 50;
+        p.hotLoops = 1;
+        p.hotIters = 220000;
+        p.hotBody = 6;
+        p.dataKb = 1024;
+        p.strideBytes = 8;
+        add(p);
+    }
+    {
+        BenchParams p;
+        p.name = "464.h264ref";
+        p.suite = "SPEC INT";
+        p.seed = 4640;
+        p.coldBlobInsts = 1500;
+        p.warmLoops = 12;
+        p.warmIters = 300;
+        p.warmBody = 8;
+        p.hotLoops = 4;
+        p.hotIters = 10000;
+        p.hotBody = 10;
+        p.dataKb = 512;
+        p.strideBytes = 16;
+        add(p);
+    }
+    {
+        BenchParams p;
+        p.name = "471.omnetpp";
+        p.suite = "SPEC INT";
+        p.seed = 4710;
+        p.coldBlobInsts = 2500;
+        p.warmLoops = 15;
+        p.warmIters = 100;
+        p.hotLoops = 2;
+        p.hotIters = 6000;
+        p.callPairs = 1800;
+        p.dispatchIters = 2500;
+        p.dispatchTargets = 160;
+        p.chaseIters = 8000;
+        p.chaseNodes = 16384;
+        p.dataKb = 512;
+        add(p);
+    }
+    {
+        BenchParams p;
+        p.name = "473.astar";
+        p.suite = "SPEC INT";
+        p.seed = 4730;
+        p.coldBlobInsts = 800;
+        p.warmLoops = 8;
+        p.warmIters = 250;
+        p.warmBody = 5;
+        p.hotLoops = 2;
+        p.hotIters = 15000;
+        p.chaseIters = 15000;
+        p.chaseNodes = 8192;
+        p.dataKb = 1024;
+        add(p);
+    }
+    {
+        BenchParams p;
+        p.name = "483.xalancbmk";
+        p.suite = "SPEC INT";
+        p.seed = 4830;
+        p.coldBlobInsts = 3500;
+        p.warmLoops = 22;
+        p.warmIters = 70;
+        p.hotLoops = 2;
+        p.hotIters = 3000;
+        p.callPairs = 2500;
+        p.dispatchIters = 3500;
+        p.dispatchTargets = 320;
+        p.dataKb = 256;
+        p.strideBytes = 32;
+        p.chaseIters = 3000;
+        p.chaseNodes = 8192;
+        add(p);
+    }
+    {
+        BenchParams p;
+        p.name = "998.specrand";
+        p.suite = "SPEC INT";
+        p.seed = 9980;
+        p.outerRepeats = 40;
+        p.coldBlobInsts = 120;
+        p.warmLoops = 1;
+        p.warmIters = 30;
+        p.hotLoops = 1;
+        p.hotIters = 300;
+        p.hotBody = 5;
+        p.dataKb = 16;
+        add(p);
+    }
+
+    // ================= SPEC CPU2006 FP =================
+    auto fp_base = [](const char *name, uint64_t seed) {
+        BenchParams p;
+        p.name = name;
+        p.suite = "SPEC FP";
+        p.seed = seed;
+        p.fpShare = 0.9;
+        p.coldBlobInsts = 800;
+        p.warmLoops = 4;
+        p.warmIters = 150;
+        p.warmBody = 8;
+        p.hotLoops = 3;
+        p.hotIters = 10000;
+        p.hotBody = 10;
+        p.dataKb = 1024;
+        p.strideBytes = 8;
+        return p;
+    };
+    {
+        BenchParams p = fp_base("410.bwaves", 4100);
+        p.hotIters = 16000;
+        p.dataKb = 4096;
+        add(p);
+    }
+    {
+        BenchParams p = fp_base("433.milc", 4330);
+        p.coldBlobInsts = 11000;   // ~15K static like cjpeg/djpeg
+        p.warmLoops = 8;
+        p.warmIters = 120;
+        p.hotLoops = 3;
+        p.hotIters = 12000;        // but far more dynamic work
+        p.dataKb = 2048;
+        add(p);
+    }
+    {
+        BenchParams p = fp_base("434.zeusmp", 4340);
+        p.hotLoops = 4;
+        p.hotIters = 8000;
+        add(p);
+    }
+    {
+        BenchParams p = fp_base("435.gromacs", 4350);
+        p.warmLoops = 8;
+        p.warmIters = 200;
+        p.hotIters = 6000;
+        add(p);
+    }
+    {
+        BenchParams p = fp_base("436.cactusADM", 4360);
+        p.hotLoops = 2;
+        p.hotIters = 25000;
+        p.hotBody = 14;
+        p.dataKb = 2048;
+        add(p);
+    }
+    {
+        BenchParams p = fp_base("437.leslie3d", 4370);
+        p.hotIters = 12000;
+        p.dataKb = 2048;
+        add(p);
+    }
+    {
+        BenchParams p = fp_base("444.namd", 4440);
+        p.hotLoops = 4;
+        p.hotIters = 9000;
+        p.hotBody = 12;
+        add(p);
+    }
+    {
+        BenchParams p = fp_base("447.dealII", 4470);
+        p.coldBlobInsts = 3000;
+        p.warmLoops = 12;
+        p.warmIters = 100;
+        p.callPairs = 600;
+        p.hotIters = 5000;
+        add(p);
+    }
+    {
+        BenchParams p = fp_base("450.soplex", 4500);
+        p.warmLoops = 10;
+        p.warmIters = 150;
+        p.hotIters = 6000;
+        p.chaseIters = 4000;
+        add(p);
+    }
+    {
+        BenchParams p = fp_base("459.GemsFDTD", 4590);
+        p.coldBlobInsts = 2500;
+        p.callPairs = 1500;       // paper: indirect/return heavy
+        p.dispatchIters = 2000;
+        p.dispatchTargets = 192;
+        p.hotIters = 6000;
+        add(p);
+    }
+    {
+        BenchParams p = fp_base("453.povray", 4530);
+        p.coldBlobInsts = 2500;
+        p.warmLoops = 14;
+        p.warmIters = 120;
+        p.callPairs = 1200;
+        p.hotIters = 3500;
+        p.fpShare = 0.7;
+        add(p);
+    }
+    {
+        BenchParams p = fp_base("454.calculix", 4540);
+        p.warmLoops = 8;
+        p.hotIters = 7000;
+        add(p);
+    }
+    {
+        BenchParams p = fp_base("470.lbm", 4700);
+        p.coldBlobInsts = 200;    // tiny static, enormous repetition
+        p.warmLoops = 1;
+        p.warmIters = 60;
+        p.hotLoops = 1;
+        p.hotIters = 150000;
+        p.hotBody = 14;
+        p.dataKb = 4096;
+        add(p);
+    }
+    {
+        BenchParams p = fp_base("481.wrf", 4810);
+        p.coldBlobInsts = 3500;
+        p.warmLoops = 10;
+        p.hotIters = 6000;
+        add(p);
+    }
+    {
+        BenchParams p = fp_base("482.sphinx3", 4820);
+        p.warmLoops = 10;
+        p.warmIters = 200;
+        p.hotIters = 8000;
+        p.fpShare = 0.6;
+        add(p);
+    }
+    {
+        BenchParams p = fp_base("999.specrand", 9990);
+        p.outerRepeats = 40;
+        p.coldBlobInsts = 120;
+        p.warmLoops = 1;
+        p.warmIters = 30;
+        p.hotLoops = 1;
+        p.hotIters = 300;
+        p.dataKb = 16;
+        add(p);
+    }
+
+    // ================= Physicsbench =================
+    auto phys_base = [](const char *name, uint64_t seed) {
+        BenchParams p;
+        p.name = name;
+        p.suite = "Physics";
+        p.seed = seed;
+        p.fpShare = 0.65;
+        p.coldBlobInsts = 2000;
+        p.warmLoops = 16;
+        p.warmIters = 150;
+        p.warmBody = 7;
+        p.hotLoops = 2;
+        p.hotIters = 8000;
+        p.hotBody = 9;
+        p.callPairs = 600;
+        p.dataKb = 256;
+        p.strideBytes = 16;
+        return p;
+    };
+    add(phys_base("100.novis_breakable", 1000));
+    {
+        BenchParams p = phys_base("101.novis_continuous", 1010);
+        p.hotIters = 12000;
+        p.warmLoops = 12;
+        add(p);
+    }
+    {
+        BenchParams p = phys_base("102.novis_deformable", 1020);
+        p.hotLoops = 3;
+        p.hotIters = 10000;
+        p.dataKb = 512;
+        add(p);
+    }
+    {
+        BenchParams p = phys_base("103.novis_everything", 1030);
+        p.coldBlobInsts = 4500;
+        p.warmLoops = 24;
+        p.warmIters = 100;
+        add(p);
+    }
+    {
+        BenchParams p = phys_base("104.novis_explosions", 1040);
+        p.hotIters = 15000;
+        p.chaseIters = 3000;
+        add(p);
+    }
+    {
+        BenchParams p = phys_base("105.novis_highspeed", 1050);
+        p.hotIters = 18000;
+        p.warmLoops = 10;
+        add(p);
+    }
+    add(phys_base("106.novis_periodic", 1060));
+    {
+        BenchParams p = phys_base("107.novis_ragdoll", 1070);
+        // Low dynamic/static ratio, high interpreter activity: lots
+        // of per-phase code, little repetition.
+        p.coldBlobInsts = 9000;
+        p.warmLoops = 40;
+        p.warmIters = 12;
+        p.warmBody = 6;
+        p.hotLoops = 1;
+        p.hotIters = 1500;
+        p.callPairs = 300;
+        add(p);
+    }
+
+    // ================= MediaBench =================
+    auto media_base = [](const char *name, uint64_t seed) {
+        BenchParams p;
+        p.name = name;
+        p.suite = "Media";
+        p.seed = seed;
+        p.coldBlobInsts = 3000;
+        p.warmLoops = 18;
+        p.warmIters = 80;
+        p.warmBody = 8;
+        p.hotLoops = 2;
+        p.hotIters = 5000;
+        p.hotBody = 8;
+        p.dataKb = 512;
+        p.strideBytes = 16;
+        return p;
+    };
+    {
+        BenchParams p = media_base("000.cjpeg", 1);
+        // ~15K static footprint, low repetition (paper §III-B).
+        p.coldBlobInsts = 10000;
+        p.warmLoops = 30;
+        p.warmIters = 25;
+        p.hotLoops = 1;
+        p.hotIters = 3000;
+        add(p);
+    }
+    {
+        BenchParams p = media_base("001.djpeg", 2);
+        p.coldBlobInsts = 9500;
+        p.warmLoops = 28;
+        p.warmIters = 30;
+        p.hotLoops = 1;
+        p.hotIters = 4000;
+        add(p);
+    }
+    {
+        BenchParams p = media_base("002.h263dec", 3);
+        // Many superblocks whose repetition sits near the threshold.
+        p.warmLoops = 30;
+        p.warmIters = 350;
+        p.hotLoops = 1;
+        p.hotIters = 4000;
+        add(p);
+    }
+    {
+        BenchParams p = media_base("003.h263enc", 4);
+        p.warmLoops = 20;
+        p.warmIters = 250;
+        p.hotLoops = 2;
+        p.hotIters = 8000;
+        add(p);
+    }
+    {
+        BenchParams p = media_base("004.h264dec", 5);
+        p.warmLoops = 24;
+        p.warmIters = 150;
+        p.hotLoops = 2;
+        p.hotIters = 7000;
+        p.dispatchIters = 600;
+        p.dispatchTargets = 16;
+        add(p);
+    }
+    {
+        BenchParams p = media_base("005.h264enc", 6);
+        p.warmLoops = 26;
+        p.warmIters = 180;
+        p.hotLoops = 3;
+        p.hotIters = 6000;
+        add(p);
+    }
+    {
+        BenchParams p = media_base("006.jpg2000dec", 7);
+        // Concentrated execution: few hot blocks (paper: 96 SBs).
+        p.coldBlobInsts = 2000;
+        p.warmLoops = 4;
+        p.warmIters = 500;
+        p.hotLoops = 2;
+        p.hotIters = 40000;
+        p.hotBody = 10;
+        add(p);
+    }
+    {
+        BenchParams p = media_base("007.jpg2000enc", 8);
+        // Spread execution: many near-threshold blocks (paper: 450
+        // SBs, repetition close to BB/SBth).
+        p.coldBlobInsts = 2000;
+        p.warmLoops = 46;
+        p.warmIters = 420;
+        p.warmBody = 7;
+        p.hotLoops = 1;
+        p.hotIters = 2500;
+        add(p);
+    }
+    {
+        BenchParams p = media_base("008.mpeg2dec", 9);
+        p.warmLoops = 16;
+        p.warmIters = 200;
+        p.hotLoops = 2;
+        p.hotIters = 9000;
+        add(p);
+    }
+    {
+        BenchParams p = media_base("009.mpeg2enc", 10);
+        p.warmLoops = 20;
+        p.warmIters = 220;
+        p.hotLoops = 2;
+        p.hotIters = 7000;
+        p.fpShare = 0.2;
+        add(p);
+    }
+    {
+        BenchParams p = media_base("010.mpeg4dec", 11);
+        p.warmLoops = 22;
+        p.warmIters = 160;
+        p.hotLoops = 2;
+        p.hotIters = 8000;
+        p.dispatchIters = 400;
+        p.dispatchTargets = 8;
+        add(p);
+    }
+    {
+        BenchParams p = media_base("011.mpeg4enc", 12);
+        p.warmLoops = 24;
+        p.warmIters = 200;
+        p.hotLoops = 3;
+        p.hotIters = 6000;
+        p.fpShare = 0.2;
+        add(p);
+    }
+
+    // Default one-shot init footprint: sized so that, across the
+    // suites, roughly a third of the static code executes <= IM/BBth
+    // times and stays interpreter-resident (paper Fig 5a).
+    for (BenchParams &p : t) {
+        if (p.initBlobInsts == 0)
+            p.initBlobInsts = p.coldBlobInsts * 3 / 5 + 500;
+        if (p.outerRepeats <= 64)
+            p.initBlobInsts = std::min(p.initBlobInsts, 200u);
+    }
+
+    return t;
+}
+
+} // namespace
+
+const std::vector<BenchParams> &
+allBenchmarks()
+{
+    static const std::vector<BenchParams> table = makeTable();
+    return table;
+}
+
+std::vector<const BenchParams *>
+suiteBenchmarks(const std::string &suite)
+{
+    std::vector<const BenchParams *> result;
+    for (const BenchParams &p : allBenchmarks()) {
+        if (p.suite == suite)
+            result.push_back(&p);
+    }
+    return result;
+}
+
+const BenchParams *
+findBenchmark(const std::string &name)
+{
+    for (const BenchParams &p : allBenchmarks()) {
+        if (p.name == name)
+            return &p;
+    }
+    return nullptr;
+}
+
+std::vector<const BenchParams *>
+outlierBenchmarks()
+{
+    std::vector<const BenchParams *> result;
+    for (const char *name : {"470.lbm", "007.jpg2000enc",
+                             "107.novis_ragdoll", "400.perlbench"}) {
+        const BenchParams *p = findBenchmark(name);
+        panic_if(!p, "missing outlier benchmark %s", name);
+        result.push_back(p);
+    }
+    return result;
+}
+
+} // namespace darco::workloads

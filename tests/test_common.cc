@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Common-library tests: PRNG determinism and distribution sanity,
+ * bit utilities, paged memory (cross-page accesses, dirty tracking),
+ * table rendering, printf-style formatting, and the assembler's label
+ * fixup machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+#include "common/fpu.hh"
+#include "common/logging.hh"
+#include "common/paged_memory.hh"
+#include "common/prng.hh"
+#include "common/table.hh"
+#include "guest/assembler.hh"
+#include "guest/emulator.hh"
+
+using namespace darco;
+
+TEST(Prng, DeterministicAcrossInstances)
+{
+    Prng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge)
+{
+    Prng a(1), b(2);
+    unsigned same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0u);
+}
+
+TEST(Prng, BelowStaysInRange)
+{
+    Prng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.below(13), 13u);
+}
+
+TEST(Prng, UniformCoversRange)
+{
+    Prng rng(11);
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+    }
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+}
+
+TEST(BitUtils, SextAndBits)
+{
+    EXPECT_EQ(sext(0xFF, 8), -1);
+    EXPECT_EQ(sext(0x7F, 8), 127);
+    EXPECT_EQ(sext32(0x800, 12), -2048);
+    EXPECT_EQ(bits(0xDEADBEEF, 15, 8), 0xBEu);
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(96));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_EQ(alignUp(13, 8), 16u);
+    EXPECT_EQ(alignUp(16, 8), 16u);
+    EXPECT_EQ(alignDown(13, 8), 8u);
+    EXPECT_EQ(popCount(0xF0F0), 8u);
+}
+
+TEST(Fpu, CanonicalizesOnlyNans)
+{
+    EXPECT_EQ(canonFp(1.5), 1.5);
+    EXPECT_EQ(canonFp(-0.0), -0.0);
+    const double nan1 = canonFp(0.0 / 0.0);
+    uint64_t bits1;
+    memcpy(&bits1, &nan1, 8);
+    EXPECT_EQ(bits1, 0x7FF8000000000000ull);
+}
+
+TEST(PagedMemory, ReadBeforeWriteIsZero)
+{
+    PagedMemory<uint32_t> mem;
+    EXPECT_EQ(mem.load32(0x12345678), 0u);
+    EXPECT_EQ(mem.numPages(), 0u);  // reads don't allocate
+}
+
+TEST(PagedMemory, CrossPageAccess)
+{
+    PagedMemory<uint32_t> mem;
+    const uint32_t addr = 0x1FFE;  // crosses the 0x1000/0x2000 boundary
+    mem.store32(addr, 0xA1B2C3D4);
+    EXPECT_EQ(mem.load32(addr), 0xA1B2C3D4u);
+    EXPECT_EQ(mem.load8(0x1FFE), 0xD4u);
+    EXPECT_EQ(mem.load8(0x2000), 0xB2u);
+    EXPECT_EQ(mem.numPages(), 2u);
+}
+
+TEST(PagedMemory, DirtyTracking)
+{
+    PagedMemory<uint32_t> mem;
+    mem.store8(0x5000, 1);
+    mem.store8(0x9000, 2);
+    (void)mem.load32(0xF000);
+    EXPECT_EQ(mem.dirtyPages().size(), 2u);
+    EXPECT_TRUE(mem.dirtyPages().count(0x5000));
+    EXPECT_TRUE(mem.dirtyPages().count(0x9000));
+    mem.clearDirty();
+    EXPECT_TRUE(mem.dirtyPages().empty());
+    EXPECT_EQ(mem.load8(0x5000), 1u);  // data survives
+}
+
+TEST(PagedMemory, DoubleRoundTrip)
+{
+    PagedMemory<uint32_t> mem;
+    mem.storeDouble(0x4000, 3.141592653589793);
+    EXPECT_DOUBLE_EQ(mem.loadDouble(0x4000), 3.141592653589793);
+}
+
+TEST(PagedMemory, BulkReadWrite)
+{
+    PagedMemory<uint32_t> mem;
+    std::vector<uint8_t> data(10000);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint8_t>(i * 7);
+    mem.writeBytes(0x3F80, data.data(), data.size());  // spans pages
+    std::vector<uint8_t> back(data.size());
+    mem.readBytes(0x3F80, back.data(), back.size());
+    EXPECT_EQ(data, back);
+}
+
+TEST(Strprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 42, "abc"), "x=42 y=abc");
+    EXPECT_EQ(strprintf("%08x", 0xBEEF), "0000beef");
+    // Long outputs are not truncated.
+    const std::string big = strprintf("%0500d", 7);
+    EXPECT_EQ(big.size(), 500u);
+}
+
+TEST(Table, RendersAlignedAndCsv)
+{
+    Table t({"name", "value"});
+    t.beginRow();
+    t.add("alpha");
+    t.addf("%d", 1);
+    t.beginRow();
+    t.add("long-name-here");
+    t.addf("%.2f", 2.5);
+    EXPECT_EQ(t.numRows(), 2u);
+
+    // Render into a pipe-backed FILE to check content.
+    char buf[4096] = {};
+    FILE *f = tmpfile();
+    ASSERT_NE(f, nullptr);
+    t.renderCsv(f);
+    rewind(f);
+    const size_t n = fread(buf, 1, sizeof(buf) - 1, f);
+    fclose(f);
+    const std::string csv(buf, n);
+    EXPECT_NE(csv.find("name,value"), std::string::npos);
+    EXPECT_NE(csv.find("long-name-here,2.50"), std::string::npos);
+}
+
+// ----- assembler fixups -------------------------------------------------
+
+namespace dg = darco::guest;
+
+TEST(Assembler, BackwardBranchUsesShortForm)
+{
+    dg::Assembler as;
+    auto loop = as.newLabel();
+    as.bind(loop);
+    as.nop();
+    const uint32_t before = as.offset();
+    as.jmp(loop);
+    const uint32_t len = as.offset() - before;
+    EXPECT_EQ(len, 4u);  // short form: op + form + regs + rel8
+}
+
+TEST(Assembler, ForwardBranchReservesWideForm)
+{
+    dg::Assembler as;
+    auto fwd = as.newLabel();
+    const uint32_t before = as.offset();
+    as.jmp(fwd);
+    const uint32_t len = as.offset() - before;
+    EXPECT_EQ(len, 7u);  // wide: op + form + regs + rel32
+    as.bind(fwd);
+    as.halt();
+    const auto code = as.finalize(0x1000);
+
+    // Decode and verify the displacement points at the HALT.
+    dg::Inst inst;
+    ASSERT_EQ(dg::decode(code.data(), code.size(), inst),
+              dg::DecodeStatus::Ok);
+    EXPECT_EQ(inst.op, dg::Op::JMP);
+    EXPECT_EQ(static_cast<uint32_t>(0x1000 + inst.length + inst.imm),
+              as.labelAddr(fwd));
+}
+
+TEST(Assembler, FarBackwardBranchFallsBackToWide)
+{
+    dg::Assembler as;
+    auto far = as.newLabel();
+    as.bind(far);
+    for (int i = 0; i < 100; ++i)
+        as.nop();  // 200 bytes: rel8 cannot reach
+    const uint32_t before = as.offset();
+    as.jmp(far);
+    EXPECT_EQ(as.offset() - before, 7u);
+
+    // And it must still execute correctly.
+    as.halt();  // unreachable
+    dg::Program prog;
+    prog.code = as.finalize(prog.codeBase);
+    prog.entry = prog.codeBase + 200;  // start at the jump
+    dg::Memory mem;
+    dg::Emulator emu(mem);
+    emu.reset(prog);
+    emu.run(2);  // the jump plus the first nop
+    EXPECT_EQ(emu.state().eip, prog.codeBase + 2);
+}
+
+TEST(Assembler, MovLabelResolvesAbsoluteAddress)
+{
+    dg::Assembler as;
+    auto fn = as.newLabel();
+    as.movLabel(dg::EAX, fn);
+    as.halt();
+    as.bind(fn);
+    as.nop();
+    dg::Program prog;
+    prog.code = as.finalize(prog.codeBase);
+    prog.entry = prog.codeBase;
+    dg::Memory mem;
+    dg::Emulator emu(mem);
+    emu.reset(prog);
+    emu.run(10);
+    EXPECT_EQ(emu.state().gpr[dg::EAX], as.labelAddr(fn));
+}
+
+TEST(Assembler, CountStaticInstsMatchesEmitted)
+{
+    dg::Assembler as;
+    for (int i = 0; i < 25; ++i)
+        as.add(dg::EAX, i);
+    as.halt();
+    dg::Program prog;
+    prog.code = as.finalize(prog.codeBase);
+    EXPECT_EQ(prog.countStaticInsts(), 26u);
+    EXPECT_EQ(as.numInsts(), 26u);
+}

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Semantic tests of the authoritative emulator: per-instruction flag
+ * behaviour against hand-computed x86 results, and small programs
+ * (factorial, memcpy, fibonacci, call trees) built with the
+ * assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guest/assembler.hh"
+#include "guest/emulator.hh"
+
+namespace dg = darco::guest;
+using dg::Assembler;
+using dg::mem;
+
+namespace {
+
+/** Assemble, load and run up to @p max instructions; return emulator. */
+struct Runner
+{
+    dg::Memory memory;
+    dg::Emulator emu{memory};
+
+    explicit Runner(Assembler &as,
+                    std::vector<dg::Program::DataSegment> data = {})
+    {
+        dg::Program prog;
+        prog.code = as.finalize(prog.codeBase);
+        prog.entry = prog.codeBase;
+        prog.data = std::move(data);
+        emu.reset(prog);
+    }
+
+    void
+    run(uint64_t max = 100000)
+    {
+        emu.run(max);
+        ASSERT_TRUE(emu.isHalted()) << "program did not halt";
+    }
+
+    uint32_t reg(dg::Reg r) const { return emu.state().gpr[r]; }
+    uint32_t flags() const { return emu.state().eflags; }
+};
+
+} // namespace
+
+TEST(GuestEmulator, MovAndArithmetic)
+{
+    Assembler as;
+    as.mov(dg::EAX, 10);
+    as.mov(dg::EBX, 32);
+    as.add(dg::EAX, dg::EBX);   // 42
+    as.mov(dg::ECX, dg::EAX);
+    as.sub(dg::ECX, 2);         // 40
+    as.imul(dg::ECX, 3);        // 120
+    as.halt();
+
+    Runner r(as);
+    r.run();
+    EXPECT_EQ(r.reg(dg::EAX), 42u);
+    EXPECT_EQ(r.reg(dg::ECX), 120u);
+}
+
+TEST(GuestEmulator, AddFlagsCarryOverflow)
+{
+    // 0x7FFFFFFF + 1: OF set, CF clear, SF set.
+    Assembler as;
+    as.mov(dg::EAX, 0x7FFFFFFF);
+    as.add(dg::EAX, 1);
+    as.halt();
+    Runner r(as);
+    r.run();
+    EXPECT_TRUE(r.flags() & dg::flag::OF);
+    EXPECT_FALSE(r.flags() & dg::flag::CF);
+    EXPECT_TRUE(r.flags() & dg::flag::SF);
+    EXPECT_FALSE(r.flags() & dg::flag::ZF);
+}
+
+TEST(GuestEmulator, AddFlagsCarryWrap)
+{
+    // 0xFFFFFFFF + 1 = 0: CF set, ZF set, OF clear.
+    Assembler as;
+    as.mov(dg::EAX, -1);
+    as.add(dg::EAX, 1);
+    as.halt();
+    Runner r(as);
+    r.run();
+    EXPECT_TRUE(r.flags() & dg::flag::CF);
+    EXPECT_TRUE(r.flags() & dg::flag::ZF);
+    EXPECT_FALSE(r.flags() & dg::flag::OF);
+    EXPECT_TRUE(r.flags() & dg::flag::PF);  // 0x00 has even parity
+}
+
+TEST(GuestEmulator, SubCmpFlags)
+{
+    // 5 - 7: CF set (borrow), SF set.
+    Assembler as;
+    as.mov(dg::EAX, 5);
+    as.cmp(dg::EAX, 7);
+    as.halt();
+    Runner r(as);
+    r.run();
+    EXPECT_TRUE(r.flags() & dg::flag::CF);
+    EXPECT_TRUE(r.flags() & dg::flag::SF);
+    EXPECT_EQ(r.reg(dg::EAX), 5u);  // CMP does not write back
+}
+
+TEST(GuestEmulator, IncPreservesCarry)
+{
+    Assembler as;
+    as.mov(dg::EAX, -1);
+    as.add(dg::EAX, 1);     // sets CF
+    as.mov(dg::EBX, 1);
+    as.inc(dg::EBX);        // must keep CF
+    as.halt();
+    Runner r(as);
+    r.run();
+    EXPECT_TRUE(r.flags() & dg::flag::CF);
+    EXPECT_EQ(r.reg(dg::EBX), 2u);
+}
+
+TEST(GuestEmulator, ShiftFlags)
+{
+    Assembler as;
+    as.mov(dg::EAX, 0x80000001);
+    as.shl(dg::EAX, 1);     // CF = old bit 31 = 1
+    as.halt();
+    Runner r(as);
+    r.run();
+    EXPECT_EQ(r.reg(dg::EAX), 2u);
+    EXPECT_TRUE(r.flags() & dg::flag::CF);
+}
+
+TEST(GuestEmulator, ShiftByZeroClearsCarrySetsZSP)
+{
+    // Documented GX86 deviation: count==0 still sets Z/S/P, CF=0.
+    Assembler as;
+    as.mov(dg::EAX, -1);
+    as.add(dg::EAX, 1);      // CF=1
+    as.mov(dg::EBX, 5);
+    as.mov(dg::ECX, 0);
+    as.shl(dg::EBX, dg::ECX);
+    as.halt();
+    Runner r(as);
+    r.run();
+    EXPECT_FALSE(r.flags() & dg::flag::CF);
+    EXPECT_FALSE(r.flags() & dg::flag::ZF);
+    EXPECT_EQ(r.reg(dg::EBX), 5u);
+}
+
+TEST(GuestEmulator, IdivQuotientRemainder)
+{
+    Assembler as;
+    as.mov(dg::EAX, 47);
+    as.mov(dg::ECX, 5);
+    as.idiv(dg::ECX);
+    as.halt();
+    Runner r(as);
+    r.run();
+    EXPECT_EQ(r.reg(dg::EAX), 9u);
+    EXPECT_EQ(r.reg(dg::EDX), 2u);
+}
+
+TEST(GuestEmulator, IdivByZeroIsTotal)
+{
+    Assembler as;
+    as.mov(dg::EAX, 47);
+    as.mov(dg::ECX, 0);
+    as.idiv(dg::ECX);
+    as.halt();
+    Runner r(as);
+    r.run();
+    EXPECT_EQ(r.reg(dg::EAX), 0u);
+    EXPECT_EQ(r.reg(dg::EDX), 47u);
+}
+
+TEST(GuestEmulator, Negatives)
+{
+    Assembler as;
+    as.mov(dg::EAX, 17);
+    as.neg(dg::EAX);
+    as.mov(dg::EBX, 0);
+    as.not_(dg::EBX);
+    as.halt();
+    Runner r(as);
+    r.run();
+    EXPECT_EQ(r.reg(dg::EAX), static_cast<uint32_t>(-17));
+    EXPECT_EQ(r.reg(dg::EBX), 0xFFFFFFFFu);
+    EXPECT_TRUE(r.flags() & dg::flag::CF);  // NEG of non-zero
+}
+
+TEST(GuestEmulator, StackPushPop)
+{
+    Assembler as;
+    as.mov(dg::EAX, 111);
+    as.mov(dg::EBX, 222);
+    as.push(dg::EAX);
+    as.push(dg::EBX);
+    as.pop(dg::ECX);   // 222
+    as.pop(dg::EDX);   // 111
+    as.halt();
+    Runner r(as);
+    r.run();
+    EXPECT_EQ(r.reg(dg::ECX), 222u);
+    EXPECT_EQ(r.reg(dg::EDX), 111u);
+    EXPECT_EQ(r.reg(dg::ESP), dg::layout::kStackTop);
+}
+
+TEST(GuestEmulator, PushEspPushesOriginalValue)
+{
+    Assembler as;
+    as.push(dg::ESP);
+    as.pop(dg::EAX);
+    as.halt();
+    Runner r(as);
+    r.run();
+    EXPECT_EQ(r.reg(dg::EAX), dg::layout::kStackTop);
+}
+
+TEST(GuestEmulator, LoopFactorial)
+{
+    // EAX = 7!
+    Assembler as;
+    as.mov(dg::EAX, 1);
+    as.mov(dg::ECX, 7);
+    auto loop = as.newLabel();
+    as.bind(loop);
+    as.imul(dg::EAX, dg::ECX);
+    as.dec(dg::ECX);
+    as.jcc(dg::Cond::NE, loop);
+    as.halt();
+    Runner r(as);
+    r.run();
+    EXPECT_EQ(r.reg(dg::EAX), 5040u);
+}
+
+TEST(GuestEmulator, MemcpyBytes)
+{
+    const uint32_t src = dg::layout::kDataBase;
+    const uint32_t dst = dg::layout::kDataBase + 0x1000;
+    std::vector<uint8_t> payload = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+
+    Assembler as;
+    as.mov(dg::ESI, static_cast<int32_t>(src));
+    as.mov(dg::EDI, static_cast<int32_t>(dst));
+    as.mov(dg::ECX, static_cast<int32_t>(payload.size()));
+    auto loop = as.newLabel();
+    as.bind(loop);
+    as.movb(dg::EAX, mem(dg::ESI));
+    as.movb(mem(dg::EDI), dg::EAX);
+    as.inc(dg::ESI);
+    as.inc(dg::EDI);
+    as.dec(dg::ECX);
+    as.jcc(dg::Cond::NE, loop);
+    as.halt();
+
+    Runner r(as, {{src, payload}});
+    r.run();
+    for (size_t i = 0; i < payload.size(); ++i) {
+        EXPECT_EQ(r.memory.load8(dst + static_cast<uint32_t>(i)),
+                  payload[i]);
+    }
+}
+
+TEST(GuestEmulator, CallRet)
+{
+    Assembler as;
+    auto fn = as.newLabel();
+    as.mov(dg::EAX, 5);
+    as.call(fn);
+    as.add(dg::EAX, 100);  // after return: 10 + 100
+    as.halt();
+    as.bind(fn);
+    as.add(dg::EAX, dg::EAX);  // double it
+    as.ret();
+    Runner r(as);
+    r.run();
+    EXPECT_EQ(r.reg(dg::EAX), 110u);
+}
+
+TEST(GuestEmulator, IndirectCallViaRegister)
+{
+    Assembler as;
+    auto fn = as.newLabel();
+    as.movLabel(dg::EBX, fn);
+    as.mov(dg::EAX, 1);
+    as.calli(dg::EBX);
+    as.add(dg::EAX, 10);
+    as.halt();
+    as.bind(fn);
+    as.add(dg::EAX, 100);
+    as.ret();
+    Runner r(as);
+    r.run();
+    EXPECT_EQ(r.reg(dg::EAX), 111u);
+}
+
+TEST(GuestEmulator, JumpTableDispatch)
+{
+    // Jump table with 3 targets in a data segment; select case 2.
+    Assembler as;
+    auto case0 = as.newLabel();
+    auto case1 = as.newLabel();
+    auto case2 = as.newLabel();
+    auto end = as.newLabel();
+    as.mov(dg::EBX, static_cast<int32_t>(dg::layout::kDataBase));
+    as.mov(dg::ECX, 2);  // selector
+    as.jmpi(mem(dg::EBX, dg::ECX, 2));
+    as.bind(case0);
+    as.mov(dg::EAX, 100);
+    as.jmp(end);
+    as.bind(case1);
+    as.mov(dg::EAX, 200);
+    as.jmp(end);
+    as.bind(case2);
+    as.mov(dg::EAX, 300);
+    as.jmp(end);
+    as.bind(end);
+    as.halt();
+
+    dg::Program prog;
+    prog.code = as.finalize(prog.codeBase);
+    prog.entry = prog.codeBase;
+    std::vector<uint8_t> table(12);
+    const uint32_t targets[3] = {as.labelAddr(case0),
+                                 as.labelAddr(case1),
+                                 as.labelAddr(case2)};
+    memcpy(table.data(), targets, 12);
+    prog.data.push_back({dg::layout::kDataBase, table});
+
+    dg::Memory memory;
+    dg::Emulator emu(memory);
+    emu.reset(prog);
+    emu.run(1000);
+    ASSERT_TRUE(emu.isHalted());
+    EXPECT_EQ(emu.state().gpr[dg::EAX], 300u);
+}
+
+TEST(GuestEmulator, FloatingPoint)
+{
+    Assembler as;
+    as.mov(dg::EAX, 9);
+    as.cvtif(dg::F0, dg::EAX);
+    as.fsqrt(dg::F1, dg::F0);      // 3.0
+    as.fadd(dg::F1, dg::F1);       // 6.0
+    as.fmul(dg::F1, dg::F0);       // 54.0
+    as.cvtfi(dg::EBX, dg::F1);
+    as.halt();
+    Runner r(as);
+    r.run();
+    EXPECT_EQ(r.reg(dg::EBX), 54u);
+    EXPECT_DOUBLE_EQ(r.emu.state().fpr[dg::F1], 54.0);
+}
+
+TEST(GuestEmulator, FcmpBranches)
+{
+    Assembler as;
+    auto less = as.newLabel();
+    as.mov(dg::EAX, 1);
+    as.cvtif(dg::F0, dg::EAX);
+    as.mov(dg::EAX, 2);
+    as.cvtif(dg::F1, dg::EAX);
+    as.fcmp(dg::F0, dg::F1);       // 1.0 < 2.0 -> CF
+    as.jcc(dg::Cond::B, less);
+    as.mov(dg::EBX, 0);
+    as.halt();
+    as.bind(less);
+    as.mov(dg::EBX, 1);
+    as.halt();
+    Runner r(as);
+    r.run();
+    EXPECT_EQ(r.reg(dg::EBX), 1u);
+}
+
+TEST(GuestEmulator, CvtfiClampSemantics)
+{
+    Assembler as;
+    as.mov(dg::EAX, 0x7FFFFFFF);
+    as.cvtif(dg::F0, dg::EAX);
+    as.fmul(dg::F0, dg::F0);       // way out of range
+    as.cvtfi(dg::EBX, dg::F0);
+    as.halt();
+    Runner r(as);
+    r.run();
+    EXPECT_EQ(r.reg(dg::EBX), 0x80000000u);
+}
+
+TEST(GuestEmulator, StatsCountsBranchKinds)
+{
+    Assembler as;
+    auto fn = as.newLabel();
+    as.call(fn);
+    as.halt();
+    as.bind(fn);
+    as.ret();
+    Runner r(as);
+    r.run();
+    EXPECT_EQ(r.emu.emuStats().calls, 1u);
+    EXPECT_EQ(r.emu.emuStats().returns, 1u);
+    EXPECT_EQ(r.emu.emuStats().indirectBranches, 1u);  // the RET
+}

@@ -1,0 +1,638 @@
+/**
+ * @file
+ * Optimizer-pass tests: targeted unit tests per pass plus
+ * property-based differential testing — every pass (and the full SBM
+ * pipeline) must preserve the semantics of randomly generated traces
+ * under the IR evaluator: same exit, same bound-register values, same
+ * memory effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "ir/evaluator.hh"
+#include "ir/ir.hh"
+#include "ir/passes.hh"
+#include "ir/scheduler.hh"
+
+using namespace darco;
+using namespace darco::ir;
+
+namespace {
+
+/** Structured random trace generator (always valid; terminates). */
+Trace
+randomTrace(Prng &rng, unsigned length)
+{
+    Trace trace;
+    trace.guestEntry = 0x1000;
+    trace.guestEips.push_back(0x1000);
+
+    std::vector<Vreg> int_temps;
+    std::vector<Vreg> fp_temps;
+
+    auto int_src = [&]() -> Vreg {
+        // Bound GPRs/flags or a defined temp.
+        if (!int_temps.empty() && rng.chance(0.5))
+            return int_temps[rng.below(int_temps.size())];
+        if (rng.chance(0.2))
+            return flagVreg(static_cast<unsigned>(rng.below(4)));
+        return vGpr(static_cast<unsigned>(rng.below(8)));
+    };
+    auto fp_src = [&]() -> Vreg {
+        if (!fp_temps.empty() && rng.chance(0.5))
+            return fp_temps[rng.below(fp_temps.size())];
+        return vFpr(static_cast<unsigned>(rng.below(8)));
+    };
+    auto int_dst = [&]() -> Vreg {
+        if (rng.chance(0.35)) {
+            if (rng.chance(0.2))
+                return flagVreg(static_cast<unsigned>(rng.below(4)));
+            return vGpr(static_cast<unsigned>(rng.below(8)));
+        }
+        const Vreg t = trace.newTemp(RegClass::Int);
+        int_temps.push_back(t);
+        return t;
+    };
+    auto fp_dst = [&]() -> Vreg {
+        if (rng.chance(0.4))
+            return vFpr(static_cast<unsigned>(rng.below(8)));
+        const Vreg t = trace.newTemp(RegClass::Fp);
+        fp_temps.push_back(t);
+        return t;
+    };
+    auto add_exit = [&](bool indirect) -> uint16_t {
+        IrExit exit;
+        exit.guestTarget = indirect
+            ? 0 : 0x2000 + static_cast<uint32_t>(rng.below(64)) * 8;
+        exit.guestInstsRetired = 1;
+        exit.indirect = indirect;
+        exit.flagMask = static_cast<uint8_t>(rng.below(16));
+        trace.exits.push_back(exit);
+        return static_cast<uint16_t>(trace.exits.size() - 1);
+    };
+
+    for (unsigned i = 0; i < length; ++i) {
+        IrInst inst;
+        const unsigned kind = static_cast<unsigned>(rng.below(100));
+        if (kind < 10) {
+            inst.op = IrOp::LDI;
+            inst.dst = int_dst();
+            inst.imm = static_cast<int32_t>(rng.next());
+        } else if (kind < 18) {
+            inst.op = IrOp::MOV;
+            inst.src1 = int_src();
+            inst.dst = int_dst();
+        } else if (kind < 55) {
+            static const IrOp ops[] = {
+                IrOp::ADD, IrOp::SUB, IrOp::AND, IrOp::OR, IrOp::XOR,
+                IrOp::SLL, IrOp::SRL, IrOp::SRA, IrOp::SLT, IrOp::SLTU,
+                IrOp::MUL, IrOp::MULH, IrOp::DIV, IrOp::REM,
+            };
+            inst.op = ops[rng.below(sizeof(ops) / sizeof(ops[0]))];
+            inst.src1 = int_src();
+            if (rng.chance(0.4)) {
+                inst.useImm = true;
+                inst.imm = static_cast<int32_t>(
+                    rng.chance(0.5) ? rng.below(64) : rng.next());
+            } else {
+                inst.src2 = int_src();
+            }
+            inst.dst = int_dst();
+        } else if (kind < 65) {
+            // Memory: confined to an aligned window so loads can hit
+            // earlier stores.
+            const bool is_store = rng.chance(0.5);
+            inst.op = is_store ? IrOp::ST : IrOp::LD;
+            inst.src1 = int_src();
+            inst.imm = static_cast<int32_t>(rng.below(16)) * 4;
+            inst.size = rng.chance(0.8) ? 4 : 1;
+            if (is_store) {
+                inst.src2 = int_src();
+            } else {
+                inst.dst = int_dst();
+            }
+        } else if (kind < 78) {
+            static const IrOp ops[] = {
+                IrOp::FADD, IrOp::FSUB, IrOp::FMUL, IrOp::FDIV,
+            };
+            inst.op = ops[rng.below(4)];
+            inst.src1 = fp_src();
+            inst.src2 = fp_src();
+            inst.dst = fp_dst();
+        } else if (kind < 84) {
+            inst.op = rng.chance(0.5) ? IrOp::FCVT_IF : IrOp::FMOV;
+            if (inst.op == IrOp::FCVT_IF) {
+                inst.src1 = int_src();
+                inst.dst = fp_dst();
+            } else {
+                inst.src1 = fp_src();
+                inst.dst = fp_dst();
+            }
+        } else if (kind < 90) {
+            static const IrOp ops[] = {IrOp::FLT, IrOp::FLE, IrOp::FEQ,
+                                       IrOp::FUNORD};
+            inst.op = ops[rng.below(4)];
+            inst.src1 = fp_src();
+            inst.src2 = fp_src();
+            inst.dst = int_dst();
+        } else {
+            inst.op = IrOp::BR;
+            inst.cc = static_cast<BrCc>(rng.below(6));
+            inst.src1 = int_src();
+            if (rng.chance(0.5)) {
+                inst.useImm = true;
+                inst.imm = static_cast<int32_t>(rng.below(8));
+            } else {
+                inst.src2 = int_src();
+            }
+            inst.exitId = add_exit(false);
+        }
+        trace.insts.push_back(inst);
+    }
+
+    // Terminator.
+    IrInst last;
+    if (rng.chance(0.2)) {
+        last.op = IrOp::JINDIRECT;
+        last.src1 = int_src();
+        last.exitId = add_exit(true);
+    } else {
+        last.op = IrOp::JEXIT;
+        last.exitId = add_exit(false);
+    }
+    trace.insts.push_back(last);
+    return trace;
+}
+
+/** Evaluation snapshot for differential comparison. */
+struct Snapshot
+{
+    EvalResult result;
+    std::vector<uint32_t> boundInts;
+    std::vector<uint64_t> boundFps;  ///< bit patterns
+    std::vector<std::pair<uint32_t, uint32_t>> memWords;
+};
+
+Snapshot
+snapshot(const Trace &trace, uint64_t input_seed)
+{
+    Prng rng(input_seed);
+    EvalState state = makeEvalState(trace);
+    for (unsigned v = 0; v < kNumBoundVregs; ++v) {
+        state.ints[v] = static_cast<uint32_t>(rng.next());
+        // Flags hold 0/1 values.
+        if (isFlagVreg(static_cast<Vreg>(v)))
+            state.ints[v] &= 1;
+        state.fps[v] = static_cast<double>(rng.range(-1000, 1000)) / 7.0;
+    }
+    PagedMemory<uint32_t> memory;
+    // Pre-fill the window the generator's memory ops use.
+    for (unsigned v = 0; v < kNumBoundVregs; ++v)
+        state.ints[v] &= 0x000FFFFC;  // keep addresses low and aligned
+
+    Snapshot snap;
+    snap.result = evaluate(trace, state, memory);
+    for (unsigned v = 0; v < kNumBoundVregs; ++v) {
+        if (v >= 12) {
+            uint64_t bits;
+            memcpy(&bits, &state.fps[v], 8);
+            snap.boundFps.push_back(bits);
+        } else {
+            snap.boundInts.push_back(state.ints[v]);
+        }
+    }
+    for (uint32_t page : memory.dirtyPages()) {
+        for (uint32_t off = 0; off < 4096; off += 4) {
+            const uint32_t word = memory.load32(page + off);
+            if (word)
+                snap.memWords.push_back({page + off, word});
+        }
+    }
+    std::sort(snap.memWords.begin(), snap.memWords.end());
+    return snap;
+}
+
+void
+expectEquivalent(const Trace &before, const Trace &after,
+                 uint64_t input_seed, const char *what)
+{
+    const Snapshot a = snapshot(before, input_seed);
+    const Snapshot b = snapshot(after, input_seed);
+
+    ASSERT_EQ(a.result.exitId, b.result.exitId) << what;
+    ASSERT_EQ(a.result.indirectTarget, b.result.indirectTarget) << what;
+
+    // GPR vregs always; flag vregs only per the taken exit's mask.
+    const uint8_t mask = before.exits[a.result.exitId].flagMask;
+    for (unsigned v = 0; v < 12; ++v) {
+        if (isFlagVreg(static_cast<Vreg>(v)) &&
+            !(mask & (1u << (v - vFlagZ))))
+            continue;
+        EXPECT_EQ(a.boundInts[v], b.boundInts[v])
+            << what << ": bound int vreg v" << v;
+    }
+    for (unsigned i = 0; i < a.boundFps.size(); ++i)
+        EXPECT_EQ(a.boundFps[i], b.boundFps[i]) << what << ": fp " << i;
+    EXPECT_EQ(a.memWords, b.memWords) << what << ": memory";
+}
+
+using PassFn = void (*)(Trace &, PassStats *);
+
+void
+checkPass(PassFn pass, const char *what, unsigned iterations)
+{
+    Prng rng(1234);
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        Trace trace = randomTrace(rng, 10 + iter % 50);
+        ASSERT_EQ(validate(trace), "") << what << " iter " << iter;
+        Trace optimized = trace;
+        PassStats stats;
+        pass(optimized, &stats);
+        ASSERT_EQ(validate(optimized), "")
+            << what << " produced invalid trace, iter " << iter;
+        for (uint64_t seed = 1; seed <= 3; ++seed)
+            expectEquivalent(trace, optimized, seed, what);
+    }
+}
+
+} // namespace
+
+TEST(IrPasses, CopyPropagationPreservesSemantics)
+{
+    checkPass(&copyPropagation, "copyProp", 150);
+}
+
+TEST(IrPasses, ConstantPropagationPreservesSemantics)
+{
+    checkPass(&constantPropagation, "constProp", 150);
+}
+
+TEST(IrPasses, CsePreservesSemantics)
+{
+    checkPass(&commonSubexpressionElimination, "cse", 150);
+}
+
+TEST(IrPasses, DcePreservesSemantics)
+{
+    checkPass(&deadCodeElimination, "dce", 150);
+}
+
+TEST(IrPasses, SchedulerPreservesSemantics)
+{
+    checkPass(+[](Trace &t, PassStats *) { scheduleTrace(t); },
+              "scheduler", 150);
+}
+
+TEST(IrPasses, FullPipelinePreservesSemantics)
+{
+    checkPass(+[](Trace &t, PassStats *stats) {
+                  copyPropagation(t, stats);
+                  constantPropagation(t, stats);
+                  commonSubexpressionElimination(t, stats);
+                  copyPropagation(t, stats);
+                  deadCodeElimination(t, stats);
+                  scheduleTrace(t);
+              },
+              "full pipeline", 200);
+}
+
+// ----- targeted unit tests -----------------------------------------------
+
+namespace {
+
+Trace
+miniTrace()
+{
+    Trace trace;
+    trace.guestEntry = 0x1000;
+    trace.guestEips.push_back(0x1000);
+    IrExit exit;
+    exit.guestTarget = 0x2000;
+    exit.guestInstsRetired = 1;
+    exit.flagMask = 0;
+    trace.exits.push_back(exit);
+    return trace;
+}
+
+IrInst
+mk(IrOp op, Vreg dst, Vreg s1, Vreg s2)
+{
+    IrInst inst;
+    inst.op = op;
+    inst.dst = dst;
+    inst.src1 = s1;
+    inst.src2 = s2;
+    return inst;
+}
+
+IrInst
+mkImm(IrOp op, Vreg dst, Vreg s1, int64_t imm)
+{
+    IrInst inst;
+    inst.op = op;
+    inst.dst = dst;
+    inst.src1 = s1;
+    inst.useImm = true;
+    inst.imm = imm;
+    return inst;
+}
+
+IrInst
+mkExit(uint16_t exit_id)
+{
+    IrInst inst;
+    inst.op = IrOp::JEXIT;
+    inst.exitId = exit_id;
+    return inst;
+}
+
+} // namespace
+
+TEST(IrPasses, CopyPropRewritesThroughChain)
+{
+    Trace t = miniTrace();
+    const Vreg t1 = t.newTemp(RegClass::Int);
+    const Vreg t2 = t.newTemp(RegClass::Int);
+    t.insts.push_back(mk(IrOp::MOV, t1, vGpr(0), kNoVreg));
+    t.insts.push_back(mk(IrOp::MOV, t2, t1, kNoVreg));
+    t.insts.push_back(mk(IrOp::ADD, vGpr(1), t2, t2));
+    t.insts.push_back(mkExit(0));
+
+    PassStats stats;
+    copyPropagation(t, &stats);
+    EXPECT_GE(stats.copiesPropagated, 2u);
+    EXPECT_EQ(t.insts[2].src1, vGpr(0));
+    EXPECT_EQ(t.insts[2].src2, vGpr(0));
+}
+
+TEST(IrPasses, CopyPropInvalidatesOnRedefinition)
+{
+    Trace t = miniTrace();
+    const Vreg t1 = t.newTemp(RegClass::Int);
+    t.insts.push_back(mk(IrOp::MOV, t1, vGpr(0), kNoVreg));
+    t.insts.push_back(mkImm(IrOp::ADD, vGpr(0), vGpr(0), 1));
+    t.insts.push_back(mk(IrOp::ADD, vGpr(1), t1, t1));
+    t.insts.push_back(mkExit(0));
+
+    copyPropagation(t, nullptr);
+    // t1 must NOT have been replaced by the redefined EAX.
+    EXPECT_EQ(t.insts[2].src1, t1);
+}
+
+TEST(IrPasses, ConstantFoldingProducesLdi)
+{
+    Trace t = miniTrace();
+    const Vreg a = t.newTemp(RegClass::Int);
+    const Vreg b = t.newTemp(RegClass::Int);
+    const Vreg c = t.newTemp(RegClass::Int);
+    t.insts.push_back(mkImm(IrOp::ADD, a, vGpr(0), 0));  // not const
+    IrInst ldi1;
+    ldi1.op = IrOp::LDI;
+    ldi1.dst = b;
+    ldi1.imm = 6;
+    t.insts.push_back(ldi1);
+    t.insts.push_back(mkImm(IrOp::MUL, c, b, 0));
+    t.insts.back().useImm = false;
+    t.insts.back().src2 = b;              // 6 * 6 = 36
+    t.insts.push_back(mk(IrOp::ADD, vGpr(2), c, a));
+    t.insts.push_back(mkExit(0));
+
+    PassStats stats;
+    constantPropagation(t, &stats);
+    EXPECT_GE(stats.constsFolded, 1u);
+    // c = LDI 36 now.
+    bool found = false;
+    for (const IrInst &inst : t.insts) {
+        if (inst.op == IrOp::LDI && inst.dst == c && inst.imm == 36)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(IrPasses, ConstantPropagationResolvesBranches)
+{
+    Trace t = miniTrace();
+    t.exits.push_back(t.exits[0]);  // exit 1
+    const Vreg a = t.newTemp(RegClass::Int);
+    IrInst ldi;
+    ldi.op = IrOp::LDI;
+    ldi.dst = a;
+    ldi.imm = 5;
+    t.insts.push_back(ldi);
+    IrInst br;  // if (5 != 5) exit 1  -> never taken
+    br.op = IrOp::BR;
+    br.cc = BrCc::NE;
+    br.src1 = a;
+    br.useImm = true;
+    br.imm = 5;
+    br.exitId = 1;
+    t.insts.push_back(br);
+    t.insts.push_back(mkExit(0));
+
+    PassStats stats;
+    constantPropagation(t, &stats);
+    EXPECT_EQ(stats.branchesResolved, 1u);
+    for (const IrInst &inst : t.insts)
+        EXPECT_NE(inst.op, IrOp::BR);
+}
+
+TEST(IrPasses, CseEliminatesRedundantExpression)
+{
+    Trace t = miniTrace();
+    const Vreg a = t.newTemp(RegClass::Int);
+    const Vreg b = t.newTemp(RegClass::Int);
+    t.insts.push_back(mk(IrOp::ADD, a, vGpr(0), vGpr(1)));
+    t.insts.push_back(mk(IrOp::ADD, b, vGpr(0), vGpr(1)));
+    t.insts.push_back(mk(IrOp::XOR, vGpr(2), a, b));
+    t.insts.push_back(mkExit(0));
+
+    PassStats stats;
+    commonSubexpressionElimination(t, &stats);
+    EXPECT_EQ(stats.cseHits, 1u);
+    EXPECT_EQ(t.insts[1].op, IrOp::MOV);
+    EXPECT_EQ(t.insts[1].src1, a);
+}
+
+TEST(IrPasses, CseCommutativeCanonicalization)
+{
+    Trace t = miniTrace();
+    const Vreg a = t.newTemp(RegClass::Int);
+    const Vreg b = t.newTemp(RegClass::Int);
+    t.insts.push_back(mk(IrOp::ADD, a, vGpr(0), vGpr(1)));
+    t.insts.push_back(mk(IrOp::ADD, b, vGpr(1), vGpr(0)));  // swapped
+    t.insts.push_back(mk(IrOp::XOR, vGpr(2), a, b));
+    t.insts.push_back(mkExit(0));
+
+    PassStats stats;
+    commonSubexpressionElimination(t, &stats);
+    EXPECT_EQ(stats.cseHits, 1u);
+}
+
+TEST(IrPasses, CseStoreToLoadForwarding)
+{
+    Trace t = miniTrace();
+    const Vreg addr = t.newTemp(RegClass::Int);
+    const Vreg val = t.newTemp(RegClass::Int);
+    const Vreg loaded = t.newTemp(RegClass::Int);
+    IrInst ldi;
+    ldi.op = IrOp::LDI;
+    ldi.dst = addr;
+    ldi.imm = 0x4000;
+    t.insts.push_back(ldi);
+    t.insts.push_back(mkImm(IrOp::ADD, val, vGpr(0), 7));
+    IrInst st;
+    st.op = IrOp::ST;
+    st.src1 = addr;
+    st.src2 = val;
+    st.size = 4;
+    t.insts.push_back(st);
+    IrInst ld;
+    ld.op = IrOp::LD;
+    ld.dst = loaded;
+    ld.src1 = addr;
+    ld.size = 4;
+    t.insts.push_back(ld);
+    t.insts.push_back(mk(IrOp::MOV, vGpr(1), loaded, kNoVreg));
+    t.insts.push_back(mkExit(0));
+
+    PassStats stats;
+    commonSubexpressionElimination(t, &stats);
+    EXPECT_EQ(stats.loadsForwarded, 1u);
+}
+
+TEST(IrPasses, CseStoresInvalidateLoads)
+{
+    Trace t = miniTrace();
+    const Vreg l1 = t.newTemp(RegClass::Int);
+    const Vreg l2 = t.newTemp(RegClass::Int);
+    IrInst ld1;
+    ld1.op = IrOp::LD;
+    ld1.dst = l1;
+    ld1.src1 = vGpr(0);
+    ld1.size = 4;
+    t.insts.push_back(ld1);
+    IrInst st;  // store to a *different* (unknown) address
+    st.op = IrOp::ST;
+    st.src1 = vGpr(1);
+    st.src2 = l1;
+    st.size = 4;
+    t.insts.push_back(st);
+    IrInst ld2 = ld1;
+    ld2.dst = l2;
+    t.insts.push_back(ld2);
+    t.insts.push_back(mk(IrOp::ADD, vGpr(2), l1, l2));
+    t.insts.push_back(mkExit(0));
+
+    PassStats stats;
+    commonSubexpressionElimination(t, &stats);
+    EXPECT_EQ(stats.cseHits, 0u);       // the reload must survive
+    EXPECT_EQ(stats.loadsForwarded, 0u);
+    EXPECT_EQ(t.insts[2].op, IrOp::LD);
+}
+
+TEST(IrPasses, DceRemovesDeadFlagDefs)
+{
+    Trace t = miniTrace();   // exit flagMask = 0: all flags dead
+    t.insts.push_back(mkImm(IrOp::SLTU, vFlagZ, vGpr(0), 1));
+    t.insts.push_back(mkImm(IrOp::SRL, vFlagS, vGpr(0), 31));
+    t.insts.push_back(mk(IrOp::ADD, vGpr(0), vGpr(1), vGpr(2)));
+    t.insts.push_back(mkExit(0));
+
+    PassStats stats;
+    deadCodeElimination(t, &stats);
+    EXPECT_EQ(stats.instsRemoved, 2u);
+    EXPECT_EQ(t.insts.size(), 2u);  // the ADD + exit survive
+}
+
+TEST(IrPasses, DceKeepsLiveFlagDefsPerExitMask)
+{
+    Trace t = miniTrace();
+    t.exits[0].flagMask = fmask::Z;  // only ZF live
+    t.insts.push_back(mkImm(IrOp::SLTU, vFlagZ, vGpr(0), 1));
+    t.insts.push_back(mkImm(IrOp::SRL, vFlagS, vGpr(0), 31));
+    t.insts.push_back(mkExit(0));
+
+    PassStats stats;
+    deadCodeElimination(t, &stats);
+    EXPECT_EQ(stats.instsRemoved, 1u);  // only the SF def dies
+    EXPECT_EQ(t.insts[0].dst, vFlagZ);
+}
+
+TEST(IrPasses, DceKeepsStores)
+{
+    Trace t = miniTrace();
+    const Vreg dead = t.newTemp(RegClass::Int);
+    t.insts.push_back(mk(IrOp::ADD, dead, vGpr(0), vGpr(1)));
+    IrInst st;
+    st.op = IrOp::ST;
+    st.src1 = vGpr(0);
+    st.src2 = vGpr(1);
+    st.size = 4;
+    t.insts.push_back(st);
+    t.insts.push_back(mkExit(0));
+
+    PassStats stats;
+    deadCodeElimination(t, &stats);
+    EXPECT_EQ(stats.instsRemoved, 1u);
+    EXPECT_EQ(t.insts[0].op, IrOp::ST);
+}
+
+TEST(IrScheduler, NeverReordersAcrossExits)
+{
+    Prng rng(777);
+    for (unsigned iter = 0; iter < 100; ++iter) {
+        Trace t = randomTrace(rng, 40);
+        // Positions of control instructions must be identical after
+        // scheduling (only straight-line segments reorder).
+        std::vector<size_t> exits_before;
+        for (size_t i = 0; i < t.insts.size(); ++i) {
+            if (t.insts[i].isExit())
+                exits_before.push_back(i);
+        }
+        scheduleTrace(t);
+        std::vector<size_t> exits_after;
+        for (size_t i = 0; i < t.insts.size(); ++i) {
+            if (t.insts[i].isExit())
+                exits_after.push_back(i);
+        }
+        ASSERT_EQ(exits_before, exits_after);
+    }
+}
+
+TEST(IrScheduler, SeparatesDependentPair)
+{
+    // load -> use -> independent ops: the scheduler should hoist
+    // independents between the load and its consumer.
+    Trace t = miniTrace();
+    const Vreg l = t.newTemp(RegClass::Int);
+    const Vreg u = t.newTemp(RegClass::Int);
+    const Vreg i1 = t.newTemp(RegClass::Int);
+    const Vreg i2 = t.newTemp(RegClass::Int);
+    IrInst ld;
+    ld.op = IrOp::LD;
+    ld.dst = l;
+    ld.src1 = vGpr(0);
+    ld.size = 4;
+    t.insts.push_back(ld);
+    t.insts.push_back(mkImm(IrOp::ADD, u, l, 1));        // dependent
+    t.insts.push_back(mkImm(IrOp::ADD, i1, vGpr(1), 1)); // independent
+    t.insts.push_back(mkImm(IrOp::ADD, i2, vGpr(2), 1)); // independent
+    t.insts.push_back(mk(IrOp::ADD, vGpr(3), u, i1));
+    t.insts.push_back(mk(IrOp::ADD, vGpr(4), i2, i2));
+    t.insts.push_back(mkExit(0));
+
+    scheduleTrace(t);
+    // The load stays first (longest path), and its consumer is no
+    // longer immediately after it.
+    size_t load_pos = 99, use_pos = 99;
+    for (size_t i = 0; i < t.insts.size(); ++i) {
+        if (t.insts[i].op == IrOp::LD)
+            load_pos = i;
+        if (t.insts[i].dst == u)
+            use_pos = i;
+    }
+    ASSERT_NE(load_pos, 99u);
+    ASSERT_NE(use_pos, 99u);
+    EXPECT_GT(use_pos, load_pos + 1);
+}

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+ *  - cache invariants over a grid of geometries (hit-after-fill,
+ *    conflict-eviction correctness, PLRU retention, stats closure),
+ *  - TLB invariants over entry/way grids,
+ *  - IR evaluator semantics for every integer ALU opcode against a
+ *    reference computed independently,
+ *  - pipeline accounting closure across configuration variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "ir/evaluator.hh"
+#include "timing/cache.hh"
+#include "timing/pipeline.hh"
+#include "timing/tlb.hh"
+
+using namespace darco;
+using namespace darco::timing;
+
+// ----- cache geometry sweep ----------------------------------------------
+
+struct CacheCase
+{
+    uint32_t sizeKb;
+    uint32_t lineBytes;
+    uint32_t ways;
+};
+
+class CacheSweep : public ::testing::TestWithParam<CacheCase>
+{};
+
+TEST_P(CacheSweep, HitAfterFillAndConflictEviction)
+{
+    const CacheCase c = GetParam();
+    CacheGeometry geom{c.sizeKb * 1024, c.lineBytes, c.ways, 1};
+    Cache cache(geom, nullptr, 100);
+
+    const uint32_t sets = geom.sizeBytes / (geom.lineBytes * geom.ways);
+    const uint32_t set_stride = sets * geom.lineBytes;
+
+    bool miss;
+    // Fill one set completely: all ways must then hit.
+    for (uint32_t w = 0; w < c.ways; ++w)
+        cache.access(w * set_stride, false, miss);
+    for (uint32_t w = 0; w < c.ways; ++w) {
+        cache.access(w * set_stride, false, miss);
+        ASSERT_FALSE(miss) << "way " << w;
+    }
+    // One more conflicting line evicts exactly one way.
+    cache.access(c.ways * set_stride, false, miss);
+    ASSERT_TRUE(miss);
+    unsigned resident = 0;
+    for (uint32_t w = 0; w <= c.ways; ++w)
+        resident += cache.probe(w * set_stride) ? 1 : 0;
+    EXPECT_EQ(resident, c.ways);
+
+    // Stats closure.
+    EXPECT_EQ(cache.stats().accesses, 2u * c.ways + 1u);
+    EXPECT_EQ(cache.stats().misses, static_cast<uint64_t>(c.ways) + 1u);
+}
+
+TEST_P(CacheSweep, RandomStreamStatsAreConsistent)
+{
+    const CacheCase c = GetParam();
+    CacheGeometry geom{c.sizeKb * 1024, c.lineBytes, c.ways, 1};
+    Cache l2(CacheGeometry{512 * 1024, 128, 8, 16}, nullptr, 100);
+    Cache l1(geom, &l2, 100);
+
+    Prng rng(c.sizeKb * 131 + c.lineBytes + c.ways);
+    bool miss;
+    for (int i = 0; i < 20000; ++i)
+        l1.access(static_cast<uint32_t>(rng.below(1u << 21)),
+                  rng.chance(0.3), miss);
+
+    EXPECT_EQ(l1.stats().accesses, 20000u);
+    EXPECT_LE(l1.stats().misses, l1.stats().accesses);
+    // Everything that missed in L1 accessed L2 (plus writebacks).
+    EXPECT_GE(l2.stats().accesses, l1.stats().misses);
+    EXPECT_LE(l2.stats().accesses,
+              l1.stats().misses + l1.stats().writebacks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweep,
+    ::testing::Values(CacheCase{32, 64, 4}, CacheCase{32, 64, 8},
+                      CacheCase{16, 32, 2}, CacheCase{64, 128, 8},
+                      CacheCase{8, 64, 2}, CacheCase{512, 128, 8},
+                      CacheCase{4, 32, 4}),
+    [](const ::testing::TestParamInfo<CacheCase> &info) {
+        return std::to_string(info.param.sizeKb) + "kB_" +
+               std::to_string(info.param.lineBytes) + "B_" +
+               std::to_string(info.param.ways) + "w";
+    });
+
+// ----- TLB sweep -----------------------------------------------------------
+
+class TlbSweep : public ::testing::TestWithParam<std::pair<int, int>>
+{};
+
+TEST_P(TlbSweep, CapacityBehaviour)
+{
+    TimingConfig cfg;
+    cfg.tlbL1Entries = static_cast<uint32_t>(GetParam().first);
+    cfg.tlbL1Ways = static_cast<uint32_t>(GetParam().second);
+    Tlb tlb(cfg);
+
+    // Touch exactly L1-capacity distinct pages: all should then hit.
+    for (uint32_t p = 0; p < cfg.tlbL1Entries; ++p)
+        tlb.access(p << 12);
+    uint64_t misses_before = tlb.stats().l1Misses;
+    for (uint32_t p = 0; p < cfg.tlbL1Entries; ++p)
+        tlb.access(p << 12);
+    EXPECT_EQ(tlb.stats().l1Misses, misses_before)
+        << "within-capacity pages must all hit L1";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Entries, TlbSweep,
+    ::testing::Values(std::make_pair(16, 4), std::make_pair(32, 8),
+                      std::make_pair(64, 8), std::make_pair(128, 8)),
+    [](const ::testing::TestParamInfo<std::pair<int, int>> &info) {
+        return std::to_string(info.param.first) + "e_" +
+               std::to_string(info.param.second) + "w";
+    });
+
+// ----- IR ALU semantics sweep ------------------------------------------
+
+class IrAluOp : public ::testing::TestWithParam<ir::IrOp>
+{};
+
+namespace {
+
+uint32_t
+reference(ir::IrOp op, uint32_t a, uint32_t b)
+{
+    const int32_t sa = static_cast<int32_t>(a);
+    const int32_t sb = static_cast<int32_t>(b);
+    const int64_t wa = sa, wb = sb;
+    switch (op) {
+      case ir::IrOp::ADD:  return a + b;
+      case ir::IrOp::SUB:  return a - b;
+      case ir::IrOp::AND:  return a & b;
+      case ir::IrOp::OR:   return a | b;
+      case ir::IrOp::XOR:  return a ^ b;
+      case ir::IrOp::SLL:  return a << (b % 32);
+      case ir::IrOp::SRL:  return a >> (b % 32);
+      case ir::IrOp::SRA:
+        return static_cast<uint32_t>(sa >> (b % 32));
+      case ir::IrOp::SLT:  return sa < sb ? 1 : 0;
+      case ir::IrOp::SLTU: return a < b ? 1 : 0;
+      case ir::IrOp::MUL:  return static_cast<uint32_t>(wa * wb);
+      case ir::IrOp::MULH:
+        return static_cast<uint32_t>((wa * wb) >> 32);
+      case ir::IrOp::DIV:
+        if (sb == 0 || (sa == INT32_MIN && sb == -1))
+            return 0;
+        return static_cast<uint32_t>(sa / sb);
+      case ir::IrOp::REM:
+        if (sb == 0 || (sa == INT32_MIN && sb == -1))
+            return a;
+        return static_cast<uint32_t>(sa % sb);
+      default:
+        ADD_FAILURE() << "unexpected op";
+        return 0;
+    }
+}
+
+} // namespace
+
+TEST_P(IrAluOp, MatchesReferenceOnEdgeAndRandomInputs)
+{
+    const ir::IrOp op = GetParam();
+    static const uint32_t edges[] = {
+        0, 1, 2, 31, 32, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF,
+        0xFFFFFFFE, 0x55555555, 0xAAAAAAAA,
+    };
+    for (uint32_t a : edges) {
+        for (uint32_t b : edges)
+            ASSERT_EQ(ir::evalIntOp(op, a, b), reference(op, a, b))
+                << ir::irOpName(op) << "(" << a << ", " << b << ")";
+    }
+    Prng rng(static_cast<uint64_t>(op) + 99);
+    for (int i = 0; i < 2000; ++i) {
+        const uint32_t a = static_cast<uint32_t>(rng.next());
+        const uint32_t b = static_cast<uint32_t>(rng.next());
+        ASSERT_EQ(ir::evalIntOp(op, a, b), reference(op, a, b));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, IrAluOp,
+    ::testing::Values(ir::IrOp::ADD, ir::IrOp::SUB, ir::IrOp::AND,
+                      ir::IrOp::OR, ir::IrOp::XOR, ir::IrOp::SLL,
+                      ir::IrOp::SRL, ir::IrOp::SRA, ir::IrOp::SLT,
+                      ir::IrOp::SLTU, ir::IrOp::MUL, ir::IrOp::MULH,
+                      ir::IrOp::DIV, ir::IrOp::REM),
+    [](const ::testing::TestParamInfo<ir::IrOp> &info) {
+        return std::string(ir::irOpName(info.param));
+    });
+
+// ----- pipeline configuration sweep --------------------------------------
+
+class PipelineConfigSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>>
+{};
+
+TEST_P(PipelineConfigSweep, AccountingClosesForAllConfigs)
+{
+    TimingConfig cfg;
+    cfg.issueWidth = static_cast<uint32_t>(std::get<0>(GetParam()));
+    cfg.iqSize = static_cast<uint32_t>(std::get<1>(GetParam()));
+    cfg.prefetcherEnabled = std::get<2>(GetParam());
+
+    Pipeline pipe(cfg, Pipeline::Filter::All);
+    Prng rng(7);
+    for (int i = 0; i < 8000; ++i) {
+        Record rec;
+        rec.pc = 0x1000 + 4 * (i % 256);
+        rec.fromRegion = true;
+        if (rng.chance(0.25)) {
+            rec.op = host::HOp::LD;
+            rec.isLoad = true;
+            rec.rd = static_cast<uint8_t>(33 + rng.below(8));
+            rec.rs1 = 32;
+            rec.memAddr = static_cast<uint32_t>(rng.below(1u << 18));
+            rec.size = 4;
+        } else if (rng.chance(0.15)) {
+            rec.op = host::HOp::BNE;
+            rec.isBranch = true;
+            rec.isCondBranch = true;
+            rec.rs1 = 33;
+            rec.rs2 = 0;
+            rec.taken = rng.chance(0.6);
+            rec.branchTarget = rec.taken ? 0x1000 : 0;
+        } else {
+            rec.op = host::HOp::ADD;
+            rec.rd = static_cast<uint8_t>(33 + rng.below(8));
+            rec.rs1 = static_cast<uint8_t>(33 + rng.below(8));
+            rec.rs2 = 32;
+        }
+        pipe.consume(rec);
+    }
+    pipe.finish();
+
+    double total = 0;
+    for (unsigned b = 0; b < kNumBuckets; ++b)
+        total += pipe.stats().bucketTotal(static_cast<Bucket>(b));
+    EXPECT_NEAR(total, static_cast<double>(pipe.stats().cycles),
+                1e-6 * static_cast<double>(pipe.stats().cycles) + 1.0);
+    EXPECT_GT(pipe.stats().ipc(), 0.05);
+    EXPECT_LE(pipe.stats().ipc(),
+              static_cast<double>(cfg.issueWidth) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PipelineConfigSweep,
+    ::testing::Values(std::make_tuple(1, 8, true),
+                      std::make_tuple(2, 16, true),
+                      std::make_tuple(2, 16, false),
+                      std::make_tuple(4, 32, true),
+                      std::make_tuple(2, 4, true)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, bool>> &i) {
+        return "w" + std::to_string(std::get<0>(i.param)) + "_iq" +
+               std::to_string(std::get<1>(i.param)) +
+               (std::get<2>(i.param) ? "_pf" : "_nopf");
+    });
