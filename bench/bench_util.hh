@@ -9,6 +9,7 @@
 #ifndef DARCO_BENCH_BENCH_UTIL_HH
 #define DARCO_BENCH_BENCH_UTIL_HH
 
+#include <ctime>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -120,6 +121,135 @@ renderTable(const Table &table, const BenchArgs &args)
     else
         table.render();
 }
+
+// ---------------------------------------------------------------------
+// Simulator-throughput reporting (machine-readable perf trajectory)
+// ---------------------------------------------------------------------
+
+/**
+ * Process-CPU-time stopwatch. CPU time (not wall clock) keeps the
+ * perf trajectory comparable when the measuring machine is shared;
+ * the simulator is single-threaded, so the two agree on an idle box.
+ */
+class CpuTimer
+{
+  public:
+    CpuTimer() : start(sample()) {}
+
+    double seconds() const { return sample() - start; }
+
+  private:
+    static double
+    sample()
+    {
+        timespec ts{};
+        clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+        return static_cast<double>(ts.tv_sec) +
+               static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+
+    double start;
+};
+
+/** One measured engine scenario (e.g. interpreter-only execution). */
+struct ThroughputSample
+{
+    std::string name;
+    uint64_t guestRetired = 0;   ///< guest instructions simulated
+    uint64_t hostRecords = 0;    ///< host-instruction records timed
+    uint64_t cycles = 0;         ///< simulated cycles (determinism key)
+    double seconds = 0;          ///< host process-CPU seconds
+
+    double
+    guestMips() const
+    {
+        return seconds > 0
+            ? static_cast<double>(guestRetired) / seconds / 1e6 : 0;
+    }
+
+    double
+    hostInstPerSec() const
+    {
+        return seconds > 0
+            ? static_cast<double>(hostRecords) / seconds : 0;
+    }
+};
+
+/**
+ * Collects ThroughputSamples and emits BENCH_engine.json so future
+ * PRs have a perf trajectory to compare against. If a baseline file
+ * (same schema, recorded at an earlier engine state) is supplied, each
+ * scenario additionally reports its speedup versus the baseline.
+ */
+class ThroughputReporter
+{
+  public:
+    explicit ThroughputReporter(std::string engine_label)
+        : label(std::move(engine_label))
+    {}
+
+    void add(ThroughputSample sample) { samples.push_back(sample); }
+
+    /** Baseline guest-MIPS for a scenario ( <= 0 means unknown). */
+    void
+    addBaseline(const std::string &scenario, double guest_mips,
+                double host_inst_per_sec)
+    {
+        baselines.push_back({scenario, guest_mips, host_inst_per_sec});
+    }
+
+    void
+    write(const char *path = "BENCH_engine.json") const
+    {
+        FILE *out = std::fopen(path, "w");
+        fatal_if(!out, "cannot open %s for writing", path);
+        std::fprintf(out, "{\n  \"bench\": \"%s\",\n", label.c_str());
+        std::fprintf(out, "  \"scenarios\": {\n");
+        for (size_t i = 0; i < samples.size(); ++i) {
+            const ThroughputSample &s = samples[i];
+            std::fprintf(out,
+                         "    \"%s\": {\n"
+                         "      \"guest_retired\": %llu,\n"
+                         "      \"host_records\": %llu,\n"
+                         "      \"sim_cycles\": %llu,\n"
+                         "      \"seconds\": %.6f,\n"
+                         "      \"guest_mips\": %.3f,\n"
+                         "      \"host_inst_per_sec\": %.0f",
+                         s.name.c_str(),
+                         static_cast<unsigned long long>(s.guestRetired),
+                         static_cast<unsigned long long>(s.hostRecords),
+                         static_cast<unsigned long long>(s.cycles),
+                         s.seconds, s.guestMips(), s.hostInstPerSec());
+            for (const Baseline &b : baselines) {
+                if (b.scenario != s.name || b.guestMips <= 0)
+                    continue;
+                std::fprintf(out,
+                             ",\n      \"baseline_guest_mips\": %.3f,\n"
+                             "      \"baseline_host_inst_per_sec\": %.0f,\n"
+                             "      \"speedup_vs_baseline\": %.2f",
+                             b.guestMips, b.hostInstPerSec,
+                             s.guestMips() / b.guestMips);
+            }
+            std::fprintf(out, "\n    }%s\n",
+                         i + 1 < samples.size() ? "," : "");
+        }
+        std::fprintf(out, "  }\n}\n");
+        std::fclose(out);
+        std::fprintf(stderr, "wrote %s\n", path);
+    }
+
+  private:
+    struct Baseline
+    {
+        std::string scenario;
+        double guestMips;
+        double hostInstPerSec;
+    };
+
+    std::string label;
+    std::vector<ThroughputSample> samples;
+    std::vector<Baseline> baselines;
+};
 
 } // namespace darco::bench
 

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Simulator-throughput harness: measures host speed (process-CPU
+ * time, robust on shared machines) of the engine's hottest execution
+ * modes (pure interpretation, steady-state translated execution, and
+ * the default mixed pipeline) in guest-MIPS and host-records/s, and
+ * emits BENCH_engine.json so every future PR has a perf trajectory to
+ * compare against.
+ *
+ * Besides throughput, each scenario reports its simulated-cycle count
+ * and per-component metric fingerprint on stderr; these must be
+ * bit-identical across simulator-speed optimizations (the engine is
+ * deterministic, so any change in them is a semantics change, not an
+ * optimization).
+ *
+ * The baseline_* constants below were measured in this same PR, at
+ * the commit immediately before the hot-path overhaul (two-level page
+ * directory, code-store lookup cache, batched timing records, decode
+ * cache), with the identical harness, budgets, and build flags.
+ */
+
+#include <cinttypes>
+
+#include "bench_util.hh"
+#include "sim/system.hh"
+#include "workloads/params.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace darco;
+    // Budgets are fixed per scenario so results stay comparable
+    // across PRs; parse() still provides --help and arg validation.
+    (void)bench::BenchArgs::parse(argc, argv);
+
+    bench::ThroughputReporter reporter("engine_speed");
+
+    struct Scenario
+    {
+        const char *name;
+        const char *workload;
+        uint64_t budget;
+        bool interpretOnly;
+        uint32_t sbThreshold;
+        double baselineGuestMips;
+        double baselineHostInstPerSec;
+    };
+
+    // Baselines: pre-optimization engine (seed src/, Release build,
+    // no IPO/PGO), same harness and budgets, median of 6 interleaved
+    // A/B rounds on the same machine (process CPU time).
+    const Scenario scenarios[] = {
+        {"interpreter", "464.h264ref", 250'000, true, 300,
+         0.947, 18.0e6},
+        {"translated", "464.h264ref", 2'000'000, false, 300,
+         9.093, 19.8e6},
+        {"mixed_464.h264ref", "464.h264ref", 1'000'000, false, 1000,
+         7.802, 19.9e6},
+    };
+
+    for (const Scenario &sc : scenarios) {
+        sim::SimConfig cfg;
+        cfg.guestBudget = sc.budget;
+        cfg.tol.bbToSbThreshold = sc.sbThreshold;
+        if (sc.interpretOnly)
+            cfg.tol.imToBbThreshold = 0xFFFFFFFFu;
+
+        sim::System sys(cfg);
+        sys.load(workloads::buildBenchmark(
+            *workloads::findBenchmark(sc.workload)));
+
+        std::fprintf(stderr, "  running %-20s ...\n", sc.name);
+        bench::CpuTimer timer;
+        const sim::SystemResult res = sys.run();
+        const double secs = timer.seconds();
+
+        const timing::PipeStats &ps = sys.combinedStats();
+        bench::ThroughputSample sample;
+        sample.name = sc.name;
+        sample.guestRetired = res.guestRetired;
+        sample.hostRecords = ps.records;
+        sample.cycles = res.cycles;
+        sample.seconds = secs;
+        reporter.add(sample);
+        if (sc.baselineGuestMips > 0) {
+            reporter.addBaseline(sc.name, sc.baselineGuestMips,
+                                 sc.baselineHostInstPerSec);
+        }
+
+        // Determinism fingerprint: simulated quantities only (no wall
+        // clock). Must not change across speed optimizations.
+        std::fprintf(
+            stderr,
+            "  fingerprint %s: guest=%" PRIu64 " records=%" PRIu64
+            " cycles=%" PRIu64 " l1d=%" PRIu64 "/%" PRIu64
+            " l1i=%" PRIu64 "/%" PRIu64 " l2=%" PRIu64 "/%" PRIu64
+            " tlb=%" PRIu64 "/%" PRIu64 " bp=%" PRIu64 "/%" PRIu64
+            " ipc=%.6f\n",
+            sc.name, res.guestRetired, ps.records, res.cycles,
+            ps.l1d.accesses, ps.l1d.misses, ps.l1i.accesses,
+            ps.l1i.misses, ps.l2.accesses, ps.l2.misses,
+            ps.tlb.accesses, ps.tlb.l1Misses, ps.bp.branches,
+            ps.bp.mispredicts, ps.ipc());
+    }
+
+    reporter.write();
+    return 0;
+}

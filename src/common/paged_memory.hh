@@ -11,11 +11,20 @@
  *
  * Dirty-page tracking supports the co-simulation state checker, which
  * compares only pages either side has written.
+ *
+ * Layout: a two-level page directory (flat top-level array for
+ * address spaces up to 32 bits, hashed top level beyond that) keeps
+ * the load/store fast path free of hash lookups, and one-entry
+ * last-page translation caches (separate for loads and stores) make
+ * the common same-page access a couple of dependent loads. Pages are
+ * individually heap-allocated, so pointers into them stay stable for
+ * the lifetime of the memory.
  */
 
 #ifndef DARCO_COMMON_PAGED_MEMORY_HH
 #define DARCO_COMMON_PAGED_MEMORY_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstring>
@@ -36,6 +45,12 @@ class PagedMemory
 
     using Addr = AddrT;
     using Page = std::array<uint8_t, kPageSize>;
+
+    PagedMemory()
+    {
+        if constexpr (kFlatDirectory)
+            dir.resize(kDirEntries);
+    }
 
     /** Load @p size (1/2/4/8) bytes, little-endian, zero-extended. */
     uint64_t
@@ -93,42 +108,97 @@ class PagedMemory
         store64(addr, bits);
     }
 
-    /** Bulk write (used by the loader). */
+    /** Bulk write (used by the loader). Page-chunked memcpy. */
     void
     writeBytes(AddrT addr, const uint8_t *data, size_t len)
     {
-        for (size_t i = 0; i < len; ++i)
-            storeByte(addr + AddrT(i), data[i]);
+        while (len) {
+            const size_t off = offsetOf(addr);
+            const size_t chunk = std::min(len, size_t(kPageSize) - off);
+            Page &page = getPage(addr);
+            std::memcpy(page.data() + off, data, chunk);
+            addr += AddrT(chunk);
+            data += chunk;
+            len -= chunk;
+        }
     }
 
-    /** Bulk read. Unmapped bytes read as zero. */
+    /** Bulk read. Unmapped bytes read as zero. Page-chunked. */
     void
     readBytes(AddrT addr, uint8_t *data, size_t len) const
     {
-        for (size_t i = 0; i < len; ++i)
-            data[i] = loadByte(addr + AddrT(i));
+        while (len) {
+            const size_t off = offsetOf(addr);
+            const size_t chunk = std::min(len, size_t(kPageSize) - off);
+            if (const Page *page = findPage(addr))
+                std::memcpy(data, page->data() + off, chunk);
+            else
+                std::memset(data, 0, chunk);
+            addr += AddrT(chunk);
+            data += chunk;
+            len -= chunk;
+        }
     }
 
     /** Pages written at least once (page base addresses). */
     const std::unordered_set<AddrT> &dirtyPages() const { return dirty; }
 
     /** Forget dirty-page info (not the data). */
-    void clearDirty() { dirty.clear(); }
+    void
+    clearDirty()
+    {
+        for (AddrT base : dirty) {
+            if (Entry *entry = findEntry(base))
+                entry->dirty = false;
+        }
+        dirty.clear();
+    }
 
     /** Number of mapped pages. */
-    size_t numPages() const { return pages.size(); }
+    size_t numPages() const { return pageCount; }
 
     /** Drop all contents. */
     void
     clear()
     {
-        pages.clear();
+        dir.clear();
+        if constexpr (kFlatDirectory)
+            dir.resize(kDirEntries);
+        dirMap.clear();
         dirty.clear();
+        pageCount = 0;
+        lastLoadPage = nullptr;
+        lastStoreEntry = nullptr;
     }
 
   private:
+    /** One mapped page plus its dirty flag (set-membership cache). */
+    struct Entry
+    {
+        Page data;
+        bool dirty = false;
+    };
+
+    /** Pages per second-level table (covers 4 MiB per table). */
+    static constexpr unsigned kTableBits = 10;
+    static constexpr size_t kTableEntries = size_t(1) << kTableBits;
+    /** Flat top level only for address spaces that keep it small. */
+    static constexpr bool kFlatDirectory = sizeof(AddrT) <= 4;
+    static constexpr size_t kDirEntries =
+        kFlatDirectory
+            ? (size_t(1) << (8 * sizeof(AddrT) - kPageBits - kTableBits))
+            : 0;
+
+    using Table = std::array<std::unique_ptr<Entry>, kTableEntries>;
+
     static AddrT pageBase(AddrT addr) { return addr & ~kOffsetMask; }
     static size_t offsetOf(AddrT addr) { return size_t(addr & kOffsetMask); }
+
+    static size_t
+    tableIndex(AddrT addr)
+    {
+        return size_t(addr >> kPageBits) & (kTableEntries - 1);
+    }
 
     static bool
     inPage(AddrT addr, unsigned size)
@@ -149,29 +219,92 @@ class PagedMemory
         getPage(addr)[offsetOf(addr)] = value;
     }
 
+    const Table *
+    findTable(AddrT addr) const
+    {
+        if constexpr (kFlatDirectory) {
+            return dir[size_t(addr) >> (kPageBits + kTableBits)].get();
+        } else {
+            auto it = dirMap.find(addr >> (kPageBits + kTableBits));
+            return it == dirMap.end() ? nullptr : it->second.get();
+        }
+    }
+
+    Table &
+    getTable(AddrT addr)
+    {
+        if constexpr (kFlatDirectory) {
+            auto &slot = dir[size_t(addr) >> (kPageBits + kTableBits)];
+            if (!slot)
+                slot = std::make_unique<Table>();
+            return *slot;
+        } else {
+            auto &slot = dirMap[addr >> (kPageBits + kTableBits)];
+            if (!slot)
+                slot = std::make_unique<Table>();
+            return *slot;
+        }
+    }
+
+    Entry *
+    findEntry(AddrT addr) const
+    {
+        const Table *table = findTable(addr);
+        return table ? (*table)[tableIndex(addr)].get() : nullptr;
+    }
+
     const Page *
     findPage(AddrT addr) const
     {
-        auto it = pages.find(pageBase(addr));
-        return it == pages.end() ? nullptr : it->second.get();
+        const AddrT base = pageBase(addr);
+        if (lastLoadPage && base == lastLoadBase)
+            return lastLoadPage;
+        const Entry *entry = findEntry(addr);
+        if (!entry)
+            return nullptr;
+        lastLoadBase = base;
+        lastLoadPage = &entry->data;
+        return lastLoadPage;
     }
 
     Page &
     getPage(AddrT addr)
     {
         const AddrT base = pageBase(addr);
-        auto it = pages.find(base);
-        if (it == pages.end()) {
-            auto page = std::make_unique<Page>();
-            page->fill(0);
-            it = pages.emplace(base, std::move(page)).first;
+        Entry *entry;
+        if (lastStoreEntry && base == lastStoreBase) {
+            entry = lastStoreEntry;
+        } else {
+            Table &table = getTable(addr);
+            auto &slot = table[tableIndex(addr)];
+            if (!slot) {
+                slot = std::make_unique<Entry>();
+                slot->data.fill(0);
+                ++pageCount;
+            }
+            entry = slot.get();
+            lastStoreBase = base;
+            lastStoreEntry = entry;
         }
-        dirty.insert(base);
-        return *it->second;
+        if (!entry->dirty) {
+            entry->dirty = true;
+            dirty.insert(base);
+        }
+        return entry->data;
     }
 
-    std::unordered_map<AddrT, std::unique_ptr<Page>> pages;
+    /** Flat top level (32-bit spaces); one slot per 4 MiB region. */
+    std::vector<std::unique_ptr<Table>> dir;
+    /** Hashed top level for wider address spaces. */
+    std::unordered_map<AddrT, std::unique_ptr<Table>> dirMap;
     std::unordered_set<AddrT> dirty;
+    size_t pageCount = 0;
+
+    // One-entry translation caches (pages never move once mapped).
+    mutable AddrT lastLoadBase = 0;
+    mutable const Page *lastLoadPage = nullptr;
+    AddrT lastStoreBase = 0;
+    Entry *lastStoreEntry = nullptr;
 };
 
 } // namespace darco

@@ -55,7 +55,7 @@ condName(Cond cond)
     return names[static_cast<int>(cond)];
 }
 
-namespace {
+namespace detail {
 
 constexpr uint32_t kSzpOc = flag::SF | flag::ZF | flag::PF | flag::OF |
                             flag::CF;
@@ -66,7 +66,7 @@ constexpr uint32_t kSzpC = flag::SF | flag::ZF | flag::PF | flag::CF;
 // Table indexed by Op. Fields:
 // name, flagsWritten, keepsCf, isFp, isBranch, isCondBranch,
 // isIndirect, isCall, isRet, memSize, complexAlu
-const OpInfo opTable[] = {
+const OpInfo kOpTable[] = {
     {"mov",   0,       false, false, false, false, false, false, false, 4, false},
     {"movb",  0,       false, false, false, false, false, false, false, 1, false},
     {"lea",   0,       false, false, false, false, false, false, false, 4, false},
@@ -111,18 +111,11 @@ const OpInfo opTable[] = {
     {"halt",  0,       false, false, false, false, false, false, false, 4, false},
 };
 
-static_assert(sizeof(opTable) / sizeof(opTable[0]) ==
+static_assert(sizeof(kOpTable) / sizeof(kOpTable[0]) ==
               static_cast<size_t>(Op::NumOps),
-              "opTable must cover every Op");
+              "kOpTable must cover every Op");
 
-} // namespace
-
-const OpInfo &
-opInfo(Op op)
-{
-    panic_if(op >= Op::NumOps, "bad opcode %d", static_cast<int>(op));
-    return opTable[static_cast<int>(op)];
-}
+} // namespace detail
 
 bool
 formValid(Op op, Form form)

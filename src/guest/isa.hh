@@ -32,6 +32,7 @@
 #define DARCO_GUEST_ISA_HH
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <string>
 
@@ -175,7 +176,22 @@ struct OpInfo
 };
 
 /** Look up static properties of @p op. */
-const OpInfo &opInfo(Op op);
+namespace detail {
+/** Per-opcode property table (defined in isa.cc; indexed by Op). */
+extern const OpInfo kOpTable[];
+} // namespace detail
+
+/**
+ * Properties of @p op. Inline table access: this sits on the
+ * per-interpreted-instruction hot path, so the bounds check is
+ * debug-only.
+ */
+inline const OpInfo &
+opInfo(Op op)
+{
+    assert(op < Op::NumOps && "bad guest opcode");
+    return detail::kOpTable[static_cast<unsigned>(op)];
+}
 
 /** Mnemonic for @p op. */
 inline const char *opName(Op op) { return opInfo(op).name; }

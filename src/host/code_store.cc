@@ -6,6 +6,33 @@
 namespace darco::host {
 
 void
+CodeRegion::rebuildTemplate(size_t index)
+{
+    const HostInst &inst = insts[index];
+    const HOpInfo &info = hopInfo(inst.op);
+    timing::Record rec;
+    rec.pc = hostBase + static_cast<uint32_t>(index) * kHostInstBytes;
+    rec.op = inst.op;
+    rec.size = inst.size;
+    rec.module = static_cast<timing::Module>(inst.attr);
+    rec.fromRegion = true;
+    rec.guestBoundary = inst.guestBoundary;
+    rec.rd = inst.rd == kNoReg ? kNoReg
+             : info.fpDst ? timing::fpRegId(inst.rd)
+             : inst.rd == 0 ? kNoReg : inst.rd;
+    rec.rs1 = inst.rs1 == kNoReg ? kNoReg
+              : info.fpSrc1 ? timing::fpRegId(inst.rs1) : inst.rs1;
+    rec.rs2 = inst.rs2 == kNoReg ? kNoReg
+              : info.fpSrc2 ? timing::fpRegId(inst.rs2) : inst.rs2;
+    rec.isLoad = info.isLoad;
+    rec.isStore = info.isStore;
+    rec.isBranch = info.isBranch;
+    rec.isCondBranch = info.isCondBranch;
+    rec.isIndirect = info.isIndirect;
+    recTemplates[index] = rec;
+}
+
+void
 CodeStore::partitionForSuperblocks(unsigned hot_fraction_percent)
 {
     panic_if(!regions.empty(), "partitioning after regions installed");
@@ -47,6 +74,10 @@ CodeStore::install(std::unique_ptr<CodeRegion> region)
         }
     }
 
+    region->recTemplates.resize(region->insts.size());
+    for (size_t i = 0; i < region->insts.size(); ++i)
+        region->rebuildTemplate(i);
+
     CodeRegion *ptr = region.get();
     regions.emplace(base, std::move(region));
     lastHit = ptr;
@@ -54,22 +85,27 @@ CodeStore::install(std::unique_ptr<CodeRegion> region)
 }
 
 CodeRegion *
-CodeStore::find(uint32_t pc)
+CodeStore::findSlow(uint32_t pc)
 {
-    if (lastHit && pc >= lastHit->hostBase && pc < lastHit->hostLimit())
-        return lastHit;
-    if (regions.empty())
-        return nullptr;
-    auto it = regions.upper_bound(pc);
-    if (it == regions.begin())
-        return nullptr;
-    --it;
-    CodeRegion *region = it->second.get();
-    if (pc >= region->hostBase && pc < region->hostLimit()) {
-        lastHit = region;
-        return region;
+    CodeRegion *region = nullptr;
+    if (lastHit && pc >= lastHit->hostBase &&
+        pc < lastHit->hostLimit()) {
+        region = lastHit;
+    } else if (!regions.empty()) {
+        auto it = regions.upper_bound(pc);
+        if (it != regions.begin()) {
+            --it;
+            CodeRegion *candidate = it->second.get();
+            if (pc >= candidate->hostBase &&
+                pc < candidate->hostLimit()) {
+                lastHit = candidate;
+                region = candidate;
+            }
+        }
     }
-    return nullptr;
+    if (region)
+        lookupCache[lookupSlot(pc)] = LookupEntry{pc, region};
+    return region;
 }
 
 void
@@ -79,6 +115,7 @@ CodeStore::flush()
     lastHit = nullptr;
     nextAddr = cacheBase;
     hotNext = hotBase;
+    lookupCache.fill(LookupEntry{});
     ++gen;
 }
 

@@ -12,12 +12,14 @@
 #ifndef DARCO_HOST_CODE_STORE_HH
 #define DARCO_HOST_CODE_STORE_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "host/isa.hh"
+#include "timing/record.hh"
 
 namespace darco::host {
 
@@ -50,6 +52,15 @@ struct CodeRegion
     uint32_t guestEntry = 0;          ///< guest EIP this region starts at
     uint32_t hostBase = 0;            ///< simulated code-cache address
     std::vector<HostInst> insts;
+    /**
+     * Per-instruction timing-record template: every Record field that
+     * is static for the instruction (pc, opcode properties, register
+     * ids with FP mapping applied, attribution) precomputed at
+     * install time, so the executor's per-instruction work is one
+     * struct copy plus the dynamic fields (memAddr, taken, target).
+     * Rebuilt for an instruction whenever it is patched in place.
+     */
+    std::vector<timing::Record> recTemplates;
     std::vector<ExitInfo> exits;
     /** Guest EIP per guest-instruction index (for mid-region stops). */
     std::vector<uint32_t> guestEips;
@@ -63,6 +74,9 @@ struct CodeRegion
     {
         return static_cast<uint32_t>(guestEips.size());
     }
+
+    /** Recompute the record template for instruction @p index. */
+    void rebuildTemplate(size_t index);
 };
 
 /**
@@ -98,8 +112,19 @@ class CodeStore
      */
     CodeRegion *install(std::unique_ptr<CodeRegion> region);
 
-    /** Region containing host address @p pc, or nullptr. */
-    CodeRegion *find(uint32_t pc);
+    /**
+     * Region containing host address @p pc, or nullptr. A
+     * direct-mapped PC lookup cache sits in front of the ordered-map
+     * search; flush() invalidates it wholesale.
+     */
+    CodeRegion *
+    find(uint32_t pc)
+    {
+        const LookupEntry &cached = lookupCache[lookupSlot(pc)];
+        if (cached.region && cached.pc == pc)
+            return cached.region;
+        return findSlow(pc);
+    }
 
     /** Drop all regions (code-cache flush). */
     void flush();
@@ -121,6 +146,24 @@ class CodeStore
     uint32_t generation() const { return gen; }
 
   private:
+    /** Direct-mapped PC -> region cache entry (exact-PC match). */
+    struct LookupEntry
+    {
+        uint32_t pc = 0;
+        CodeRegion *region = nullptr;
+    };
+
+    static constexpr unsigned kLookupCacheBits = 12;
+
+    static size_t
+    lookupSlot(uint32_t pc)
+    {
+        return (pc >> 2) & ((size_t(1) << kLookupCacheBits) - 1);
+    }
+
+    /** Ordered-map search behind the lookup cache (fills it). */
+    CodeRegion *findSlow(uint32_t pc);
+
     uint32_t cacheBase;
     uint32_t cacheLimit;
     uint32_t nextAddr;
@@ -131,6 +174,7 @@ class CodeStore
     /** base address -> region, ordered for upper_bound lookup. */
     std::map<uint32_t, std::unique_ptr<CodeRegion>> regions;
     CodeRegion *lastHit = nullptr;
+    std::array<LookupEntry, size_t(1) << kLookupCacheBits> lookupCache{};
 };
 
 } // namespace darco::host

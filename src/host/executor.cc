@@ -63,28 +63,12 @@ Executor::run(uint32_t pc, uint64_t guest_budget)
                   pc);
         }
 
-        const HOpInfo &info = hopInfo(inst.op);
         ++hostCount;
 
-        timing::Record rec;
-        rec.pc = pc;
-        rec.op = inst.op;
-        rec.size = inst.size;
-        rec.module = static_cast<timing::Module>(inst.attr);
-        rec.fromRegion = true;
-        rec.guestBoundary = inst.guestBoundary;
-        rec.rd = inst.rd == kNoReg ? kNoReg
-                 : info.fpDst ? timing::fpRegId(inst.rd)
-                 : inst.rd == 0 ? kNoReg : inst.rd;
-        rec.rs1 = inst.rs1 == kNoReg ? kNoReg
-                  : info.fpSrc1 ? timing::fpRegId(inst.rs1) : inst.rs1;
-        rec.rs2 = inst.rs2 == kNoReg ? kNoReg
-                  : info.fpSrc2 ? timing::fpRegId(inst.rs2) : inst.rs2;
-        rec.isLoad = info.isLoad;
-        rec.isStore = info.isStore;
-        rec.isBranch = info.isBranch;
-        rec.isCondBranch = info.isCondBranch;
-        rec.isIndirect = info.isIndirect;
+        // All static Record fields come from the region's install-time
+        // template; only memAddr / taken / branchTarget are dynamic.
+        timing::Record &rec = nextRecord();
+        rec = region->recTemplates[idx];
 
         uint32_t next_pc = pc + kHostInstBytes;
         const uint32_t a = inst.rs1 == kNoReg ? 0 : readReg(inst.rs1);
@@ -264,7 +248,6 @@ Executor::run(uint32_t pc, uint64_t guest_budget)
         }
 
         rec.branchTarget = rec.taken ? next_pc : 0;
-        sink.consume(rec);
 
         // Region-leaving transfers carry the guest retirement count
         // for the path just completed (see host/isa.hh).
@@ -287,6 +270,7 @@ Executor::run(uint32_t pc, uint64_t guest_budget)
 
         // Control transfer: service, same region, or another region.
         if (amap::isServiceAddr(next_pc)) {
+            flushRecords();
             return Stop{reasonFor(next_pc), region, x[hreg::ExitId], 0};
         }
         pc = next_pc;
@@ -305,6 +289,7 @@ Executor::run(uint32_t pc, uint64_t guest_budget)
         // is a clean architectural point to stop at (covers regions
         // chained to themselves as well).
         if (inst.guestBoundary && lastRetired >= guest_budget) {
+            flushRecords();
             return Stop{StopReason::Budget, region, 0,
                         region->guestEntry};
         }

@@ -60,6 +60,11 @@ class Executor
      * Run translated code starting at @p pc (which must lie inside an
      * installed region) until a service stop or until @p guest_budget
      * guest instructions have been retired.
+     *
+     * Timing records are built into a small ring buffer and drained
+     * into the sink in batches (and always fully drained before
+     * returning), so the per-instruction cost is a struct fill, not a
+     * virtual call into every timing pipeline.
      */
     Stop run(uint32_t pc, uint64_t guest_budget);
 
@@ -90,6 +95,31 @@ class Executor
             x[r] = value;
     }
 
+    /** Record batch capacity (drained whenever full). */
+    static constexpr size_t kRecordBatch = 256;
+
+    /**
+     * Next free batch slot. The caller overwrites every field (the
+     * region record templates cover the full struct), so the slot is
+     * not cleared here.
+     */
+    timing::Record &
+    nextRecord()
+    {
+        if (recCount == kRecordBatch)
+            flushRecords();
+        return recBatch[recCount++];
+    }
+
+    void
+    flushRecords()
+    {
+        if (recCount) {
+            sink.consumeBatch(recBatch.data(), recCount);
+            recCount = 0;
+        }
+    }
+
     CodeStore &store;
     Memory &mem;
     timing::RecordSink &sink;
@@ -100,6 +130,9 @@ class Executor
     uint64_t bbEntries = 0;
     uint64_t sbEntries = 0;
     uint64_t indirectCount = 0;
+
+    std::array<timing::Record, kRecordBatch> recBatch;
+    size_t recCount = 0;
 };
 
 } // namespace darco::host

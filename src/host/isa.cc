@@ -4,10 +4,10 @@
 
 namespace darco::host {
 
-namespace {
+namespace detail {
 
 // name, class, isLoad, isStore, isBranch, isCond, isInd, fpDst, fpS1, fpS2
-const HOpInfo hopTable[] = {
+const HOpInfo kHopTable[] = {
     {"add",    ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
     {"sub",    ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
     {"and",    ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
@@ -61,18 +61,11 @@ const HOpInfo hopTable[] = {
     {"nop",    ExecClass::IntSimple,  false, false, false, false, false, false, false, false},
 };
 
-static_assert(sizeof(hopTable) / sizeof(hopTable[0]) ==
+static_assert(sizeof(kHopTable) / sizeof(kHopTable[0]) ==
               static_cast<size_t>(HOp::NumOps),
-              "hopTable must cover every HOp");
+              "kHopTable must cover every HOp");
 
-} // namespace
-
-const HOpInfo &
-hopInfo(HOp op)
-{
-    panic_if(op >= HOp::NumOps, "bad host opcode %d", static_cast<int>(op));
-    return hopTable[static_cast<int>(op)];
-}
+} // namespace detail
 
 unsigned
 execLatency(ExecClass cls)

@@ -18,6 +18,7 @@
 #ifndef DARCO_HOST_ISA_HH
 #define DARCO_HOST_ISA_HH
 
+#include <cassert>
 #include <cstdint>
 
 namespace darco::host {
@@ -75,7 +76,22 @@ struct HOpInfo
     bool fpSrc2;
 };
 
-const HOpInfo &hopInfo(HOp op);
+namespace detail {
+/** Per-opcode property table (defined in isa.cc; indexed by HOp). */
+extern const HOpInfo kHopTable[];
+} // namespace detail
+
+/**
+ * Properties of @p op. Inline table access: this sits on the
+ * per-simulated-instruction hot path of both the functional executor
+ * and the timing pipeline, so the bounds check is debug-only.
+ */
+inline const HOpInfo &
+hopInfo(HOp op)
+{
+    assert(op < HOp::NumOps && "bad host opcode");
+    return detail::kHopTable[static_cast<unsigned>(op)];
+}
 
 inline const char *hopName(HOp op) { return hopInfo(op).name; }
 

@@ -12,6 +12,7 @@ BranchPredictor::BranchPredictor(const TimingConfig &config)
     pht.assign(1u << cfg.bpHistoryBits, 1);  // weakly not-taken
     btbSets = cfg.btbEntries / cfg.btbWays;
     panic_if(!isPowerOf2(btbSets), "BTB sets must be a power of two");
+    btbSetShift = floorLog2(btbSets);
     btb.assign(cfg.btbEntries, BtbEntry());
 }
 
@@ -25,15 +26,17 @@ BranchPredictor::reset()
 }
 
 bool
-BranchPredictor::btbLookup(uint32_t pc, uint32_t &target_out)
+BranchPredictor::btbLookup(uint32_t pc, uint32_t &target_out,
+                           uint32_t &way_out)
 {
     const uint32_t set = (pc >> 2) & (btbSets - 1);
-    const uint32_t tag = (pc >> 2) / btbSets;
+    const uint32_t tag = (pc >> 2) >> btbSetShift;
     const size_t base = static_cast<size_t>(set) * cfg.btbWays;
     for (uint32_t w = 0; w < cfg.btbWays; ++w) {
         BtbEntry &e = btb[base + w];
         if (e.valid && e.tag == tag) {
             target_out = e.target;
+            way_out = w;
             e.lru = 0;
             for (uint32_t o = 0; o < cfg.btbWays; ++o) {
                 if (o != w && btb[base + o].lru < 255)
@@ -46,20 +49,27 @@ BranchPredictor::btbLookup(uint32_t pc, uint32_t &target_out)
 }
 
 void
-BranchPredictor::btbUpdate(uint32_t pc, uint32_t target)
+BranchPredictor::btbUpdate(uint32_t pc, uint32_t target, bool hit,
+                           uint32_t hit_way)
 {
     const uint32_t set = (pc >> 2) & (btbSets - 1);
-    const uint32_t tag = (pc >> 2) / btbSets;
+    const uint32_t tag = (pc >> 2) >> btbSetShift;
     const size_t base = static_cast<size_t>(set) * cfg.btbWays;
+
+    if (hit) {
+        // The preceding lookup found the entry; refresh it in place
+        // instead of re-searching the set.
+        BtbEntry &e = btb[base + hit_way];
+        e.target = target;
+        e.lru = 0;
+        return;
+    }
+
+    // Miss: the tag is absent, so victim selection alone decides.
     uint32_t victim = 0;
     uint8_t oldest = 0;
     for (uint32_t w = 0; w < cfg.btbWays; ++w) {
         BtbEntry &e = btb[base + w];
-        if (e.valid && e.tag == tag) {
-            e.target = target;
-            e.lru = 0;
-            return;
-        }
         if (!e.valid) {
             victim = w;
             oldest = 255;
@@ -105,7 +115,8 @@ BranchPredictor::predict(uint32_t pc, bool taken, uint32_t target,
     } else {
         // Taken (or unconditional/indirect): need direction and target.
         uint32_t btb_target = 0;
-        const bool btb_hit = btbLookup(pc, btb_target);
+        uint32_t btb_way = 0;
+        const bool btb_hit = btbLookup(pc, btb_target, btb_way);
         const bool dir_ok = !is_cond || predicted_taken;
         const bool tgt_ok = btb_hit && btb_target == target;
         correct = dir_ok && tgt_ok;
@@ -115,7 +126,7 @@ BranchPredictor::predict(uint32_t pc, bool taken, uint32_t target,
             ++stat.targetMispredicts;
         if (!correct && is_indirect)
             ++stat.indirectMispredicts;
-        btbUpdate(pc, target);
+        btbUpdate(pc, target, btb_hit, btb_way);
     }
 
     if (!correct)

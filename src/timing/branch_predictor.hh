@@ -73,11 +73,14 @@ class BranchPredictor
     };
     std::vector<BtbEntry> btb;
     uint32_t btbSets;
+    uint32_t btbSetShift = 0;   ///< log2(btbSets): tag = pc>>2 >> shift
 
     BpStats stat;
 
-    bool btbLookup(uint32_t pc, uint32_t &target_out);
-    void btbUpdate(uint32_t pc, uint32_t target);
+    bool btbLookup(uint32_t pc, uint32_t &target_out,
+                   uint32_t &way_out);
+    void btbUpdate(uint32_t pc, uint32_t target, bool hit,
+                   uint32_t hit_way);
 };
 
 } // namespace darco::timing

@@ -15,8 +15,11 @@ Cache::Cache(const CacheGeometry &geometry, Cache *next,
     numSets = geom.sizeBytes / (geom.lineBytes * geom.ways);
     panic_if(!isPowerOf2(numSets), "number of sets must be 2^n");
     panic_if(!isPowerOf2(geom.ways), "associativity must be 2^n");
+    lineShift = floorLog2(geom.lineBytes);
+    setShift = floorLog2(numSets);
     ways.assign(static_cast<size_t>(numSets) * geom.ways, Way());
     plruBits.assign(static_cast<size_t>(numSets) * (geom.ways - 1), 0);
+    lastInSet.assign(numSets, LastAccess());
 }
 
 void
@@ -26,6 +29,7 @@ Cache::reset()
         w = Way();
     for (uint8_t &b : plruBits)
         b = 0;
+    lastInSet.assign(numSets, LastAccess());
     stat = CacheStats();
 }
 
@@ -116,8 +120,23 @@ uint32_t
 Cache::access(uint32_t addr, bool write, bool &miss_out)
 {
     ++stat.accesses;
-    const uint32_t set = setIndex(addr);
-    const uint32_t tag = tagOf(addr);
+    const uint32_t line = addr >> lineShift;
+    const uint32_t set = line & (numSets - 1);
+    const uint32_t tag = line >> setShift;
+
+    // Same-line fast path (see lastInSet): every access and fill in
+    // this set updates the entry, so a match means the most recent
+    // touch of the set was this very way — the skipped re-touch is
+    // idempotent and the way cannot have been evicted since.
+    LastAccess &last = lastInSet[set];
+    if (line == last.line) {
+        Way &w = ways[static_cast<size_t>(set) * geom.ways + last.way];
+        if (w.valid && w.tag == tag) {
+            miss_out = false;
+            w.dirty |= write;
+            return geom.hitLatency;
+        }
+    }
 
     const int way = findWay(set, tag);
     if (way >= 0) {
@@ -125,6 +144,8 @@ Cache::access(uint32_t addr, bool write, bool &miss_out)
         plruTouch(set, static_cast<uint32_t>(way));
         if (write)
             ways[static_cast<size_t>(set) * geom.ways + way].dirty = true;
+        last.line = line;
+        last.way = static_cast<uint32_t>(way);
         return geom.hitLatency;
     }
 
@@ -137,7 +158,10 @@ Cache::access(uint32_t addr, bool write, bool &miss_out)
     } else {
         below = memLatency;
     }
-    fillLine(addr, write, false);
+    // fillLine may evict another line; record the new occupant so the
+    // fast path stays coherent for this set.
+    lastInSet[set].line = line;
+    lastInSet[set].way = fillLine(addr, write, false);
     return geom.hitLatency + below;
 }
 
@@ -156,7 +180,10 @@ Cache::prefetch(uint32_t addr)
         return;
     if (nextLevel)
         nextLevel->prefetch(addr);
-    fillLine(addr, false, true);
+    // The prefetch fill touches (and may evict within) this set;
+    // point the fast path at the prefetched line.
+    lastInSet[set].line = addr >> lineShift;
+    lastInSet[set].way = fillLine(addr, false, true);
 }
 
 } // namespace darco::timing

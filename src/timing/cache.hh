@@ -72,14 +72,16 @@ class Cache
         bool dirty = false;
     };
 
+    // Geometry is asserted power-of-two in the constructor, so the
+    // per-access set/tag split is two shifts, not two divisions.
     uint32_t setIndex(uint32_t addr) const
     {
-        return (addr / geom.lineBytes) & (numSets - 1);
+        return (addr >> lineShift) & (numSets - 1);
     }
 
     uint32_t tagOf(uint32_t addr) const
     {
-        return addr / geom.lineBytes / numSets;
+        return addr >> (lineShift + setShift);
     }
 
     int findWay(uint32_t set, uint32_t tag) const;
@@ -92,8 +94,26 @@ class Cache
     Cache *nextLevel;
     uint32_t memLatency;
     uint32_t numSets;
+    uint32_t lineShift = 0;        ///< log2(lineBytes)
+    uint32_t setShift = 0;         ///< log2(numSets)
     std::vector<Way> ways;         ///< numSets * geom.ways
     std::vector<uint8_t> plruBits; ///< numSets * (ways - 1) tree bits
+
+    /**
+     * Per-set same-line fast path: the line and way of the most
+     * recent access (or fill) in each set. A repeated access to that
+     * line skips the set scan, and the PLRU re-touch it skips is a
+     * no-op because the most recent touch of the set already points
+     * the tree bits away from that way. Indexed by set so
+     * alternating lines in different sets all stay on the fast path.
+     */
+    struct LastAccess
+    {
+        uint32_t line = 0xFFFFFFFFu;
+        uint32_t way = 0;
+    };
+    std::vector<LastAccess> lastInSet;   ///< one entry per set
+
     CacheStats stat;
 };
 

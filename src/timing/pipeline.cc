@@ -1,5 +1,8 @@
 #include "timing/pipeline.hh"
 
+#include <algorithm>
+
+#include "common/bitutils.hh"
 #include "common/logging.hh"
 #include "host/address_map.hh"
 
@@ -94,39 +97,110 @@ PipeStats::ipc() const
 
 Pipeline::Pipeline(const TimingConfig &config, Filter f)
     : cfg(config), filter(f),
+      issueWidth(config.issueWidth), iqSize(config.iqSize),
+      mispredictPenalty(config.mispredictPenalty),
+      prefetcherEnabled(config.prefetcherEnabled),
       l2c(config.l2, nullptr, config.memLatency),
       l1ic(config.l1i, &l2c, config.memLatency),
       l1dc(config.l1d, &l2c, config.memLatency),
       dtlb(config),
       bp(config),
-      pf(config.prefetcherEntries, l2c)
-{}
+      pf(config.prefetcherEntries, l2c),
+      l1iLineShift(floorLog2(config.l1i.lineBytes)),
+      intAccounting(config.issueWidth <= 2)
+{
+    window.resize(128);  // grows on demand; power-of-two ring
+    winMask = window.size() - 1;
+    for (size_t op = 0;
+         op < static_cast<size_t>(host::HOp::NumOps); ++op) {
+        switch (host::hopInfo(static_cast<host::HOp>(op)).execClass) {
+          case host::ExecClass::IntSimple:
+            opLatency[op] = cfg.intSimpleLatency;
+            break;
+          case host::ExecClass::IntComplex:
+            opLatency[op] = cfg.intComplexLatency;
+            break;
+          case host::ExecClass::FpSimple:
+            opLatency[op] = cfg.fpSimpleLatency;
+            break;
+          case host::ExecClass::FpComplex:
+            opLatency[op] = cfg.fpComplexLatency;
+            break;
+          default:
+            opLatency[op] = 1;
+            break;
+        }
+    }
+}
+
+void
+Pipeline::pushPending(const Record &rec)
+{
+    if (inFlight == window.size())
+        growWindow();
+    InFlight &slot = window[(head + inFlight) & winMask];
+    slot.rec = rec;
+    slot.arrival = 0;
+    slot.mispredicted = false;
+    ++inFlight;
+}
+
+void
+Pipeline::growWindow()
+{
+    std::vector<InFlight> bigger(window.size() * 2);
+    for (size_t i = 0; i < inFlight; ++i)
+        bigger[i] = window[(head + i) & winMask];
+    window.swap(bigger);
+    winMask = window.size() - 1;
+    head = 0;
+}
+
+void
+Pipeline::accept(const Record &rec)
+{
+    if (!passesFilter(rec))
+        return;
+
+    ++stat.records;
+    pushPending(rec);
+
+    // Keep the in-flight window bounded; advance the clock as needed.
+    while (pendingCount() > 64)
+        step();
+}
 
 void
 Pipeline::consume(const Record &rec)
 {
     panic_if(finished, "consume after finish");
-    // Isolation instances split by stream source so the two sides
-    // never share instruction-cache lines (see record.hh).
-    if (filter == Filter::TolOnly && rec.fromRegion)
-        return;
-    if (filter == Filter::AppOnly && !rec.fromRegion)
-        return;
-    if (filter == Filter::TolModule && rec.module == Module::App)
-        return;
+    accept(rec);
+}
 
-    ++stat.records;
-    pending.push_back(InFlight{rec, 0, false});
-
-    // Keep the in-flight window bounded; advance the clock as needed.
-    while (pending.size() > 64)
+void
+Pipeline::consumeBatch(const Record *recs, size_t count)
+{
+    panic_if(finished, "consume after finish");
+    // Bulk-push then drain once. Equivalent to accept() per record:
+    // stepped cycles only ever inspect the front of the pending
+    // backlog (its depth matters solely as zero/non-zero, and it
+    // stays non-zero throughout either drain schedule), so deferring
+    // the drain to the end of the batch replays the exact same step
+    // sequence with less loop overhead.
+    for (size_t i = 0; i < count; ++i) {
+        if (!passesFilter(recs[i]))
+            continue;
+        ++stat.records;
+        pushPending(recs[i]);
+    }
+    while (pendingCount() > 64)
         step();
 }
 
 bool
 Pipeline::workRemains() const
 {
-    return !pending.empty() || !frontend.empty() || !iq.empty();
+    return inFlight != 0;
 }
 
 void
@@ -137,6 +211,16 @@ Pipeline::finish()
     while (workRemains())
         step();
     finished = true;
+    if (intAccounting) {
+        for (unsigned b = 0; b < kNumBuckets; ++b) {
+            for (unsigned m = 0; m < kNumModules; ++m)
+                stat.bucket[b][m] =
+                    static_cast<double>(bucketHalf[b][m]) * 0.5;
+            for (unsigned si = 0; si < 2; ++si)
+                stat.bucketSrc[b][si] =
+                    static_cast<double>(bucketSrcHalf[b][si]) * 0.5;
+        }
+    }
     stat.cycles = now;
     stat.l1i = l1ic.stats();
     stat.l1d = l1dc.stats();
@@ -150,17 +234,9 @@ void
 Pipeline::issueOne(InFlight &inflight)
 {
     const Record &rec = inflight.rec;
-    const host::HOpInfo &info = host::hopInfo(rec.op);
     const unsigned mod = static_cast<unsigned>(rec.module);
 
-    uint32_t latency;
-    switch (info.execClass) {
-      case host::ExecClass::IntSimple:  latency = cfg.intSimpleLatency; break;
-      case host::ExecClass::IntComplex: latency = cfg.intComplexLatency; break;
-      case host::ExecClass::FpSimple:   latency = cfg.fpSimpleLatency; break;
-      case host::ExecClass::FpComplex:  latency = cfg.fpComplexLatency; break;
-      default:                          latency = 1; break;
-    }
+    uint32_t latency = opLatency[static_cast<size_t>(rec.op)];
 
     bool load_missed = false;
     if (rec.isLoad) {
@@ -169,7 +245,7 @@ Pipeline::issueOne(InFlight &inflight)
             extra = dtlb.access(rec.memAddr);
         bool miss = false;
         const uint32_t dlat = l1dc.access(rec.memAddr, false, miss);
-        if (cfg.prefetcherEnabled)
+        if (prefetcherEnabled)
             pf.train(rec.pc, rec.memAddr);
         latency = 1 + extra + dlat;
         load_missed = miss || extra > 0;
@@ -184,16 +260,17 @@ Pipeline::issueOne(InFlight &inflight)
     }
 
     if (rec.rd != host::kNoReg) {
-        regReady[rec.rd] = now + 1 + (latency > 1 ? latency - 1 : 0);
-        regProducer[rec.rd] = rec.module;
-        regProducerSrc[rec.rd] = rec.fromRegion;
-        regLoadMiss[rec.rd] = rec.isLoad && load_missed;
+        RegState &rd = regs[rec.rd];
+        rd.ready = now + 1 + (latency > 1 ? latency - 1 : 0);
+        rd.producer = rec.module;
+        rd.producerSrc = rec.fromRegion;
+        rd.loadMiss = rec.isLoad && load_missed;
     }
 
     if (rec.isBranch && inflight.mispredicted) {
         // Resolved in EXE; the front-end refetches afterwards so the
-        // end-to-end penalty equals cfg.mispredictPenalty.
-        fetchBlockedUntil = now + cfg.mispredictPenalty - 3;
+        // end-to-end penalty equals mispredictPenalty.
+        fetchBlockedUntil = now + mispredictPenalty - 3;
         fetchHaltedForBranch = false;
         starveBucket = Bucket::BranchBubble;
         starveModule = rec.module;
@@ -206,109 +283,136 @@ Pipeline::issueOne(InFlight &inflight)
 void
 Pipeline::issuePhase(unsigned &issued_count)
 {
+    // Issue up to issueWidth instructions and account the cycle to
+    // exactly one bucket. The stall cause captured when the issue
+    // loop breaks doubles as the accounting classification, so the
+    // IQ head and the scoreboard are scanned once per cycle, not
+    // twice.
     issued_count = 0;
     std::array<unsigned, 8> issued_modules{};
     std::array<bool, 8> issued_src{};
     unsigned issued_n = 0;
 
-    while (issued_count < cfg.issueWidth && !iq.empty()) {
-        InFlight &head = iq.front();
-        if (head.arrival > now)
+    bool head_waiting = false;       ///< head present but blocked
+    uint8_t blocking = host::kNoReg; ///< first not-ready source
+
+    // In integer mode each issued instruction is credited 1 half-unit
+    // inside the loop; a solo issue gets its second half afterwards.
+    unsigned last_m = 0, last_s = 0;
+
+    while (issued_count < issueWidth && iqCount != 0) {
+        InFlight &iq_head = slotAt(0);
+        if (iq_head.arrival > now)
             break;
 
         // Scoreboard: both sources ready?
-        uint8_t blocking = host::kNoReg;
-        const uint8_t srcs[2] = {head.rec.rs1, head.rec.rs2};
+        const uint8_t srcs[2] = {iq_head.rec.rs1, iq_head.rec.rs2};
         for (uint8_t src : srcs) {
-            if (src != host::kNoReg && src < regReady.size() &&
-                regReady[src] > now) {
+            if (src != host::kNoReg && src < regs.size() &&
+                regs[src].ready > now) {
                 blocking = src;
                 break;
             }
         }
-        if (blocking != host::kNoReg)
+        if (blocking != host::kNoReg) {
+            head_waiting = true;
             break;
+        }
 
-        issueOne(head);
-        issued_modules[issued_n % issued_modules.size()] =
-            static_cast<unsigned>(head.rec.module);
-        issued_src[issued_n % issued_src.size()] = head.rec.fromRegion;
-        ++issued_n;
-        iq.pop_front();
+        issueOne(iq_head);
+        if (intAccounting) {
+            last_m = static_cast<unsigned>(iq_head.rec.module);
+            last_s = iq_head.rec.fromRegion ? 1 : 0;
+            bucketHalf[static_cast<unsigned>(Bucket::Insts)]
+                      [last_m] += 1;
+            bucketSrcHalf[static_cast<unsigned>(Bucket::Insts)]
+                         [last_s] += 1;
+        } else {
+            issued_modules[issued_n % issued_modules.size()] =
+                static_cast<unsigned>(iq_head.rec.module);
+            issued_src[issued_n % issued_src.size()] =
+                iq_head.rec.fromRegion;
+            ++issued_n;
+        }
+        head = (head + 1) & winMask;
+        --inFlight;
+        --iqCount;
         ++issued_count;
     }
 
     if (issued_count) {
-        const double share = 1.0 / static_cast<double>(issued_count);
-        for (unsigned i = 0; i < issued_count; ++i) {
-            stat.bucket[static_cast<unsigned>(Bucket::Insts)]
-                       [issued_modules[i]] += share;
-            stat.bucketSrc[static_cast<unsigned>(Bucket::Insts)]
-                          [issued_src[i] ? 1 : 0] += share;
-        }
-    }
-}
-
-void
-Pipeline::accountCycle(unsigned issued_count)
-{
-    if (issued_count)
-        return;  // credited in issuePhase
-
-    if (!iq.empty() && iq.front().arrival <= now) {
-        // Head present but not issuable: scoreboard stall.
-        const InFlight &head = iq.front();
-        uint8_t blocking = host::kNoReg;
-        const uint8_t srcs[2] = {head.rec.rs1, head.rec.rs2};
-        for (uint8_t src : srcs) {
-            if (src != host::kNoReg && src < regReady.size() &&
-                regReady[src] > now) {
-                blocking = src;
-                break;
+        if (intAccounting) {
+            if (issued_count == 1) {
+                bucketHalf[static_cast<unsigned>(Bucket::Insts)]
+                          [last_m] += 1;
+                bucketSrcHalf[static_cast<unsigned>(Bucket::Insts)]
+                             [last_s] += 1;
             }
-        }
-        if (blocking != host::kNoReg && regLoadMiss[blocking]) {
-            stat.bucket[static_cast<unsigned>(Bucket::DcacheBubble)]
-                       [static_cast<unsigned>(regProducer[blocking])] +=
-                1.0;
-            stat.bucketSrc[static_cast<unsigned>(Bucket::DcacheBubble)]
-                          [regProducerSrc[blocking] ? 1 : 0] += 1.0;
         } else {
-            stat.bucket[static_cast<unsigned>(Bucket::SchedBubble)]
-                       [static_cast<unsigned>(head.rec.module)] += 1.0;
-            stat.bucketSrc[static_cast<unsigned>(Bucket::SchedBubble)]
-                          [head.rec.fromRegion ? 1 : 0] += 1.0;
+            const double share =
+                1.0 / static_cast<double>(issued_count);
+            for (unsigned i = 0; i < issued_count; ++i) {
+                stat.bucket[static_cast<unsigned>(Bucket::Insts)]
+                           [issued_modules[i]] += share;
+                stat.bucketSrc[static_cast<unsigned>(Bucket::Insts)]
+                              [issued_src[i] ? 1 : 0] += share;
+            }
         }
         return;
     }
 
-    // IQ empty (or only future arrivals): front-end starvation.
-    stat.bucket[static_cast<unsigned>(starveBucket)]
-               [static_cast<unsigned>(starveModule)] += 1.0;
-    stat.bucketSrc[static_cast<unsigned>(starveBucket)]
-                  [starveSrcRegion ? 1 : 0] += 1.0;
+    // Stalled cycle: classify and charge one full cycle.
+    unsigned b_idx, m_idx, s_idx;
+    if (head_waiting) {
+        // Head present but not issuable: scoreboard stall.
+        const InFlight &iq_head = slotAt(0);
+        if (regs[blocking].loadMiss) {
+            b_idx = static_cast<unsigned>(Bucket::DcacheBubble);
+            m_idx = static_cast<unsigned>(regs[blocking].producer);
+            s_idx = regs[blocking].producerSrc ? 1 : 0;
+        } else {
+            b_idx = static_cast<unsigned>(Bucket::SchedBubble);
+            m_idx = static_cast<unsigned>(iq_head.rec.module);
+            s_idx = iq_head.rec.fromRegion ? 1 : 0;
+        }
+    } else {
+        // IQ empty (or only future arrivals): front-end starvation.
+        b_idx = static_cast<unsigned>(starveBucket);
+        m_idx = static_cast<unsigned>(starveModule);
+        s_idx = starveSrcRegion ? 1 : 0;
+    }
+    if (intAccounting) {
+        bucketHalf[b_idx][m_idx] += 2;
+        bucketSrcHalf[b_idx][s_idx] += 2;
+    } else {
+        stat.bucket[b_idx][m_idx] += 1.0;
+        stat.bucketSrc[b_idx][s_idx] += 1.0;
+    }
 }
 
 void
 Pipeline::fetchPhase()
 {
-    // Move front-end arrivals into the IQ.
-    while (!frontend.empty() && frontend.front().arrival <= now + 1 &&
-           iq.size() < cfg.iqSize) {
-        iq.push_back(frontend.front());
-        frontend.pop_front();
+    // Move front-end arrivals into the IQ (a counter move: the
+    // element is already in place in the window).
+    while (feCount != 0 && slotAt(iqCount).arrival <= now + 1 &&
+           iqCount < iqSize) {
+        ++iqCount;
+        --feCount;
     }
 
     if (now < fetchBlockedUntil || fetchHaltedForBranch)
         return;
 
     unsigned fetched = 0;
-    while (fetched < cfg.issueWidth && !pending.empty() &&
-           frontend.size() < 8) {
-        InFlight inflight = pending.front();
+    size_t fetch_pos = iqCount + feCount;  ///< next pending slot
+    const size_t in_flight_total = inFlight;
+    while (fetched < issueWidth && fetch_pos < in_flight_total &&
+           feCount < 8) {
+        InFlight &inflight = slotAt(fetch_pos);
         const Record &rec = inflight.rec;
 
-        const uint32_t line = rec.pc / cfg.l1i.lineBytes;
+        const uint32_t line = rec.pc >> l1iLineShift;
         if (line != lastFetchLine) {
             bool miss = false;
             const uint32_t lat = l1ic.access(rec.pc, false, miss);
@@ -332,8 +436,7 @@ Pipeline::fetchPhase()
                         starveSrcRegion = rec.fromRegion;
                     }
                 }
-                frontend.push_back(inflight);
-                pending.pop_front();
+                ++feCount;
                 return;
             }
         }
@@ -344,8 +447,8 @@ Pipeline::fetchPhase()
                 rec.pc, rec.taken, rec.branchTarget, rec.isCondBranch,
                 rec.isIndirect);
         }
-        frontend.push_back(inflight);
-        pending.pop_front();
+        ++feCount;
+        ++fetch_pos;
         ++fetched;
 
         if (rec.isBranch && inflight.mispredicted) {
@@ -362,9 +465,99 @@ Pipeline::fetchPhase()
 void
 Pipeline::step()
 {
+    // Fast-forward runs of stall cycles whose outcome is fully
+    // determined: either pure starvation (IQ empty or only future
+    // arrivals) or the IQ head scoreboard-blocked on a known ready
+    // time. Each such cycle only adds 1.0 to one sticky bucket cell
+    // and advances the clock, so a run of them becomes a tight
+    // accounting loop instead of full steps — valid only while the
+    // front-end is provably inert for every skipped cycle. The adds
+    // stay one-per-cycle to keep the floating-point bucket sums
+    // bit-identical to the stepped execution.
+    // Cheap gate first: on busy cycles (something fetchable or the
+    // fetch unblocked) the fast-forward can never fire, so skip the
+    // classification scan entirely.
+    const bool mover_idle =
+        feCount == 0 || iqCount >= iqSize ||
+        slotAt(iqCount).arrival > now + 1;
+    const bool fetch_idle =
+        now < fetchBlockedUntil || fetchHaltedForBranch ||
+        pendingCount() == 0 || feCount >= 8;
+    if (!mover_idle || !fetch_idle) {
+        unsigned issued_busy = 0;
+        issuePhase(issued_busy);
+        fetchPhase();
+        ++now;
+        return;
+    }
+
+    uint64_t stall_until = 0;        ///< first cycle to re-evaluate
+    bool classified = false;
+    unsigned b_idx = 0, m_idx = 0, s_idx = 0;
+
+    if (iqCount == 0 || slotAt(0).arrival > now) {
+        // Starvation: sticky cause, ends when the IQ head arrives.
+        stall_until =
+            iqCount != 0 ? slotAt(0).arrival : UINT64_MAX;
+        classified = true;
+        b_idx = static_cast<unsigned>(starveBucket);
+        m_idx = static_cast<unsigned>(starveModule);
+        s_idx = starveSrcRegion ? 1 : 0;
+    } else {
+        // Head present: scoreboard-blocked runs end when the first
+        // blocking source becomes ready.
+        const InFlight &iq_head = slotAt(0);
+        uint8_t blocking = host::kNoReg;
+        const uint8_t srcs[2] = {iq_head.rec.rs1, iq_head.rec.rs2};
+        for (uint8_t src : srcs) {
+            if (src != host::kNoReg && src < regs.size() &&
+                regs[src].ready > now) {
+                blocking = src;
+                break;
+            }
+        }
+        if (blocking != host::kNoReg) {
+            stall_until = regs[blocking].ready;
+            classified = true;
+            if (regs[blocking].loadMiss) {
+                b_idx = static_cast<unsigned>(Bucket::DcacheBubble);
+                m_idx = static_cast<unsigned>(regs[blocking].producer);
+                s_idx = regs[blocking].producerSrc ? 1 : 0;
+            } else {
+                b_idx = static_cast<unsigned>(Bucket::SchedBubble);
+                m_idx = static_cast<unsigned>(iq_head.rec.module);
+                s_idx = iq_head.rec.fromRegion ? 1 : 0;
+            }
+        }
+    }
+
+    if (stall_until > now + 1 && classified) {
+        uint64_t limit = stall_until;
+        if (feCount != 0 && iqCount < iqSize)
+            limit = std::min(limit, slotAt(iqCount).arrival - 1);
+        if (!fetchHaltedForBranch && pendingCount() != 0 &&
+            feCount < 8)
+            limit = std::min(limit, fetchBlockedUntil);
+        if (limit != UINT64_MAX && limit > now) {
+            const uint64_t span = limit - now;
+            if (intAccounting) {
+                // Integer adds are associative: the whole run in one
+                // update, still bit-identical after conversion.
+                bucketHalf[b_idx][m_idx] += 2 * span;
+                bucketSrcHalf[b_idx][s_idx] += 2 * span;
+            } else {
+                for (uint64_t c = 0; c < span; ++c) {
+                    stat.bucket[b_idx][m_idx] += 1.0;
+                    stat.bucketSrc[b_idx][s_idx] += 1.0;
+                }
+            }
+            now = limit;
+            return;
+        }
+    }
+
     unsigned issued = 0;
     issuePhase(issued);
-    accountCycle(issued);
     fetchPhase();
     ++now;
 }

@@ -24,7 +24,7 @@
 #define DARCO_TIMING_PIPELINE_HH
 
 #include <array>
-#include <deque>
+#include <vector>
 
 #include "timing/branch_predictor.hh"
 #include "timing/cache.hh"
@@ -96,6 +96,7 @@ class Pipeline : public RecordSink
     Pipeline(const TimingConfig &config, Filter filter);
 
     void consume(const Record &rec) override;
+    void consumeBatch(const Record *recs, size_t count) override;
 
     /** Drain everything in flight and snapshot component stats. */
     void finish();
@@ -105,7 +106,11 @@ class Pipeline : public RecordSink
     uint64_t cyclesNow() const { return now; }
 
   private:
-    struct InFlight
+    /**
+     * Cache-line aligned so a window slot never straddles two lines;
+     * the per-cycle loops touch several slots each.
+     */
+    struct alignas(64) InFlight
     {
         Record rec;
         uint64_t arrival = 0;     ///< first issueable cycle
@@ -114,13 +119,39 @@ class Pipeline : public RecordSink
 
     void step();
     bool workRemains() const;
+    /** Issue up to issueWidth and account the cycle's bucket. */
     void issuePhase(unsigned &issued_count);
-    void accountCycle(unsigned issued_count);
     void fetchPhase();
     void issueOne(InFlight &inst);
 
+    /** Does @p rec belong to this instance's filtered stream? */
+    bool
+    passesFilter(const Record &rec) const
+    {
+        // Isolation instances split by stream source so the two
+        // sides never share instruction-cache lines (see record.hh).
+        if (filter == Filter::TolOnly && rec.fromRegion)
+            return false;
+        if (filter == Filter::AppOnly && !rec.fromRegion)
+            return false;
+        if (filter == Filter::TolModule && rec.module == Module::App)
+            return false;
+        return true;
+    }
+
+    /** Filter check + enqueue for one record (shared consume body). */
+    void accept(const Record &rec);
+
     const TimingConfig &cfg;
     Filter filter;
+
+    // Hot config scalars copied at construction: the compiler cannot
+    // prove the external config unaliased by window stores, so going
+    // through `cfg` would reload them on every per-cycle check.
+    uint32_t issueWidth;
+    uint32_t iqSize;
+    uint32_t mispredictPenalty;
+    bool prefetcherEnabled;
 
     Cache l2c;
     Cache l1ic;
@@ -129,25 +160,74 @@ class Pipeline : public RecordSink
     BranchPredictor bp;
     StridePrefetcher pf;
 
-    std::deque<InFlight> pending;     ///< accepted, not yet fetched
-    std::deque<InFlight> frontend;    ///< fetched, in AC/IF/DEC
-    std::deque<InFlight> iq;
+    /**
+     * All in-flight instructions in one ring window, in program
+     * order, segmented into three FIFO stages by counters alone:
+     * [0, iqCount) is the instruction queue, [iqCount, iqCount +
+     * feCount) the AC/IF/DEC front-end, and the rest the accepted
+     * -but-unfetched backlog. Stage transitions move a counter and
+     * patch the element in place — no copying between stage queues on
+     * the per-cycle path.
+     */
+    std::vector<InFlight> window;
+    size_t winMask = 0;     ///< window.size() - 1 (power of two)
+    size_t head = 0;        ///< ring index of the IQ head
+    size_t inFlight = 0;    ///< total elements in the window
+    size_t iqCount = 0;
+    size_t feCount = 0;
+
+    size_t pendingCount() const { return inFlight - iqCount - feCount; }
+
+    /** Element @p logical positions past the IQ head. */
+    InFlight &
+    slotAt(size_t logical)
+    {
+        return window[(head + logical) & winMask];
+    }
+
+    void pushPending(const Record &rec);
+    void growWindow();
 
     uint64_t now = 0;
     uint64_t fetchBlockedUntil = 0;
     bool fetchHaltedForBranch = false;
     uint32_t lastFetchLine = 0xFFFFFFFFu;
+    /** log2(L1-I line bytes), hoisted off the per-record fetch path. */
+    uint32_t l1iLineShift = 0;
+    /** Execution latency by host opcode (hoists issueOne's switch). */
+    std::array<uint32_t, static_cast<size_t>(host::HOp::NumOps)>
+        opLatency{};
+
+    /**
+     * Integer cycle accounting, usable when issueWidth <= 2: every
+     * per-cycle bucket contribution is then a multiple of 0.5, which
+     * is exact in binary floating point, so accumulating half-units
+     * in integers and converting once at finish() is bit-identical
+     * to the sequential double additions — while breaking the
+     * FP-add latency chain on the per-cycle path and letting stall
+     * runs account in O(1). Wider configs fall back to doubles.
+     */
+    bool intAccounting;
+    std::array<std::array<uint64_t, kNumModules>, kNumBuckets>
+        bucketHalf{};
+    std::array<std::array<uint64_t, 2>, kNumBuckets> bucketSrcHalf{};
 
     /** Sticky cause of front-end starvation for empty-IQ accounting. */
     Bucket starveBucket = Bucket::IcacheBubble;
     Module starveModule = Module::App;
     bool starveSrcRegion = true;
 
-    // Scoreboard over 96 register ids (64 int + 32 fp).
-    std::array<uint64_t, 96> regReady{};
-    std::array<Module, 96> regProducer{};
-    std::array<bool, 96> regProducerSrc{};
-    std::array<bool, 96> regLoadMiss{};
+    // Scoreboard over 96 register ids (64 int + 32 fp). One struct
+    // per register so an issue/stall touches one cache line, not
+    // four.
+    struct RegState
+    {
+        uint64_t ready = 0;       ///< first cycle the value is ready
+        Module producer = Module::App;
+        bool producerSrc = false;
+        bool loadMiss = false;
+    };
+    std::array<RegState, 96> regs{};
 
     PipeStats stat;
     bool finished = false;
@@ -164,6 +244,13 @@ class RecordFanout : public RecordSink
     {
         for (RecordSink *s : sinks)
             s->consume(rec);
+    }
+
+    void
+    consumeBatch(const Record *recs, size_t count) override
+    {
+        for (RecordSink *s : sinks)
+            s->consumeBatch(recs, count);
     }
 
   private:

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitutils.hh"
 #include "timing/cache.hh"
 
 namespace darco::timing {
@@ -27,7 +28,9 @@ class StridePrefetcher
 {
   public:
     StridePrefetcher(uint32_t num_entries, Cache &fill_target)
-        : entries(num_entries), dcache(fill_target)
+        : entries(num_entries), dcache(fill_target),
+          entriesMask(isPowerOf2(num_entries) ? num_entries - 1 : 0),
+          lineShift(floorLog2(fill_target.lineBytes()))
     {}
 
     /** Observe a load and possibly prefetch. */
@@ -52,8 +55,7 @@ class StridePrefetcher
                 // the stream and crosses lines even for small strides.
                 const uint32_t next =
                     addr + 4 * static_cast<uint32_t>(e.stride);
-                if (next / dcache.lineBytes() !=
-                    addr / dcache.lineBytes()) {
+                if ((next >> lineShift) != (addr >> lineShift)) {
                     dcache.prefetch(next);
                     ++stat.prefetches;
                 }
@@ -84,7 +86,13 @@ class StridePrefetcher
         uint8_t confidence = 0;
     };
 
-    uint32_t index(uint32_t pc) const { return (pc >> 2) % entries; }
+    uint32_t
+    index(uint32_t pc) const
+    {
+        // Mask when the table is a power of two (the common config).
+        return entriesMask ? (pc >> 2) & entriesMask
+                           : (pc >> 2) % entries;
+    }
 
     std::vector<Entry> &
     table()
@@ -96,6 +104,8 @@ class StridePrefetcher
 
     uint32_t entries;
     Cache &dcache;
+    uint32_t entriesMask;
+    uint32_t lineShift;
     std::vector<Entry> tableStore;
     PrefetcherStats stat;
 };

@@ -14,6 +14,8 @@
 #ifndef DARCO_TIMING_RECORD_HH
 #define DARCO_TIMING_RECORD_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "host/isa.hh"
@@ -100,6 +102,77 @@ class RecordSink
   public:
     virtual ~RecordSink() = default;
     virtual void consume(const Record &rec) = 0;
+
+    /**
+     * Consume @p count records in order. Semantically identical to
+     * calling consume() once per record; producers with a hot loop
+     * (the functional executor) batch so the per-instruction virtual
+     * dispatch is amortized, and sinks may override with a tighter
+     * inner loop.
+     */
+    virtual void
+    consumeBatch(const Record *recs, std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            consume(recs[i]);
+    }
+};
+
+/**
+ * Order-preserving record batcher: buffers records from any number of
+ * producers sharing it (the cost streams and the functional executor
+ * both write the TOL's interleaved instruction stream) and forwards
+ * them downstream in batches. A batch arriving via consumeBatch()
+ * first drains the buffer, so global record order is exactly the
+ * emission order. The owner must flush() before anyone reads the
+ * downstream sink's state.
+ */
+class RecordBatcher : public RecordSink
+{
+  public:
+    explicit RecordBatcher(RecordSink &downstream) : down(downstream) {}
+
+    void
+    consume(const Record &rec) override
+    {
+        if (count == buf.size())
+            flush();
+        buf[count++] = rec;
+    }
+
+    void
+    consumeBatch(const Record *recs, std::size_t n) override
+    {
+        flush();
+        down.consumeBatch(recs, n);
+    }
+
+    void
+    flush()
+    {
+        if (count) {
+            down.consumeBatch(buf.data(), count);
+            count = 0;
+        }
+    }
+
+    /**
+     * Hand out the next buffer slot directly (zero-copy emission for
+     * producers that build records field by field). The caller must
+     * fully populate the slot before the next batcher call.
+     */
+    Record &
+    alloc()
+    {
+        if (count == buf.size())
+            flush();
+        return buf[count++];
+    }
+
+  private:
+    RecordSink &down;
+    std::array<Record, 256> buf;
+    std::size_t count = 0;
 };
 
 } // namespace darco::timing

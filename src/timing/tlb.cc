@@ -11,6 +11,7 @@ Tlb::Level::init(uint32_t entries, uint32_t num_ways)
     ways = num_ways;
     sets = entries / num_ways;
     panic_if(!isPowerOf2(sets), "TLB sets must be a power of two");
+    setShift = floorLog2(sets);
     tags.assign(static_cast<size_t>(sets) * ways, 0);
     valid.assign(static_cast<size_t>(sets) * ways, false);
     plru.assign(static_cast<size_t>(sets) * (ways - 1), 0);
@@ -44,7 +45,7 @@ bool
 Tlb::Level::lookup(uint32_t vpn)
 {
     const uint32_t set = vpn & (sets - 1);
-    const uint32_t tag = vpn / sets;
+    const uint32_t tag = vpn >> setShift;
     const size_t base = static_cast<size_t>(set) * ways;
     for (uint32_t w = 0; w < ways; ++w) {
         if (valid[base + w] && tags[base + w] == tag) {
@@ -59,7 +60,7 @@ void
 Tlb::Level::insert(uint32_t vpn)
 {
     const uint32_t set = vpn & (sets - 1);
-    const uint32_t tag = vpn / sets;
+    const uint32_t tag = vpn >> setShift;
     const size_t base = static_cast<size_t>(set) * ways;
     for (uint32_t w = 0; w < ways; ++w) {
         if (!valid[base + w]) {
@@ -86,6 +87,7 @@ Tlb::reset()
 {
     l1.init(cfg.tlbL1Entries, cfg.tlbL1Ways);
     l2.init(cfg.tlbL2Entries, cfg.tlbL2Ways);
+    lastVpn = 0xFFFFFFFFu;
     stat = TlbStats();
 }
 
@@ -94,6 +96,11 @@ Tlb::access(uint32_t addr)
 {
     ++stat.accesses;
     const uint32_t vpn = addr >> cfg.pageBits;
+    // Same-page fast path: the previous access left this VPN in L1
+    // as the most recently touched way of its set.
+    if (vpn == lastVpn)
+        return 0;
+    lastVpn = vpn;
     if (l1.lookup(vpn))
         return 0;
     ++stat.l1Misses;

@@ -43,6 +43,7 @@ class Tlb
     {
         uint32_t sets = 0;
         uint32_t ways = 0;
+        uint32_t setShift = 0;   ///< log2(sets): tag = vpn >> setShift
         std::vector<uint32_t> tags;
         std::vector<bool> valid;
         std::vector<uint8_t> plru;
@@ -59,6 +60,15 @@ class Tlb
     const TimingConfig &cfg;
     Level l1;
     Level l2;
+
+    /**
+     * Same-page fast path: the VPN of the previous access, which by
+     * construction ended resident in L1. A repeated access returns
+     * the L1-hit latency without the set scan; the skipped PLRU
+     * re-touch is idempotent.
+     */
+    uint32_t lastVpn = 0xFFFFFFFFu;
+
     TlbStats stat;
 };
 

@@ -28,107 +28,115 @@ CostStream::nextDst()
 }
 
 void
-CostStream::emit(Record &rec)
+CostStream::buildTemplates()
 {
-    rec.module = mod;
-    sink.consume(rec);
-    ++emitted;
+    aluTmpl.op = HOp::ADD;
+    aluTmpl.module = mod;
+
+    loadTmpl.op = HOp::LD;
+    loadTmpl.isLoad = true;
+    loadTmpl.module = mod;
+
+    storeTmpl.op = HOp::ST;
+    storeTmpl.isStore = true;
+    storeTmpl.module = mod;
+
+    branchTmpl.op = HOp::BNE;
+    branchTmpl.isBranch = true;
+    branchTmpl.isCondBranch = true;
+    branchTmpl.rs2 = host::hreg::Zero;
+    branchTmpl.module = mod;
+
+    dispatchTmpl.op = HOp::JALR;
+    dispatchTmpl.isBranch = true;
+    dispatchTmpl.isIndirect = true;
+    dispatchTmpl.taken = true;
+    dispatchTmpl.module = mod;
+
+    loopTmpl.op = HOp::JAL;
+    loopTmpl.isBranch = true;
+    loopTmpl.taken = true;
+    loopTmpl.branchTarget = pcBase;
+    loopTmpl.module = mod;
 }
 
 void
 CostStream::alu(unsigned count)
 {
     for (unsigned i = 0; i < count; ++i) {
-        Record rec;
+        Record &rec = begin(aluTmpl);
         rec.pc = nextPc();
-        rec.op = HOp::ADD;
         rec.rs1 = lastDst;
         rec.rs2 = static_cast<uint8_t>(TolScratch0 + rotor);
         rec.rd = nextDst();
         lastDst = rec.rd;
-        emit(rec);
+        end();
     }
 }
 
 void
 CostStream::load(uint32_t addr, uint8_t size)
 {
-    Record rec;
+    Record &rec = begin(loadTmpl);
     rec.pc = nextPc();
-    rec.op = HOp::LD;
-    rec.isLoad = true;
     rec.memAddr = addr;
     rec.size = size;
     rec.rs1 = lastDst;
     rec.rd = nextDst();
     lastDst = rec.rd;
-    emit(rec);
+    end();
 }
 
 void
 CostStream::store(uint32_t addr, uint8_t size)
 {
-    Record rec;
+    Record &rec = begin(storeTmpl);
     rec.pc = nextPc();
-    rec.op = HOp::ST;
-    rec.isStore = true;
     rec.memAddr = addr;
     rec.size = size;
     rec.rs1 = static_cast<uint8_t>(TolScratch0 + rotor);
     rec.rs2 = lastDst;
-    emit(rec);
+    end();
 }
 
 void
 CostStream::branch(bool taken)
 {
-    Record rec;
+    Record &rec = begin(branchTmpl);
     rec.pc = nextPc();
-    rec.op = HOp::BNE;
-    rec.isBranch = true;
-    rec.isCondBranch = true;
     rec.taken = taken;
     rec.rs1 = lastDst;
-    rec.rs2 = host::hreg::Zero;
     if (taken) {
         // Short forward skip inside the window.
         rec.branchTarget = pcBase + ((pcOffset + 16) % pcBytes);
         pcOffset = (pcOffset + 16) % pcBytes;
     }
-    emit(rec);
+    end();
 }
 
 void
 CostStream::dispatch(uint32_t selector)
 {
-    Record rec;
+    Record &rec = begin(dispatchTmpl);
     // Direct-threaded dispatch: each handler ends in its own indirect
     // jump, so the BTB learns per-predecessor targets — the standard
     // technique production interpreters use to stay predictable.
     rec.pc = pcBase + 64 + (lastSelector % 64) * 256 + 252;
-    rec.op = HOp::JALR;
-    rec.isBranch = true;
-    rec.isIndirect = true;
-    rec.taken = true;
     rec.rs1 = lastDst;
     // Each selector gets its own handler block inside the window.
     rec.branchTarget = pcBase + 64 + (selector % 64) * 256;
     lastSelector = selector;
     pcOffset = (rec.branchTarget - pcBase) % pcBytes;
-    emit(rec);
+    end();
 }
 
 void
 CostStream::loopBack()
 {
-    Record rec;
+    Record &rec = begin(loopTmpl);
     rec.pc = nextPc();
-    rec.op = HOp::JAL;
-    rec.isBranch = true;
-    rec.taken = true;
-    rec.branchTarget = pcBase;
     pcOffset = 0;
-    emit(rec);
+    end();
 }
 
 namespace {
@@ -159,6 +167,16 @@ CostModel::CostModel(timing::RecordSink &sink)
       chain(sink, timing::Module::Chaining, kChainBase, kChainBytes),
       lookup(sink, timing::Module::Lookup, kLookupBase, kLookupBytes),
       other(sink, timing::Module::TolOther, kOtherBase, kOtherBytes)
+{}
+
+CostModel::CostModel(timing::RecordBatcher &batcher)
+    : im(batcher, timing::Module::IM, kImBase, kImBytes),
+      bbm(batcher, timing::Module::BBM, kBbmBase, kBbmBytes),
+      sbm(batcher, timing::Module::SBM, kSbmBase, kSbmBytes),
+      chain(batcher, timing::Module::Chaining, kChainBase, kChainBytes),
+      lookup(batcher, timing::Module::Lookup, kLookupBase,
+             kLookupBytes),
+      other(batcher, timing::Module::TolOther, kOtherBase, kOtherBytes)
 {}
 
 uint64_t

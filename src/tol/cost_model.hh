@@ -38,7 +38,24 @@ class CostStream
                uint32_t pc_window_base, uint32_t pc_window_bytes)
         : sink(record_sink), mod(module), pcBase(pc_window_base),
           pcBytes(pc_window_bytes)
-    {}
+    {
+        buildTemplates();
+    }
+
+    /**
+     * Batcher-backed stream: records are built directly in the
+     * batcher's buffer, skipping the per-record virtual consume()
+     * and the extra copy — the hot configuration (the TOL runtime
+     * emits tens of millions of these).
+     */
+    CostStream(timing::RecordBatcher &record_batcher,
+               timing::Module module, uint32_t pc_window_base,
+               uint32_t pc_window_bytes)
+        : sink(record_batcher), batcher(&record_batcher), mod(module),
+          pcBase(pc_window_base), pcBytes(pc_window_bytes)
+    {
+        buildTemplates();
+    }
 
     /** Emit @p count simple ALU instructions. */
     void alu(unsigned count);
@@ -82,11 +99,41 @@ class CostStream
     uint64_t instsEmitted() const { return emitted; }
 
   private:
-    void emit(timing::Record &rec);
+    /**
+     * Start a record from @p tmpl (a per-kind template holding every
+     * static field): a batcher slot, or the local scratch.
+     */
+    timing::Record &
+    begin(const timing::Record &tmpl)
+    {
+        if (batcher) {
+            timing::Record &rec = batcher->alloc();
+            rec = tmpl;
+            return rec;
+        }
+        scratch = tmpl;
+        return scratch;
+    }
+
+    /** Finish the record begun by begin(). */
+    void
+    end()
+    {
+        if (!batcher)
+            sink.consume(scratch);
+        ++emitted;
+    }
+
     uint32_t nextPc();
     uint8_t nextDst();
+    void buildTemplates();
 
     timing::RecordSink &sink;
+    timing::RecordBatcher *batcher = nullptr;
+    timing::Record scratch;
+    /** Per-kind templates with all static fields prefilled. */
+    timing::Record aluTmpl, loadTmpl, storeTmpl, branchTmpl,
+        dispatchTmpl, loopTmpl;
     timing::Module mod;
     uint32_t pcBase;
     uint32_t pcBytes;
@@ -106,6 +153,8 @@ class CostModel
 {
   public:
     explicit CostModel(timing::RecordSink &sink);
+    /** Batcher-backed (zero-copy emission); see CostStream. */
+    explicit CostModel(timing::RecordBatcher &batcher);
 
     CostStream im;        ///< interpreter loop + handlers
     CostStream bbm;       ///< BB translation

@@ -10,8 +10,9 @@ guest::ExecResult
 Interpreter::step(guest::State &state)
 {
     const uint32_t eip = state.eip;
-    const g::Inst &inst = reader.at(eip);
-    const g::OpInfo &info = g::opInfo(inst.op);
+    const DecodedInst &dec = reader.decoded(eip);
+    const g::Inst &inst = dec.inst;
+    const g::OpInfo &info = *dec.info;
 
     // --- fetch: instruction bytes read through the data path -------
     im.load(eip, 4);

@@ -5,7 +5,12 @@ namespace darco::tol {
 uint32_t
 Profiler::bumpImTarget(uint32_t eip, CostStream &stream)
 {
-    const uint32_t count = ++imCounts[eip];
+    CountSlot &cached = countCache[eip & (countCache.size() - 1)];
+    if (!cached.count || cached.eip != eip) {
+        cached.eip = eip;
+        cached.count = &imCounts[eip];
+    }
+    const uint32_t count = ++*cached.count;
     const uint32_t addr = imCounterAddr(eip);
     stream.routine(0x200);
     // load-increment-store + threshold compare, like real counters.
@@ -46,6 +51,7 @@ void
 Profiler::clearImCounters()
 {
     imCounts.clear();
+    countCache.fill(CountSlot{});
 }
 
 } // namespace darco::tol

@@ -15,6 +15,7 @@
 #ifndef DARCO_TOL_PROFILE_HH
 #define DARCO_TOL_PROFILE_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 
@@ -76,6 +77,16 @@ class Profiler
     const TolConfig &cfg;
     host::Memory &mem;
     std::unordered_map<uint32_t, uint32_t> imCounts;
+
+    /** bumpImTarget() fast path: direct-mapped eip -> counter-node
+     *  pointers (nodes are stable; invalidated on clearImCounters). */
+    struct CountSlot
+    {
+        uint32_t eip = 0;
+        uint32_t *count = nullptr;
+    };
+    std::array<CountSlot, 1024> countCache{};
+
     uint32_t nextBbBlock = kBbBlocksBase;
 };
 

@@ -16,10 +16,11 @@ namespace hctx = darco::host::ctx;
 
 Runtime::Runtime(const TolConfig &config, host::Memory &memory,
                  timing::RecordSink &record_sink)
-    : cfg(config), mem(memory), sink(record_sink), cost(record_sink),
+    : cfg(config), mem(memory), sink(record_sink),
+      batcher(record_sink), cost(batcher),
       store(amap::kCodeCacheBase,
             amap::kCodeCacheBase + config.codeCacheBytes),
-      exec(store, memory, record_sink),
+      exec(store, memory, batcher),
       transMap(config, memory),
       profiler(config, memory),
       ibtc(config, memory),
@@ -52,6 +53,7 @@ Runtime::load(const guest::Program &program)
 
     // TOL initialization work (one-off).
     cost.other.alu(64);
+    batcher.flush();
 }
 
 // ---------------------------------------------------------------------
@@ -326,6 +328,7 @@ Runtime::flushCodeCache()
     ibtc.clear(cost.other);
     bbMeta.clear();
     profiler.clearImCounters();
+    reader.invalidateCache();
     cost.other.alu(256);  // flush bookkeeping
 }
 
@@ -461,6 +464,7 @@ Runtime::promoteToSuperblock(uint32_t bb_eip)
         fwd.imm = static_cast<int64_t>(installed->hostBase);
         fwd.attr = static_cast<uint8_t>(timing::Module::Chaining);
         old_bb->insts[0] = fwd;
+        old_bb->rebuildTemplate(0);
         old_bb->superseded = true;
         ++tolStats.entryForwards;
         cost.chain.alu(cfg.chainPatchAlus);
@@ -486,8 +490,9 @@ Runtime::interpretBurst(uint64_t &remaining)
     ensureInCtx();
     while (remaining > 0) {
         const uint32_t eip = gstate.eip;
-        const g::Inst &inst = reader.at(eip);
-        const g::OpInfo &info = g::opInfo(inst.op);
+        const DecodedInst &dec = reader.decoded(eip);
+        const g::Inst &inst = dec.inst;
+        const g::OpInfo &info = *dec.info;
 
         if (inst.op == g::Op::HALT) {
             guestHalted = true;
@@ -656,6 +661,7 @@ Runtime::run(uint64_t guest_budget)
 
     // Indirect-branch retirements taken through translated code (IBTC
     // hits exit via JALR and never reach the runtime).
+    batcher.flush();
     result.halted = guestHalted;
     return result;
 }

@@ -123,6 +123,14 @@ class Runtime
     host::Memory &mem;
     timing::RecordSink &sink;
 
+    /**
+     * Order-preserving batcher between every TOL record producer
+     * (cost streams and the executor) and the timing pipelines;
+     * flushed before run() returns so callers observe a fully drained
+     * stream.
+     */
+    timing::RecordBatcher batcher;
+
     CostModel cost;
     host::CodeStore store;
     host::Executor exec;

@@ -9,6 +9,7 @@
 #define DARCO_TOL_STATS_HH
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 
@@ -26,6 +27,32 @@ struct TolStats
 
     // Static mode map: guest EIP -> highest mode reached (Figure 5a).
     std::unordered_map<uint32_t, uint8_t> staticMode;
+
+    /** noteStatic() fast path (never needs invalidation in place: the
+     *  map only grows and its nodes never move). */
+    struct StaticSlot
+    {
+        uint32_t eip = 0;
+        uint8_t *slot = nullptr;
+    };
+
+    /**
+     * The cached pointers alias this object's own staticMode nodes,
+     * so a copied TolStats must NOT inherit them: copies start with
+     * an empty cache and rebuild against their own map.
+     */
+    struct StaticCache : std::array<StaticSlot, 2048>
+    {
+        StaticCache() : std::array<StaticSlot, 2048>{} {}
+        StaticCache(const StaticCache &) : StaticCache() {}
+        StaticCache &
+        operator=(const StaticCache &)
+        {
+            fill(StaticSlot{});
+            return *this;
+        }
+    };
+    StaticCache staticCache;
 
     // Translation activity (Figure 6 secondary axis).
     uint64_t bbsTranslated = 0;
@@ -54,8 +81,21 @@ struct TolStats
     void
     noteStatic(uint32_t eip, Mode mode)
     {
+        // Direct-mapped pointer cache in front of the hash map: this
+        // runs once per interpreted guest instruction, and hot loops
+        // revisit the same few EIPs. unordered_map references are
+        // node-stable, so cached pointers survive growth.
+        const uint8_t m = static_cast<uint8_t>(mode);
+        StaticSlot &cached = staticCache[eip & (staticCache.size() - 1)];
+        if (cached.slot && cached.eip == eip) {
+            if (*cached.slot < m)
+                *cached.slot = m;
+            return;
+        }
         uint8_t &slot = staticMode[eip];
-        slot = std::max(slot, static_cast<uint8_t>(mode));
+        slot = std::max(slot, m);
+        cached.eip = eip;
+        cached.slot = &slot;
     }
 
     uint64_t dynTotal() const { return dynIm + dynBbm + dynSbm; }

@@ -126,6 +126,70 @@ TEST(PagedMemory, DoubleRoundTrip)
     EXPECT_DOUBLE_EQ(mem.loadDouble(0x4000), 3.141592653589793);
 }
 
+TEST(PagedMemory, LastPageCacheAliasing)
+{
+    // Addresses 4 MiB apart share a second-level table slot only if
+    // the directory indexing is wrong; addresses one table apart and
+    // one page apart must never alias through the last-page caches.
+    PagedMemory<uint32_t> mem;
+    const uint32_t a = 0x00400123;           // table 1, page 0x400
+    const uint32_t b = a + (1u << 22);       // next table, same index
+    const uint32_t c = a + (1u << 12);       // next page, same table
+    mem.store32(a, 0xAAAAAAAA);
+    mem.store32(b, 0xBBBBBBBB);
+    mem.store32(c, 0xCCCCCCCC);
+    // Interleave loads so the one-entry load cache keeps switching.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(mem.load32(a), 0xAAAAAAAAu);
+        EXPECT_EQ(mem.load32(b), 0xBBBBBBBBu);
+        EXPECT_EQ(mem.load32(c), 0xCCCCCCCCu);
+    }
+    // Interleaved stores through the one-entry store cache.
+    for (int i = 0; i < 4; ++i) {
+        mem.store8(a, static_cast<uint8_t>(i));
+        mem.store8(b, static_cast<uint8_t>(i + 64));
+    }
+    EXPECT_EQ(mem.load8(a), 3u);
+    EXPECT_EQ(mem.load8(b), 67u);
+    EXPECT_EQ(mem.numPages(), 3u);
+}
+
+TEST(PagedMemory, PageBoundaryStraddleThroughCaches)
+{
+    // A straddling store after a same-page store must hit both pages,
+    // not be swallowed by the cached last page.
+    PagedMemory<uint32_t> mem;
+    mem.store32(0x7000, 0x11111111);         // prime store cache
+    mem.store32(0x7FFE, 0xA1B2C3D4);         // straddles 0x7000/0x8000
+    EXPECT_EQ(mem.load8(0x7FFE), 0xD4u);
+    EXPECT_EQ(mem.load8(0x7FFF), 0xC3u);
+    EXPECT_EQ(mem.load8(0x8000), 0xB2u);
+    EXPECT_EQ(mem.load8(0x8001), 0xA1u);
+    EXPECT_EQ(mem.numPages(), 2u);
+    EXPECT_TRUE(mem.dirtyPages().count(0x7000));
+    EXPECT_TRUE(mem.dirtyPages().count(0x8000));
+}
+
+TEST(PagedMemory, DirtyTrackingSurvivesCachedStores)
+{
+    // clearDirty() must also reset the per-page dirty flags so later
+    // stores (including ones through the store cache) re-dirty.
+    PagedMemory<uint32_t> mem;
+    mem.store32(0x5000, 1);
+    mem.store32(0x5004, 2);                  // cached-page store
+    EXPECT_EQ(mem.dirtyPages().size(), 1u);
+    mem.clearDirty();
+    EXPECT_TRUE(mem.dirtyPages().empty());
+    mem.store32(0x5008, 3);                  // same page, via cache
+    EXPECT_EQ(mem.dirtyPages().size(), 1u);
+    EXPECT_TRUE(mem.dirtyPages().count(0x5000));
+    mem.clear();
+    EXPECT_EQ(mem.numPages(), 0u);
+    EXPECT_EQ(mem.load32(0x5000), 0u);
+    mem.store32(0x5000, 7);                  // caches were invalidated
+    EXPECT_EQ(mem.load32(0x5000), 7u);
+}
+
 TEST(PagedMemory, BulkReadWrite)
 {
     PagedMemory<uint32_t> mem;

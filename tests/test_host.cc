@@ -275,3 +275,37 @@ TEST(HostDisasm, RegionDumpContainsExits)
     EXPECT_NE(dump.find("target 0x08048020"), std::string::npos);
     EXPECT_NE(dump.find("retires 4"), std::string::npos);
 }
+
+TEST(CodeStore, LookupCacheInvalidatedOnFlush)
+{
+    CodeStore store{amap::kCodeCacheBase, amap::kCodeCacheBase + 65536};
+
+    auto make_region = [](size_t n) {
+        auto region = std::make_unique<CodeRegion>();
+        HostInst nop;
+        region->insts.assign(n, nop);
+        return region;
+    };
+
+    CodeRegion *first = store.install(make_region(8));
+    ASSERT_NE(first, nullptr);
+    const uint32_t first_base = first->hostBase;
+    const uint32_t pc = first_base + 3 * kHostInstBytes;
+
+    // Populate the direct-mapped lookup cache, then hit it.
+    EXPECT_EQ(store.find(pc), first);
+    EXPECT_EQ(store.find(pc), first);
+
+    store.flush();  // destroys `first`
+    // The cached mapping must not survive the flush.
+    EXPECT_EQ(store.find(pc), nullptr);
+    EXPECT_EQ(store.numRegions(), 0u);
+
+    // The bump allocator restarts, so a new region reuses the same
+    // addresses; lookups must resolve to the new region object.
+    CodeRegion *second = store.install(make_region(8));
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(second->hostBase, first_base);
+    EXPECT_EQ(store.find(pc), second);
+    EXPECT_EQ(store.find(pc), second);
+}
