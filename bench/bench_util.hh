@@ -159,7 +159,14 @@ struct ThroughputSample
     uint64_t hostRecords = 0;    ///< host-instruction records timed
     uint64_t cycles = 0;         ///< simulated cycles (determinism key)
     double seconds = 0;          ///< host process-CPU seconds
+    /**
+     * Same scenario re-run on the cycle-stepped reference timing
+     * core (0 = not measured): the in-process A/B that backs the
+     * event_core_speedup field.
+     */
+    double steppedSeconds = 0;
 
+    /** Guest MIPS achieved (forward progress per host second). */
     double
     guestMips() const
     {
@@ -167,11 +174,33 @@ struct ThroughputSample
             ? static_cast<double>(guestRetired) / seconds / 1e6 : 0;
     }
 
+    /** Host-instruction records timed per host second. */
     double
     hostInstPerSec() const
     {
         return seconds > 0
             ? static_cast<double>(hostRecords) / seconds : 0;
+    }
+
+    /** Simulated cycles the timing core advanced per host second. */
+    double
+    simCyclesPerSec() const
+    {
+        return seconds > 0
+            ? static_cast<double>(cycles) / seconds : 0;
+    }
+
+    /**
+     * Simulated cycles per timed record (a determinism quantity:
+     * workload character, not host speed).
+     */
+    double
+    cyclesPerRecord() const
+    {
+        return hostRecords > 0
+            ? static_cast<double>(cycles) /
+              static_cast<double>(hostRecords)
+            : 0;
     }
 };
 
@@ -212,14 +241,24 @@ class ThroughputReporter
                          "      \"guest_retired\": %llu,\n"
                          "      \"host_records\": %llu,\n"
                          "      \"sim_cycles\": %llu,\n"
+                         "      \"cycles_per_host_record\": %.4f,\n"
                          "      \"seconds\": %.6f,\n"
                          "      \"guest_mips\": %.3f,\n"
-                         "      \"host_inst_per_sec\": %.0f",
+                         "      \"host_inst_per_sec\": %.0f,\n"
+                         "      \"sim_cycles_per_sec\": %.0f",
                          s.name.c_str(),
                          static_cast<unsigned long long>(s.guestRetired),
                          static_cast<unsigned long long>(s.hostRecords),
                          static_cast<unsigned long long>(s.cycles),
-                         s.seconds, s.guestMips(), s.hostInstPerSec());
+                         s.cyclesPerRecord(), s.seconds, s.guestMips(),
+                         s.hostInstPerSec(), s.simCyclesPerSec());
+            if (s.steppedSeconds > 0) {
+                std::fprintf(out,
+                             ",\n      \"stepped_seconds\": %.6f,\n"
+                             "      \"event_core_speedup\": %.2f",
+                             s.steppedSeconds,
+                             s.steppedSeconds / s.seconds);
+            }
             for (const Baseline &b : baselines) {
                 if (b.scenario != s.name || b.guestMips <= 0)
                     continue;

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Perf-tracking gate: compare a freshly measured BENCH_engine.json
+against the committed one (ROADMAP "Perf tracking").
+
+Two kinds of checks, per scenario present in both files:
+
+- Determinism fields (guest_retired, host_records, sim_cycles) must
+  match EXACTLY. They are bit-stable across machines and build
+  flags, so any drift is a simulator semantics change that must be
+  intentional (and must come with a regenerated committed JSON).
+- Throughput (guest_mips) may not regress by more than the tolerance
+  (default 5%, override with DARCO_PERF_TOLERANCE, e.g. "0.05").
+  Wall-perf comparisons across different machines are noisy; the
+  tolerance gates only egregious regressions, while the in-process
+  event_core_speedup field stays machine-consistent.
+
+Usage: check_perf.py <fresh.json> <committed.json>
+Exit code 0 = pass, 1 = regression/mismatch, 2 = usage error.
+"""
+
+import json
+import os
+import sys
+
+DETERMINISM_FIELDS = ("guest_retired", "host_records", "sim_cycles")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        fresh = json.load(f)["scenarios"]
+    with open(argv[2]) as f:
+        committed = json.load(f)["scenarios"]
+
+    tolerance = float(os.environ.get("DARCO_PERF_TOLERANCE", "0.05"))
+    failures = []
+
+    for name, base in committed.items():
+        cur = fresh.get(name)
+        if cur is None:
+            failures.append(f"{name}: scenario disappeared from the "
+                            "fresh measurement")
+            continue
+
+        for field in DETERMINISM_FIELDS:
+            if cur.get(field) != base.get(field):
+                failures.append(
+                    f"{name}.{field}: determinism drift "
+                    f"{base.get(field)} -> {cur.get(field)} "
+                    "(semantics change: regenerate the committed "
+                    "JSON intentionally or fix the engine)")
+
+        base_mips = base.get("guest_mips", 0)
+        cur_mips = cur.get("guest_mips", 0)
+        if base_mips > 0 and cur_mips < base_mips * (1 - tolerance):
+            failures.append(
+                f"{name}.guest_mips: {base_mips:.3f} -> "
+                f"{cur_mips:.3f} "
+                f"({cur_mips / base_mips - 1:+.1%}, tolerance "
+                f"-{tolerance:.0%})")
+        else:
+            delta = (cur_mips / base_mips - 1) if base_mips else 0.0
+            print(f"  ok {name}: guest_mips {base_mips:.3f} -> "
+                  f"{cur_mips:.3f} ({delta:+.1%})")
+
+        # The in-process A/B ratio is load-matched and therefore far
+        # less host-dependent than absolute MIPS: gate it with a
+        # fixed absolute slack so the event core cannot quietly decay
+        # back toward the reference core's speed.
+        speedup = cur.get("event_core_speedup")
+        base_speedup = base.get("event_core_speedup")
+        if speedup is not None and base_speedup is not None:
+            if speedup < base_speedup - 0.20:
+                failures.append(
+                    f"{name}.event_core_speedup: {base_speedup:.2f}x "
+                    f"-> {speedup:.2f}x (allowed slack 0.20)")
+            else:
+                print(f"     {name}: event_core_speedup "
+                      f"{speedup:.2f}x (committed {base_speedup:.2f}x)")
+
+    for name in fresh.keys() - committed.keys():
+        print(f"  new scenario (no baseline): {name}")
+
+    if failures:
+        print("PERF CHECK FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,49 +2,113 @@
  * @file
  * Simulator-throughput harness: measures host speed (process-CPU
  * time, robust on shared machines) of the engine's hottest execution
- * modes (pure interpretation, steady-state translated execution, and
- * the default mixed pipeline) in guest-MIPS and host-records/s, and
- * emits BENCH_engine.json so every future PR has a perf trajectory to
+ * modes (pure interpretation, steady-state translated execution, the
+ * default mixed pipeline, and a stall-heavy memory-bound run) in
+ * guest-MIPS, host-records/s and simulated-cycles/s, and emits
+ * BENCH_engine.json so every future PR has a perf trajectory to
  * compare against.
  *
- * Besides throughput, each scenario reports its simulated-cycle count
- * and per-component metric fingerprint on stderr; these must be
- * bit-identical across simulator-speed optimizations (the engine is
- * deterministic, so any change in them is a semantics change, not an
- * optimization).
+ * Every scenario runs twice — once on the cycle-stepped reference
+ * timing core and once on the event-driven core — and the harness
+ * hard-fails unless the two produce bit-identical metrics (every
+ * cycle total, every bucket cell, every cache/TLB/predictor counter).
+ * The engine is deterministic, so any divergence is a semantics
+ * change, not an optimization; the per-scenario event_core_speedup
+ * field in the JSON is the load-matched A/B this enforces. See
+ * docs/timing-model.md for the equivalence argument.
  *
- * The baseline_* constants below were measured in this same PR, at
- * the commit immediately before the hot-path overhaul (two-level page
- * directory, code-store lookup cache, batched timing records, decode
- * cache), with the identical harness, budgets, and build flags.
+ * The baseline_* constants below were measured at the commit
+ * immediately before the PR-1 hot-path overhaul (seed engine), with
+ * the identical harness, budgets, and build flags.
  */
 
 #include <cinttypes>
+#include <cstring>
 
 #include "bench_util.hh"
 #include "sim/system.hh"
 #include "workloads/params.hh"
 
+namespace {
+
+using namespace darco;
+
+/** One timed configuration of the engine. */
+struct Scenario
+{
+    const char *name;
+    const char *workload;
+    uint64_t budget;
+    bool interpretOnly;
+    uint32_t sbThreshold;
+    double baselineGuestMips;
+    double baselineHostInstPerSec;
+};
+
+/** One scenario outcome: the result plus a full metrics snapshot. */
+struct RunOutcome
+{
+    sim::SystemResult result;
+    timing::PipeStats stats;
+    double seconds = 0;
+};
+
+RunOutcome
+runScenario(const Scenario &sc, bool event_core)
+{
+    sim::SimConfig cfg;
+    cfg.guestBudget = sc.budget;
+    cfg.tol.bbToSbThreshold = sc.sbThreshold;
+    cfg.timing.eventCore = event_core;
+    if (sc.interpretOnly)
+        cfg.tol.imToBbThreshold = 0xFFFFFFFFu;
+
+    sim::System sys(cfg);
+    sys.load(workloads::buildBenchmark(
+        *workloads::findBenchmark(sc.workload)));
+
+    bench::CpuTimer timer;
+    RunOutcome out;
+    out.result = sys.run();
+    out.seconds = timer.seconds();
+    out.stats = sys.combinedStats();
+    return out;
+}
+
+/**
+ * Bit-exact comparison of everything both timing cores measure,
+ * via the shared timing::diffStats comparator (the same one the A/B
+ * determinism tests use, so the covered field set cannot drift).
+ */
+void
+expectIdentical(const char *scenario, const RunOutcome &stepped,
+                const RunOutcome &event)
+{
+    fatal_if(stepped.result.guestRetired != event.result.guestRetired,
+             "A/B mismatch on %s: guest_retired %llu != %llu",
+             scenario,
+             static_cast<unsigned long long>(
+                 stepped.result.guestRetired),
+             static_cast<unsigned long long>(
+                 event.result.guestRetired));
+    const std::string diff =
+        timing::diffStats(stepped.stats, event.stats);
+    fatal_if(!diff.empty(),
+             "event-driven core diverged from the reference core on "
+             "%s:\n%s",
+             scenario, diff.c_str());
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    using namespace darco;
     // Budgets are fixed per scenario so results stay comparable
     // across PRs; parse() still provides --help and arg validation.
     (void)bench::BenchArgs::parse(argc, argv);
 
     bench::ThroughputReporter reporter("engine_speed");
-
-    struct Scenario
-    {
-        const char *name;
-        const char *workload;
-        uint64_t budget;
-        bool interpretOnly;
-        uint32_t sbThreshold;
-        double baselineGuestMips;
-        double baselineHostInstPerSec;
-    };
 
     // Baselines: pre-optimization engine (seed src/, Release build,
     // no IPO/PGO), same harness and budgets, median of 6 interleaved
@@ -56,31 +120,29 @@ main(int argc, char **argv)
          9.093, 19.8e6},
         {"mixed_464.h264ref", "464.h264ref", 1'000'000, false, 1000,
          7.802, 19.9e6},
+        // Stall-heavy pointer chasing: most cycles are load-miss or
+        // TLB stalls, the regime where the event core advances many
+        // simulated cycles per host op. No seed baseline (added with
+        // the event core); cycles_per_host_record and
+        // sim_cycles_per_sec are its headline columns.
+        {"stallheavy_429.mcf", "429.mcf", 1'000'000, false, 1000,
+         0, 0},
     };
 
     for (const Scenario &sc : scenarios) {
-        sim::SimConfig cfg;
-        cfg.guestBudget = sc.budget;
-        cfg.tol.bbToSbThreshold = sc.sbThreshold;
-        if (sc.interpretOnly)
-            cfg.tol.imToBbThreshold = 0xFFFFFFFFu;
+        std::fprintf(stderr, "  running %-20s (A/B) ...\n", sc.name);
+        const RunOutcome stepped = runScenario(sc, false);
+        const RunOutcome event = runScenario(sc, true);
+        expectIdentical(sc.name, stepped, event);
 
-        sim::System sys(cfg);
-        sys.load(workloads::buildBenchmark(
-            *workloads::findBenchmark(sc.workload)));
-
-        std::fprintf(stderr, "  running %-20s ...\n", sc.name);
-        bench::CpuTimer timer;
-        const sim::SystemResult res = sys.run();
-        const double secs = timer.seconds();
-
-        const timing::PipeStats &ps = sys.combinedStats();
+        const timing::PipeStats &ps = event.stats;
         bench::ThroughputSample sample;
         sample.name = sc.name;
-        sample.guestRetired = res.guestRetired;
+        sample.guestRetired = event.result.guestRetired;
         sample.hostRecords = ps.records;
-        sample.cycles = res.cycles;
-        sample.seconds = secs;
+        sample.cycles = event.result.cycles;
+        sample.seconds = event.seconds;
+        sample.steppedSeconds = stepped.seconds;
         reporter.add(sample);
         if (sc.baselineGuestMips > 0) {
             reporter.addBaseline(sc.name, sc.baselineGuestMips,
@@ -96,11 +158,17 @@ main(int argc, char **argv)
             " l1i=%" PRIu64 "/%" PRIu64 " l2=%" PRIu64 "/%" PRIu64
             " tlb=%" PRIu64 "/%" PRIu64 " bp=%" PRIu64 "/%" PRIu64
             " ipc=%.6f\n",
-            sc.name, res.guestRetired, ps.records, res.cycles,
-            ps.l1d.accesses, ps.l1d.misses, ps.l1i.accesses,
-            ps.l1i.misses, ps.l2.accesses, ps.l2.misses,
-            ps.tlb.accesses, ps.tlb.l1Misses, ps.bp.branches,
-            ps.bp.mispredicts, ps.ipc());
+            sc.name, event.result.guestRetired, ps.records,
+            event.result.cycles, ps.l1d.accesses, ps.l1d.misses,
+            ps.l1i.accesses, ps.l1i.misses, ps.l2.accesses,
+            ps.l2.misses, ps.tlb.accesses, ps.tlb.l1Misses,
+            ps.bp.branches, ps.bp.mispredicts, ps.ipc());
+        std::fprintf(stderr,
+                     "  a/b %s: stepped=%.3fs event=%.3fs "
+                     "speedup=%.2fx cycles/record=%.3f\n",
+                     sc.name, stepped.seconds, event.seconds,
+                     stepped.seconds / event.seconds,
+                     sample.cyclesPerRecord());
     }
 
     reporter.write();

@@ -52,6 +52,11 @@ System::run()
 
     const tol::Runtime::RunResult rr = runtime->run(cfg.guestBudget);
 
+    // The functional pass above streamed records into the timing
+    // instances, which advance time lazily behind a bounded backlog
+    // (event-driven core; docs/timing-model.md). finish() runs each
+    // instance's final drain — fast-forwarding any tail stall in one
+    // jump — and snapshots the component stats.
     combined->finish();
     if (tolOnly)
         tolOnly->finish();

@@ -22,10 +22,11 @@
 
 namespace darco::sim {
 
+/** Outcome of one System::run (docs/metrics.md). */
 struct SystemResult
 {
-    uint64_t guestRetired = 0;
-    bool halted = false;
+    uint64_t guestRetired = 0;      ///< guest instructions executed
+    bool halted = false;            ///< guest reached HALT in budget
     uint64_t cycles = 0;            ///< combined-pipeline cycles
     std::string memoryDiff;         ///< co-simulation memory check
 };
@@ -41,30 +42,40 @@ class System
     /** Run to the budget (or HALT), then drain the pipelines. */
     SystemResult run();
 
+    /** TOL activity counters (modes, translations, services). */
     const tol::TolStats &tolStats() const { return runtime->stats(); }
+    /** The unfiltered pipeline's metrics (Figures 6/7/9). */
     const timing::PipeStats &combinedStats() const
     {
         return combined->stats();
     }
+    /** TOL-software isolated pipeline, if enabled (Figures 10/11). */
     const timing::PipeStats *tolOnlyStats() const
     {
         return tolOnly ? &tolOnly->stats() : nullptr;
     }
+    /** Application isolated pipeline, if enabled (Figures 10/11). */
     const timing::PipeStats *appOnlyStats() const
     {
         return appOnly ? &appOnly->stats() : nullptr;
     }
+    /** TOL-by-module pipeline, if enabled (Figure 8). */
     const timing::PipeStats *tolModuleStats() const
     {
         return tolModule ? &tolModule->stats() : nullptr;
     }
+    /** Co-simulation state checker (nullptr when cosim is off). */
     const StateChecker *checker() const { return stateChecker.get(); }
+    /** Architectural guest state of the co-design component. */
     const guest::State &guestState() const
     {
         return runtime->guestState();
     }
+    /** The TOL runtime (for threshold/introspection access). */
     tol::Runtime &tolRuntime() { return *runtime; }
+    /** Host physical memory of the co-design component. */
     host::Memory &hostMemory() { return hostMem; }
+    /** The authoritative emulator's guest memory. */
     guest::Memory &authMemory() { return authMem; }
 
   private:

@@ -18,15 +18,17 @@
 
 namespace darco::timing {
 
+/** Branch-predictor counters (docs/metrics.md §3). */
 struct BpStats
 {
-    uint64_t branches = 0;
-    uint64_t condBranches = 0;
-    uint64_t mispredicts = 0;
-    uint64_t directionMispredicts = 0;
-    uint64_t targetMispredicts = 0;
-    uint64_t indirectMispredicts = 0;
+    uint64_t branches = 0;             ///< transfers predicted
+    uint64_t condBranches = 0;         ///< conditional subset
+    uint64_t mispredicts = 0;          ///< any wrong prediction
+    uint64_t directionMispredicts = 0; ///< gshare direction wrong
+    uint64_t targetMispredicts = 0;    ///< BTB target wrong/absent
+    uint64_t indirectMispredicts = 0;  ///< JALR-class subset
 
+    /** Fraction of predicted transfers that were wrong. */
     double
     mispredictRate() const
     {
@@ -54,8 +56,10 @@ class BranchPredictor
     bool predict(uint32_t pc, bool taken, uint32_t target, bool is_cond,
                  bool is_indirect);
 
+    /** Counters accumulated so far. */
     const BpStats &stats() const { return stat; }
 
+    /** Clear PHT, history and BTB (used between experiments). */
     void reset();
 
   private:

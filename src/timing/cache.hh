@@ -14,13 +14,15 @@
 
 namespace darco::timing {
 
+/** Per-cache counters (docs/metrics.md §3). */
 struct CacheStats
 {
-    uint64_t accesses = 0;
-    uint64_t misses = 0;
-    uint64_t writebacks = 0;
-    uint64_t prefetchFills = 0;
+    uint64_t accesses = 0;      ///< demand accesses (not probes)
+    uint64_t misses = 0;        ///< demand misses
+    uint64_t writebacks = 0;    ///< dirty lines evicted downward
+    uint64_t prefetchFills = 0; ///< lines installed by prefetches
 
+    /** Demand miss ratio (0 when never accessed). */
     double
     missRate() const
     {
@@ -57,11 +59,13 @@ class Cache
      */
     void prefetch(uint32_t addr);
 
+    /** Counters accumulated so far. */
     const CacheStats &stats() const { return stat; }
 
     /** Drop all contents (used between experiments). */
     void reset();
 
+    /** Configured line size in bytes. */
     uint32_t lineBytes() const { return geom.lineBytes; }
 
   private:

@@ -22,11 +22,23 @@ struct CacheGeometry
     uint32_t hitLatency;
 };
 
+/** Host microarchitecture parameters (Table I + DESIGN.md §4.5). */
 struct TimingConfig
 {
     // General (Table I).
-    uint32_t issueWidth = 2;
-    uint32_t iqSize = 16;
+    uint32_t issueWidth = 2;    ///< in-order issue slots per cycle
+    uint32_t iqSize = 16;       ///< instruction-queue entries
+
+    /**
+     * Drive the pipeline with the event-driven core: advance the
+     * clock directly to the next event (issue-ready, fetch-ready,
+     * writeback, miss completion, branch resolve) instead of ticking
+     * every cycle. Bit-identical to the cycle-stepped reference core
+     * by construction (see docs/timing-model.md; enforced by the A/B
+     * determinism tests); applies when issueWidth <= 2 — wider
+     * configs fall back to the reference core.
+     */
+    bool eventCore = true;
 
     // Branch prediction: Gshare with a 12-bit history register.
     uint32_t bpHistoryBits = 12;

@@ -1,6 +1,7 @@
 #include "timing/pipeline.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/bitutils.hh"
 #include "common/logging.hh"
@@ -25,6 +26,83 @@ moduleName(Module m)
         "app", "tol-other", "im", "bbm", "sbm", "chaining", "lookup",
     };
     return names[static_cast<unsigned>(m)];
+}
+
+std::string
+diffStats(const PipeStats &a, const PipeStats &b)
+{
+    std::string diff;
+    char line[160];
+    auto mismatch_u64 = [&](const char *what, uint64_t va,
+                            uint64_t vb) {
+        if (va != vb) {
+            std::snprintf(line, sizeof(line),
+                          "%s: %llu != %llu\n", what,
+                          static_cast<unsigned long long>(va),
+                          static_cast<unsigned long long>(vb));
+            diff += line;
+        }
+    };
+    auto mismatch_f64 = [&](const char *what, unsigned i, unsigned j,
+                            double va, double vb) {
+        if (!(va == vb)) {
+            std::snprintf(line, sizeof(line),
+                          "%s[%u][%u]: %.17g != %.17g\n", what, i, j,
+                          va, vb);
+            diff += line;
+        }
+    };
+
+    mismatch_u64("cycles", a.cycles, b.cycles);
+    mismatch_u64("records", a.records, b.records);
+    for (unsigned m = 0; m < kNumModules; ++m)
+        mismatch_u64(moduleName(static_cast<Module>(m)), a.insts[m],
+                     b.insts[m]);
+    for (unsigned bk = 0; bk < kNumBuckets; ++bk) {
+        for (unsigned m = 0; m < kNumModules; ++m)
+            mismatch_f64("bucket", bk, m, a.bucket[bk][m],
+                         b.bucket[bk][m]);
+        for (unsigned s = 0; s < 2; ++s)
+            mismatch_f64("bucketSrc", bk, s, a.bucketSrc[bk][s],
+                         b.bucketSrc[bk][s]);
+    }
+
+    const CacheStats *cas[] = {&a.l1i, &a.l1d, &a.l2};
+    const CacheStats *cbs[] = {&b.l1i, &b.l1d, &b.l2};
+    const char *cnames[] = {"l1i", "l1d", "l2"};
+    for (unsigned c = 0; c < 3; ++c) {
+        std::string p = cnames[c];
+        mismatch_u64((p + ".accesses").c_str(), cas[c]->accesses,
+                     cbs[c]->accesses);
+        mismatch_u64((p + ".misses").c_str(), cas[c]->misses,
+                     cbs[c]->misses);
+        mismatch_u64((p + ".writebacks").c_str(), cas[c]->writebacks,
+                     cbs[c]->writebacks);
+        mismatch_u64((p + ".prefetchFills").c_str(),
+                     cas[c]->prefetchFills, cbs[c]->prefetchFills);
+    }
+
+    mismatch_u64("tlb.accesses", a.tlb.accesses, b.tlb.accesses);
+    mismatch_u64("tlb.l1Misses", a.tlb.l1Misses, b.tlb.l1Misses);
+    mismatch_u64("tlb.l2Misses", a.tlb.l2Misses, b.tlb.l2Misses);
+
+    mismatch_u64("bp.branches", a.bp.branches, b.bp.branches);
+    mismatch_u64("bp.condBranches", a.bp.condBranches,
+                 b.bp.condBranches);
+    mismatch_u64("bp.mispredicts", a.bp.mispredicts,
+                 b.bp.mispredicts);
+    mismatch_u64("bp.directionMispredicts", a.bp.directionMispredicts,
+                 b.bp.directionMispredicts);
+    mismatch_u64("bp.targetMispredicts", a.bp.targetMispredicts,
+                 b.bp.targetMispredicts);
+    mismatch_u64("bp.indirectMispredicts", a.bp.indirectMispredicts,
+                 b.bp.indirectMispredicts);
+
+    mismatch_u64("prefetch.trains", a.prefetch.trains,
+                 b.prefetch.trains);
+    mismatch_u64("prefetch.prefetches", a.prefetch.prefetches,
+                 b.prefetch.prefetches);
+    return diff;
 }
 
 double
@@ -97,6 +175,12 @@ PipeStats::ipc() const
 
 Pipeline::Pipeline(const TimingConfig &config, Filter f)
     : cfg(config), filter(f),
+      // The event core's bulk accounting relies on the exact integer
+      // half-unit representation, so wider-issue configs (double
+      // accounting) fall back to the reference core.
+      eng(config.eventCore && config.issueWidth <= 2
+              ? Engine::EventDriven
+              : Engine::CycleStepped),
       issueWidth(config.issueWidth), iqSize(config.iqSize),
       mispredictPenalty(config.mispredictPenalty),
       prefetcherEnabled(config.prefetcherEnabled),
@@ -109,7 +193,15 @@ Pipeline::Pipeline(const TimingConfig &config, Filter f)
       l1iLineShift(floorLog2(config.l1i.lineBytes)),
       intAccounting(config.issueWidth <= 2)
 {
-    window.resize(128);  // grows on demand; power-of-two ring
+    // Power-of-two ring; grows on demand via pushPending. The event
+    // core's borrowed-batch staging writes one slot past IQ + FE
+    // without a grow check (it can only run when the ring pending
+    // segment is empty), so the initial size must already cover
+    // iqSize + front-end(8) + 1 even for oversized-IQ sweeps.
+    size_t slots = 128;
+    while (slots < static_cast<size_t>(iqSize) + 8 + 1)
+        slots *= 2;
+    window.resize(slots);
     winMask = window.size() - 1;
     for (size_t op = 0;
          op < static_cast<size_t>(host::HOp::NumOps); ++op) {
@@ -166,8 +258,25 @@ Pipeline::accept(const Record &rec)
     pushPending(rec);
 
     // Keep the in-flight window bounded; advance the clock as needed.
-    while (pendingCount() > 64)
-        step();
+    drain(64, false);
+}
+
+void
+Pipeline::drain(size_t pending_floor, bool to_empty)
+{
+    if (to_empty ? inFlight == 0 : pendingCount() <= pending_floor)
+        return;
+    if (eng == Engine::EventDriven) {
+        (void)runEventCore(pending_floor, to_empty, nullptr, 0);
+        return;
+    }
+    if (to_empty) {
+        while (inFlight != 0)
+            step();
+    } else {
+        while (pendingCount() > pending_floor)
+            step();
+    }
 }
 
 void
@@ -187,14 +296,40 @@ Pipeline::consumeBatch(const Record *recs, size_t count)
     // stays non-zero throughout either drain schedule), so deferring
     // the drain to the end of the batch replays the exact same step
     // sequence with less loop overhead.
+    if (eng == Engine::EventDriven && filter == Filter::All) {
+        // Zero-copy backlog: the batch buffer itself serves as the
+        // tail of the pending segment. Only what the drain leaves
+        // unfetched is staged into the ring — the bytes the model
+        // sees, and the order it sees them in, are unchanged.
+        //
+        // The drain runs deeper than the reference's floor of 64:
+        // any floor >= issueWidth is equivalent, because a cycle's
+        // behaviour depends on the backlog depth only through
+        // "non-empty", and with floor >= issueWidth every executed
+        // cycle still sees more backlog than one fetch can consume.
+        // Draining to 2 here minimizes what must be staged into the
+        // ring when the borrowed buffer dies.
+        stat.records += count;
+        const size_t used = runEventCore(2, false, recs, count);
+        const size_t left = count - used;
+        while (window.size() < inFlight + left)
+            growWindow();
+        for (size_t i = used; i < count; ++i) {
+            InFlight &slot = window[(head + inFlight) & winMask];
+            slot.rec = recs[i];
+            slot.arrival = 0;
+            slot.mispredicted = false;
+            ++inFlight;
+        }
+        return;
+    }
     for (size_t i = 0; i < count; ++i) {
         if (!passesFilter(recs[i]))
             continue;
         ++stat.records;
         pushPending(recs[i]);
     }
-    while (pendingCount() > 64)
-        step();
+    drain(64, false);
 }
 
 bool
@@ -208,8 +343,7 @@ Pipeline::finish()
 {
     if (finished)
         return;
-    while (workRemains())
-        step();
+    drain(0, true);
     finished = true;
     if (intAccounting) {
         for (unsigned b = 0; b < kNumBuckets; ++b) {
@@ -560,6 +694,361 @@ Pipeline::step()
     issuePhase(issued);
     fetchPhase();
     ++now;
+}
+
+/*
+ * Event-driven core.
+ *
+ * The reference semantics are: every cycle runs issuePhase(now), then
+ * fetchPhase(now), then ++now. This core reproduces those semantics
+ * exactly (same component accesses in the same order, same accounting
+ * cells updated by the same amounts) while doing strictly less host
+ * work, via two mechanisms — the full equivalence argument, event
+ * type by event type, is in docs/timing-model.md:
+ *
+ * 1. Merged active-cycle body. One loop iteration is one active
+ *    cycle: the issue phase, the FE->IQ mover, and the fetch phase
+ *    are inlined into a single body operating on *local* copies of
+ *    the hot pipeline state (clock, ring counters, fetch-block /
+ *    branch-halt state, sticky starvation cause). Locals survive the
+ *    component calls (cache/TLB/predictor accesses) in callee-saved
+ *    registers, where the reference core must conservatively reload
+ *    members after every such call; and no per-cycle gate or
+ *    function-call boundary remains. The operations themselves — and
+ *    therefore every counter and every PLRU/gshare/BTB state machine
+ *    — are the reference ones, verbatim.
+ *
+ * 2. Event-horizon fast-forward. After a cycle in which nothing
+ *    issued, nothing moved to the IQ, and nothing fetched, the
+ *    pipeline state is provably constant until the earliest of the
+ *    pending events:
+ *      - issue-ready:      the IQ head's arrival cycle,
+ *      - writeback:        the blocking register's scoreboard ready
+ *                          time (load-miss completion included — the
+ *                          miss latency was charged at issue, so the
+ *                          completion time is fully determined),
+ *      - fetch-ready:      the FE head's arrival - 1 (the mover
+ *                          moves entries one cycle early),
+ *      - I-miss completion: fetchBlockedUntil (set when the I-cache
+ *                          miss was charged, so also determined),
+ *      - branch-resolve:   subsumed by issue-ready — the halt ends
+ *                          when the mispredicted branch issues.
+ *    Every skipped cycle would have charged exactly one full cycle
+ *    to the same (bucket, module, source) cell that the first stalled
+ *    cycle was charged to, so the whole run is accounted in one
+ *    integer add — associative, hence bit-identical after the single
+ *    half-unit -> double conversion in finish().
+ */
+size_t
+Pipeline::runEventCore(size_t pending_floor, bool to_empty,
+                       const Record *ext, size_t ext_count)
+{
+    panic_if(to_empty && ext_count != 0,
+             "event core: final drain with a borrowed batch");
+    if (issueWidth == 2) {
+        return runEventCoreImpl<2>(pending_floor, to_empty, ext,
+                                   ext_count);
+    }
+    return runEventCoreImpl<0>(pending_floor, to_empty, ext,
+                               ext_count);
+}
+
+template <unsigned W>
+size_t
+Pipeline::runEventCoreImpl(size_t pending_floor, bool to_empty,
+                           const Record *ext, size_t ext_count)
+{
+    // Hoisted pipeline state; written back on exit.
+    size_t ext_pos = 0;
+    uint64_t t = now;
+    size_t hd = head;
+    size_t n_flight = inFlight;
+    size_t iq_n = iqCount;
+    size_t fe_n = feCount;
+    uint64_t fetch_blocked = fetchBlockedUntil;
+    bool fetch_halted = fetchHaltedForBranch;
+    uint32_t last_line = lastFetchLine;
+    Bucket starve_b = starveBucket;
+    Module starve_m = starveModule;
+    bool starve_src = starveSrcRegion;
+
+    InFlight *const win = window.data();
+    const size_t mask = winMask;
+    const uint32_t width = W != 0 ? W : issueWidth;
+    const uint32_t iq_cap = iqSize;
+    const uint32_t line_shift = l1iLineShift;
+    constexpr unsigned insts_b = static_cast<unsigned>(Bucket::Insts);
+
+    while (to_empty
+               ? n_flight != 0
+               : n_flight - iq_n - fe_n + (ext_count - ext_pos) >
+                     pending_floor) {
+        // ---- issue phase (reference issuePhase, integer mode) ----
+        unsigned issued = 0;
+        unsigned m0 = 0, s0 = 0, m1 = 0, s1 = 0;
+        uint8_t blocking = host::kNoReg;
+
+        // Side effects run here in reference order; the accounting
+        // adds are deferred past the slot attempts so a dual issue
+        // with matching attribution (the common case) lands as one
+        // add per cell — integer cells, so merging is exact.
+        auto try_issue = [&](unsigned &m_out, unsigned &s_out) {
+            if (iq_n == 0)
+                return false;
+            InFlight &iq_head = win[hd];
+            if (iq_head.arrival > t)
+                return false;
+            const Record &rec = iq_head.rec;
+            const uint8_t sr1 = rec.rs1;
+            const uint8_t sr2 = rec.rs2;
+            if (sr1 != host::kNoReg && sr1 < regs.size() &&
+                regs[sr1].ready > t) {
+                blocking = sr1;
+                return false;
+            }
+            if (sr2 != host::kNoReg && sr2 < regs.size() &&
+                regs[sr2].ready > t) {
+                blocking = sr2;
+                return false;
+            }
+
+            // Reference issueOne against the hoisted clock.
+            uint32_t latency = opLatency[static_cast<size_t>(rec.op)];
+            bool load_missed = false;
+            if (rec.isLoad) {
+                uint32_t extra = 0;
+                if (host::amap::isGuestAddr(rec.memAddr))
+                    extra = dtlb.access(rec.memAddr);
+                bool miss = false;
+                const uint32_t dlat =
+                    l1dc.access(rec.memAddr, false, miss);
+                if (prefetcherEnabled)
+                    pf.train(rec.pc, rec.memAddr);
+                latency = 1 + extra + dlat;
+                load_missed = miss || extra > 0;
+            } else if (rec.isStore) {
+                if (host::amap::isGuestAddr(rec.memAddr))
+                    (void)dtlb.access(rec.memAddr);
+                bool miss = false;
+                (void)l1dc.access(rec.memAddr, true, miss);
+                latency = 1;
+            }
+            if (rec.rd != host::kNoReg) {
+                RegState &rd = regs[rec.rd];
+                rd.ready = t + 1 + (latency > 1 ? latency - 1 : 0);
+                rd.producer = rec.module;
+                rd.producerSrc = rec.fromRegion;
+                rd.loadMiss = rec.isLoad && load_missed;
+            }
+            if (rec.isBranch && iq_head.mispredicted) {
+                // Branch-resolve event: EXE redirect; refetch after
+                // the remaining penalty (reference issueOne).
+                fetch_blocked = t + mispredictPenalty - 3;
+                fetch_halted = false;
+                starve_b = Bucket::BranchBubble;
+                starve_m = rec.module;
+                starve_src = rec.fromRegion;
+            }
+            m_out = static_cast<unsigned>(rec.module);
+            s_out = rec.fromRegion ? 1 : 0;
+
+            hd = (hd + 1) & mask;
+            --n_flight;
+            --iq_n;
+            return true;
+        };
+
+        if (try_issue(m0, s0)) {
+            issued = 1;
+            if (width == 2 && try_issue(m1, s1))
+                issued = 2;
+        }
+
+        unsigned b_idx = 0, m_idx = 0, s_idx = 0;
+        uint64_t stall_until = 0;
+        if (issued == 2) {
+            // One half-unit per issued instruction (reference),
+            // merged when the attribution matches.
+            if (m0 == m1) {
+                bucketHalf[insts_b][m0] += 2;
+                stat.insts[m0] += 2;
+            } else {
+                bucketHalf[insts_b][m0] += 1;
+                bucketHalf[insts_b][m1] += 1;
+                ++stat.insts[m0];
+                ++stat.insts[m1];
+            }
+            if (s0 == s1) {
+                bucketSrcHalf[insts_b][s0] += 2;
+            } else {
+                bucketSrcHalf[insts_b][s0] += 1;
+                bucketSrcHalf[insts_b][s1] += 1;
+            }
+        } else if (issued == 1) {
+            // Solo issue gets both half-units (reference).
+            bucketHalf[insts_b][m0] += 2;
+            bucketSrcHalf[insts_b][s0] += 2;
+            ++stat.insts[m0];
+        } else {
+            // Stalled cycle: classify once; the classification both
+            // charges this cycle and names the event that ends the
+            // stall (used by the fast-forward below).
+            if (blocking != host::kNoReg) {
+                const RegState &src = regs[blocking];
+                if (src.loadMiss) {
+                    b_idx = static_cast<unsigned>(Bucket::DcacheBubble);
+                    m_idx = static_cast<unsigned>(src.producer);
+                    s_idx = src.producerSrc ? 1 : 0;
+                } else {
+                    const InFlight &iq_head = win[hd];
+                    b_idx = static_cast<unsigned>(Bucket::SchedBubble);
+                    m_idx = static_cast<unsigned>(iq_head.rec.module);
+                    s_idx = iq_head.rec.fromRegion ? 1 : 0;
+                }
+                stall_until = src.ready;       // writeback event
+            } else {
+                b_idx = static_cast<unsigned>(starve_b);
+                m_idx = static_cast<unsigned>(starve_m);
+                s_idx = starve_src ? 1 : 0;
+                // Issue-ready event (IQ head arrival), or unbounded
+                // until a fetch-side event below.
+                stall_until =
+                    iq_n != 0 ? win[hd].arrival : UINT64_MAX;
+            }
+            bucketHalf[b_idx][m_idx] += 2;
+            bucketSrcHalf[b_idx][s_idx] += 2;
+        }
+
+        // ---- fetch phase (reference fetchPhase) ----
+        bool moved = false;
+        while (fe_n != 0 && win[(hd + iq_n) & mask].arrival <= t + 1 &&
+               iq_n < iq_cap) {
+            ++iq_n;
+            --fe_n;
+            moved = true;
+        }
+        bool did_fetch = false;
+        if (t >= fetch_blocked && !fetch_halted) {
+            unsigned fetched = 0;
+            size_t fetch_pos = iq_n + fe_n;
+            while (fetched < width && fe_n < 8) {
+                InFlight *inflight_p;
+                if (fetch_pos < n_flight) {
+                    inflight_p = &win[(hd + fetch_pos) & mask];
+                } else if (ext_pos < ext_count) {
+                    // Stage the next borrowed backlog record into
+                    // the ring as it enters the front-end. The ring
+                    // pending segment is empty here (fetch consumed
+                    // it first), so the next free slot is exactly
+                    // the front-end tail.
+                    inflight_p = &win[(hd + n_flight) & mask];
+                    inflight_p->rec = ext[ext_pos];
+                    ++ext_pos;
+                    ++n_flight;
+                } else {
+                    break;
+                }
+                InFlight &inflight = *inflight_p;
+                const Record &rec = inflight.rec;
+                const uint32_t line = rec.pc >> line_shift;
+                if (line != last_line) {
+                    bool miss = false;
+                    const uint32_t lat =
+                        l1ic.access(rec.pc, false, miss);
+                    last_line = line;
+                    if (miss) {
+                        // I-miss completion event: the fill latency
+                        // is known now, so the unblock cycle is too.
+                        fetch_blocked = t + lat;
+                        starve_b = Bucket::IcacheBubble;
+                        starve_m = rec.module;
+                        starve_src = rec.fromRegion;
+                        inflight.arrival = t + lat + 3;
+                        if (rec.isBranch) {
+                            inflight.mispredicted = !bp.predict(
+                                rec.pc, rec.taken, rec.branchTarget,
+                                rec.isCondBranch, rec.isIndirect);
+                            if (inflight.mispredicted) {
+                                fetch_halted = true;
+                                starve_b = Bucket::BranchBubble;
+                                starve_m = rec.module;
+                                starve_src = rec.fromRegion;
+                            }
+                        }
+                        ++fe_n;
+                        did_fetch = true;
+                        break;
+                    }
+                }
+                inflight.arrival = t + 3;  // AC/IF/DEC traversal
+                if (rec.isBranch) {
+                    inflight.mispredicted = !bp.predict(
+                        rec.pc, rec.taken, rec.branchTarget,
+                        rec.isCondBranch, rec.isIndirect);
+                }
+                ++fe_n;
+                ++fetch_pos;
+                ++fetched;
+                did_fetch = true;
+                if (rec.isBranch && inflight.mispredicted) {
+                    // Wrong-path fetch suppressed until resolve.
+                    fetch_halted = true;
+                    starve_b = Bucket::BranchBubble;
+                    starve_m = rec.module;
+                    starve_src = rec.fromRegion;
+                    break;
+                }
+            }
+        }
+
+        ++t;
+        if (issued != 0 || moved || did_fetch)
+            continue;
+
+        // ---- event horizon: nothing happened this cycle, so the
+        // state is frozen until the earliest pending event. Cycle
+        // t-1 was already charged above; [t, limit) is charged in
+        // one associative integer add. ----
+        uint64_t limit = stall_until;
+        if (fe_n != 0 && iq_n < iq_cap) {
+            // Fetch-ready event: the mover acts one cycle before the
+            // FE head's arrival (arrival <= cycle+1).
+            limit = std::min(limit,
+                             win[(hd + iq_n) & mask].arrival - 1);
+        }
+        if (!fetch_halted && fe_n < 8 &&
+            n_flight - iq_n - fe_n + (ext_count - ext_pos) != 0) {
+            // I-miss completion unblocks fetch. On an inert cycle
+            // with records pending and FE space, fetch can only have
+            // been blocked, so fetch_blocked > t-1 here.
+            limit = std::min(limit, fetch_blocked);
+        }
+        // Unbounded only if the IQ, FE and pending backlog are all
+        // empty (nothing in flight), which the loop condition
+        // excludes; a halt with empty IQ+FE is impossible because
+        // the halting branch stays in flight until it issues.
+        panic_if(limit == UINT64_MAX,
+                 "event core: inert cycle with no pending event");
+        if (limit > t) {
+            const uint64_t span = limit - t;
+            bucketHalf[b_idx][m_idx] += 2 * span;
+            bucketSrcHalf[b_idx][s_idx] += 2 * span;
+            t = limit;
+        }
+    }
+
+    now = t;
+    head = hd;
+    inFlight = n_flight;
+    iqCount = iq_n;
+    feCount = fe_n;
+    fetchBlockedUntil = fetch_blocked;
+    fetchHaltedForBranch = fetch_halted;
+    lastFetchLine = last_line;
+    starveBucket = starve_b;
+    starveModule = starve_m;
+    starveSrcRegion = starve_src;
+    return ext_pos;
 }
 
 } // namespace darco::timing

@@ -18,12 +18,20 @@
  * TOL-only, APP-only) to reproduce the paper's isolation methodology
  * (§III-C, §III-D): a filter drops records of the other side before
  * they touch this instance's pipeline or hierarchy.
+ *
+ * Two interchangeable cores drive the model (docs/timing-model.md):
+ * the cycle-stepped reference core ticks every cycle, and the
+ * event-driven core advances the clock directly to the next event
+ * (issue-ready, fetch-ready, writeback, miss completion, branch
+ * resolve). They are bit-identical in every metric — enforced by the
+ * A/B determinism tests — and selected by TimingConfig::eventCore.
  */
 
 #ifndef DARCO_TIMING_PIPELINE_HH
 #define DARCO_TIMING_PIPELINE_HH
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "timing/branch_predictor.hh"
@@ -45,17 +53,35 @@ enum class Bucket : uint8_t {
     NumBuckets,
 };
 
+/** Human-readable bucket label (stable, used in tables). */
 const char *bucketName(Bucket b);
 
+struct PipeStats;
+
+/**
+ * Exact comparison of everything two pipeline instances measured:
+ * integers compared as integers, doubles with == (the bit-identical
+ * contract, not closeness). Returns a newline-separated description
+ * of every mismatching field — empty means identical. The single
+ * source of truth for the A/B determinism gates (the engine_speed
+ * harness and tests/test_timing_ab.cc both use it, so the covered
+ * field set cannot drift between them).
+ */
+std::string diffStats(const PipeStats &a, const PipeStats &b);
+
+/** Number of attribution modules (array extents). */
 constexpr unsigned kNumModules =
     static_cast<unsigned>(Module::NumModules);
+/** Number of accounting buckets (array extents). */
 constexpr unsigned kNumBuckets =
     static_cast<unsigned>(Bucket::NumBuckets);
 
+/** Everything one pipeline instance measures (docs/metrics.md). */
 struct PipeStats
 {
-    uint64_t cycles = 0;
-    uint64_t records = 0;
+    uint64_t cycles = 0;    ///< total simulated cycles
+    uint64_t records = 0;   ///< records accepted past the filter
+    /** Instructions issued, by attributed module. */
     std::array<uint64_t, kNumModules> insts{};
     /** Fractional cycles: [bucket][module]. */
     std::array<std::array<double, kNumModules>, kNumBuckets> bucket{};
@@ -65,19 +91,26 @@ struct PipeStats
      */
     std::array<std::array<double, 2>, kNumBuckets> bucketSrc{};
 
-    CacheStats l1i, l1d, l2;
-    TlbStats tlb;
-    BpStats bp;
-    PrefetcherStats prefetch;
+    CacheStats l1i, l1d, l2;    ///< memory-hierarchy counters
+    TlbStats tlb;               ///< data-TLB counters
+    BpStats bp;                 ///< branch-predictor counters
+    PrefetcherStats prefetch;   ///< stride-prefetcher counters
 
+    /** Cycles charged to @p b, summed over all modules. */
     double bucketTotal(Bucket b) const;
+    /** Cycles attributed to module @p m, summed over all buckets. */
     double moduleCycles(Module m) const;
     /** Cycles by stream source (0 = TOL software, 1 = region code). */
     double sourceCycles(bool region) const;
+    /** Cycles attributed (by module) to any TOL component. */
     double tolCycles() const;
+    /** Cycles attributed (by module) to the application. */
     double appCycles() const;
+    /** Instructions attributed to any TOL component. */
     uint64_t tolInsts() const;
+    /** Instructions attributed to the application. */
     uint64_t appInsts() const;
+    /** Issued instructions per cycle over the whole run. */
     double ipc() const;
 };
 
@@ -93,6 +126,14 @@ class Pipeline : public RecordSink
      */
     enum class Filter : uint8_t { All, TolOnly, AppOnly, TolModule };
 
+    /**
+     * Which core advances the clock. CycleStepped is the reference
+     * implementation (one step() per cycle); EventDriven advances
+     * straight to the next event and is bit-identical to it
+     * (docs/timing-model.md).
+     */
+    enum class Engine : uint8_t { CycleStepped, EventDriven };
+
     Pipeline(const TimingConfig &config, Filter filter);
 
     void consume(const Record &rec) override;
@@ -101,9 +142,14 @@ class Pipeline : public RecordSink
     /** Drain everything in flight and snapshot component stats. */
     void finish();
 
+    /** Measured quantities so far (complete only after finish()). */
     const PipeStats &stats() const { return stat; }
 
+    /** Current simulated cycle. */
     uint64_t cyclesNow() const { return now; }
+
+    /** The core actually driving this instance (after fallback). */
+    Engine engine() const { return eng; }
 
   private:
     /**
@@ -117,12 +163,51 @@ class Pipeline : public RecordSink
         bool mispredicted = false;
     };
 
+    /** Reference core: simulate exactly one cycle. */
     void step();
+    /** True while any instruction is still in flight. */
     bool workRemains() const;
     /** Issue up to issueWidth and account the cycle's bucket. */
     void issuePhase(unsigned &issued_count);
+    /** Move front-end arrivals into the IQ, then fetch new records. */
     void fetchPhase();
+    /** Execute one issued instruction's side effects. */
     void issueOne(InFlight &inst);
+
+    /**
+     * Advance until the pending backlog is at most @p pending_floor
+     * (or, with @p to_empty, until nothing is in flight), using the
+     * selected core. The single clock-advancing entry point: both
+     * consume paths and finish() go through here.
+     */
+    void drain(size_t pending_floor, bool to_empty);
+
+    /**
+     * Event-driven core (docs/timing-model.md): one merged
+     * issue/fetch cycle body over register-resident pipeline state,
+     * and an event-horizon fast-forward that advances the clock in
+     * one jump across any interval in which every phase is provably
+     * inert. Requires integer accounting (issueWidth <= 2).
+     *
+     * @param ext optional borrowed tail of the pending backlog (a
+     *     producer batch, in emission order after the ring's own
+     *     pending segment): fetch reads records from it in place and
+     *     copies each into the ring only when it enters the
+     *     front-end, so backlog records are staged exactly once.
+     * @return how many @p ext records were consumed; the caller owns
+     *     staging the remainder before the buffer dies.
+     */
+    size_t runEventCore(size_t pending_floor, bool to_empty,
+                        const Record *ext, size_t ext_count);
+
+    /**
+     * The core's loop body, specialized on the issue width (W = 0
+     * keeps it a runtime value): the single-width instantiation lets
+     * the compiler unroll the issue and fetch slot loops.
+     */
+    template <unsigned W>
+    size_t runEventCoreImpl(size_t pending_floor, bool to_empty,
+                            const Record *ext, size_t ext_count);
 
     /** Does @p rec belong to this instance's filtered stream? */
     bool
@@ -144,6 +229,7 @@ class Pipeline : public RecordSink
 
     const TimingConfig &cfg;
     Filter filter;
+    Engine eng;
 
     // Hot config scalars copied at construction: the compiler cannot
     // prove the external config unaliased by window stores, so going
@@ -237,8 +323,10 @@ class Pipeline : public RecordSink
 class RecordFanout : public RecordSink
 {
   public:
+    /** Register a downstream sink (not owned). */
     void add(RecordSink *sink) { sinks.push_back(sink); }
 
+    /** Forward one record to every registered sink. */
     void
     consume(const Record &rec) override
     {
@@ -246,6 +334,7 @@ class RecordFanout : public RecordSink
             s->consume(rec);
     }
 
+    /** Forward a batch to every registered sink. */
     void
     consumeBatch(const Record *recs, size_t count) override
     {

@@ -18,10 +18,11 @@
 
 namespace darco::timing {
 
+/** Stride-prefetcher counters (docs/metrics.md §3). */
 struct PrefetcherStats
 {
-    uint64_t trains = 0;
-    uint64_t prefetches = 0;
+    uint64_t trains = 0;     ///< loads observed
+    uint64_t prefetches = 0; ///< L2 fills launched
 };
 
 class StridePrefetcher
@@ -30,7 +31,8 @@ class StridePrefetcher
     StridePrefetcher(uint32_t num_entries, Cache &fill_target)
         : entries(num_entries), dcache(fill_target),
           entriesMask(isPowerOf2(num_entries) ? num_entries - 1 : 0),
-          lineShift(floorLog2(fill_target.lineBytes()))
+          lineShift(floorLog2(fill_target.lineBytes())),
+          tableStore(num_entries, Entry())
     {}
 
     /** Observe a load and possibly prefetch. */
@@ -38,7 +40,7 @@ class StridePrefetcher
     train(uint32_t pc, uint32_t addr)
     {
         ++stat.trains;
-        Entry &e = table()[index(pc)];
+        Entry &e = tableStore[index(pc)];
         if (e.tag == pc) {
             const int32_t stride =
                 static_cast<int32_t>(addr - e.lastAddr);
@@ -68,12 +70,14 @@ class StridePrefetcher
         }
     }
 
+    /** Counters accumulated so far. */
     const PrefetcherStats &stats() const { return stat; }
 
+    /** Clear the training table (used between experiments). */
     void
     reset()
     {
-        tableStore.clear();
+        tableStore.assign(entries, Entry());
         stat = PrefetcherStats();
     }
 
@@ -92,14 +96,6 @@ class StridePrefetcher
         // Mask when the table is a power of two (the common config).
         return entriesMask ? (pc >> 2) & entriesMask
                            : (pc >> 2) % entries;
-    }
-
-    std::vector<Entry> &
-    table()
-    {
-        if (tableStore.empty())
-            tableStore.assign(entries, Entry());
-        return tableStore;
     }
 
     uint32_t entries;

@@ -53,12 +53,12 @@ struct Record
     uint32_t pc = 0;           ///< host PC (4-byte granules)
     uint32_t memAddr = 0;      ///< effective address for LD/ST
     uint32_t branchTarget = 0; ///< actual next PC for taken transfers
-    host::HOp op = host::HOp::NOP;
+    host::HOp op = host::HOp::NOP; ///< host opcode (execution class)
     uint8_t rd = host::kNoReg;  ///< int regs 0..63, FP regs 64..95
-    uint8_t rs1 = host::kNoReg;
-    uint8_t rs2 = host::kNoReg;
+    uint8_t rs1 = host::kNoReg; ///< first source register
+    uint8_t rs2 = host::kNoReg; ///< second source register
     uint8_t size = 0;          ///< memory access bytes
-    Module module = Module::App;
+    Module module = Module::App; ///< attribution (Figure 7)
     /**
      * True when the instruction belongs to translated-region code
      * (the executor's stream, including embedded instrumentation and
@@ -68,12 +68,12 @@ struct Record
      * module tags stay for the Figure 6/7/9 attribution.
      */
     bool fromRegion = false;
-    bool isLoad = false;
-    bool isStore = false;
-    bool isBranch = false;
-    bool isCondBranch = false;
-    bool isIndirect = false;
-    bool taken = false;
+    bool isLoad = false;        ///< reads memory at memAddr
+    bool isStore = false;       ///< writes memory at memAddr
+    bool isBranch = false;      ///< any control transfer
+    bool isCondBranch = false;  ///< conditional subset
+    bool isIndirect = false;    ///< JALR-class transfer
+    bool taken = false;         ///< actual direction
     bool guestBoundary = false; ///< begins a new guest instruction
 };
 
@@ -101,6 +101,8 @@ class RecordSink
 {
   public:
     virtual ~RecordSink() = default;
+
+    /** Accept one record, in stream order. */
     virtual void consume(const Record &rec) = 0;
 
     /**
@@ -132,6 +134,7 @@ class RecordBatcher : public RecordSink
   public:
     explicit RecordBatcher(RecordSink &downstream) : down(downstream) {}
 
+    /** Buffer one record (forwarding a full buffer downstream). */
     void
     consume(const Record &rec) override
     {
@@ -140,6 +143,7 @@ class RecordBatcher : public RecordSink
         buf[count++] = rec;
     }
 
+    /** Pass a pre-built batch through, after draining the buffer. */
     void
     consumeBatch(const Record *recs, std::size_t n) override
     {
@@ -147,6 +151,7 @@ class RecordBatcher : public RecordSink
         down.consumeBatch(recs, n);
     }
 
+    /** Forward everything buffered downstream, preserving order. */
     void
     flush()
     {

@@ -15,10 +15,11 @@
 
 namespace darco::timing {
 
+/** Data-TLB counters (docs/metrics.md §3). */
 struct TlbStats
 {
-    uint64_t accesses = 0;
-    uint64_t l1Misses = 0;
+    uint64_t accesses = 0;   ///< translations requested
+    uint64_t l1Misses = 0;   ///< first-level misses
     uint64_t l2Misses = 0;   ///< page walks
 };
 
@@ -34,8 +35,10 @@ class Tlb
      */
     uint32_t access(uint32_t addr);
 
+    /** Counters accumulated so far. */
     const TlbStats &stats() const { return stat; }
 
+    /** Invalidate both levels (used between experiments). */
     void reset();
 
   private:

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * A/B determinism tests for the event-driven timing core: the
+ * event-driven core must be bit-identical to the cycle-stepped
+ * reference core — every cycle total, every accounting cell, every
+ * cache/TLB/predictor counter, and the co-simulation state-checker
+ * fingerprint — across the paper's four workload suites, randomized
+ * record streams, and the pipeline edge events (zero-latency
+ * back-to-back issues, simultaneous miss-completion + branch-resolve,
+ * flush mid-stall). See docs/timing-model.md for the equivalence
+ * argument these tests enforce.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+#include "sim/system.hh"
+#include "timing/pipeline.hh"
+#include "workloads/params.hh"
+
+using namespace darco;
+using namespace darco::timing;
+
+namespace {
+
+/**
+ * Exact equality of everything a pipeline instance measures, via
+ * the shared timing::diffStats comparator (the same one the
+ * engine_speed harness gate uses, so the covered field set cannot
+ * drift between the two).
+ */
+void
+expectStatsIdentical(const PipeStats &a, const PipeStats &b,
+                     const char *label)
+{
+    const std::string diff = diffStats(a, b);
+    EXPECT_TRUE(diff.empty()) << label << " diverged:\n" << diff;
+}
+
+/** Bucket totals must sum exactly to the cycle count (closure). */
+void
+expectAccountingCloses(const PipeStats &stats)
+{
+    // With issueWidth <= 2 every contribution is a multiple of 0.5,
+    // so the sums are exact in binary floating point.
+    double total = 0;
+    for (unsigned b = 0; b < kNumBuckets; ++b)
+        total += stats.bucketTotal(static_cast<Bucket>(b));
+    EXPECT_EQ(total, static_cast<double>(stats.cycles));
+    const double src_total =
+        stats.sourceCycles(false) + stats.sourceCycles(true);
+    EXPECT_EQ(src_total, static_cast<double>(stats.cycles));
+}
+
+// ----- record constructors (mirroring test_timing.cc) -------------------
+
+Record
+aluRec(uint32_t pc, uint8_t rd, uint8_t rs1, uint8_t rs2,
+       Module mod = Module::App)
+{
+    Record rec;
+    rec.pc = pc;
+    rec.op = host::HOp::ADD;
+    rec.rd = rd;
+    rec.rs1 = rs1;
+    rec.rs2 = rs2;
+    rec.module = mod;
+    rec.fromRegion = mod == Module::App;
+    return rec;
+}
+
+Record
+loadRec(uint32_t pc, uint8_t rd, uint32_t addr)
+{
+    Record rec;
+    rec.pc = pc;
+    rec.op = host::HOp::LD;
+    rec.rd = rd;
+    rec.rs1 = 40;
+    rec.isLoad = true;
+    rec.memAddr = addr;
+    rec.size = 4;
+    rec.fromRegion = true;
+    return rec;
+}
+
+Record
+branchRec(uint32_t pc, bool taken, uint32_t target, uint8_t rs1 = 33)
+{
+    Record rec;
+    rec.pc = pc;
+    rec.op = host::HOp::BNE;
+    rec.rs1 = rs1;
+    rec.rs2 = 0;
+    rec.isBranch = true;
+    rec.isCondBranch = true;
+    rec.taken = taken;
+    rec.branchTarget = taken ? target : 0;
+    rec.fromRegion = true;
+    return rec;
+}
+
+/** Feed one stream to both cores; return the two finished stats. */
+struct AbPair
+{
+    PipeStats stepped;
+    PipeStats event;
+};
+
+AbPair
+runAb(const std::vector<Record> &stream, bool batched,
+      Pipeline::Filter filter = Pipeline::Filter::All)
+{
+    TimingConfig stepped_cfg;
+    stepped_cfg.eventCore = false;
+    TimingConfig event_cfg;
+    event_cfg.eventCore = true;
+
+    Pipeline stepped(stepped_cfg, filter);
+    Pipeline event(event_cfg, filter);
+    EXPECT_EQ(stepped.engine(), Pipeline::Engine::CycleStepped);
+    EXPECT_EQ(event.engine(), Pipeline::Engine::EventDriven);
+
+    if (batched) {
+        // Uneven chunks so batch boundaries land mid-stall, mid-run
+        // and mid-fetch; this also exercises the event core's
+        // borrowed-batch (zero-copy) backlog path.
+        size_t i = 0;
+        size_t chunk = 1;
+        while (i < stream.size()) {
+            const size_t n = std::min(chunk, stream.size() - i);
+            stepped.consumeBatch(stream.data() + i, n);
+            event.consumeBatch(stream.data() + i, n);
+            i += n;
+            chunk = chunk * 3 % 509 + 1;
+        }
+    } else {
+        for (const Record &rec : stream) {
+            stepped.consume(rec);
+            event.consume(rec);
+        }
+    }
+    stepped.finish();
+    event.finish();
+    expectStatsIdentical(stepped.stats(), event.stats(),
+                         batched ? "batched" : "per-record");
+    expectAccountingCloses(event.stats());
+    return {stepped.stats(), event.stats()};
+}
+
+} // namespace
+
+// ----- randomized stream fuzz -------------------------------------------
+
+TEST(EventCoreAb, RandomStreamsBitIdentical)
+{
+    for (uint64_t seed : {3u, 11u, 42u}) {
+        Prng rng(seed);
+        std::vector<Record> stream;
+        for (uint32_t i = 0; i < 30000; ++i) {
+            const double roll = rng.uniform();
+            if (roll < 0.18) {
+                stream.push_back(loadRec(
+                    0x1000 + 4 * (i % 64),
+                    static_cast<uint8_t>(34 + i % 4),
+                    static_cast<uint32_t>(rng.below(1u << 22))));
+            } else if (roll < 0.30) {
+                Record rec = loadRec(0x1200 + 4 * (i % 16), 38,
+                                     static_cast<uint32_t>(
+                                         rng.below(1u << 14)));
+                rec.isLoad = false;
+                rec.isStore = true;
+                rec.op = host::HOp::ST;
+                rec.rd = host::kNoReg;
+                stream.push_back(rec);
+            } else if (roll < 0.45) {
+                stream.push_back(branchRec(0x2000 + 4 * (i % 8),
+                                           rng.chance(0.5), 0x1000));
+            } else if (roll < 0.55) {
+                // Long-latency FP chain ops from a TOL module.
+                Record rec;
+                rec.pc = 0x3000 + 4 * (i % 32);
+                rec.op = host::HOp::FDIV;
+                rec.rd = fpRegId(16 + i % 4);
+                rec.rs1 = fpRegId(16 + (i + 1) % 4);
+                rec.rs2 = fpRegId(17);
+                rec.module = Module::SBM;
+                rec.fromRegion = false;
+                stream.push_back(rec);
+            } else {
+                stream.push_back(aluRec(
+                    0x1000 + 4 * (i % 64),
+                    static_cast<uint8_t>(33 + i % 6), 32, 32,
+                    rng.chance(0.3) ? Module::IM : Module::App));
+            }
+        }
+        runAb(stream, false);
+        runAb(stream, true);
+        // Isolation filters take the staged (non-borrowed) path.
+        runAb(stream, true, Pipeline::Filter::TolOnly);
+        runAb(stream, true, Pipeline::Filter::AppOnly);
+    }
+}
+
+// ----- edge events -------------------------------------------------------
+
+TEST(EventCoreAb, ZeroLatencyBackToBackIssues)
+{
+    // Dependent single-cycle chain: each ADD consumes the previous
+    // result with no bubble (issue at t, ready at t+1, issue at t+1).
+    std::vector<Record> chain;
+    for (uint32_t i = 0; i < 6000; ++i)
+        chain.push_back(aluRec(0x1000 + 4 * (i % 16), 33, 33, 33));
+    const AbPair dep = runAb(chain, true);
+    EXPECT_GT(dep.event.ipc(), 0.90);
+    EXPECT_LT(dep.event.ipc(), 1.05);
+
+    // Independent stream: back-to-back dual issue every cycle.
+    std::vector<Record> indep;
+    for (uint32_t i = 0; i < 6000; ++i)
+        indep.push_back(aluRec(0x1000 + 4 * (i % 16),
+                               static_cast<uint8_t>(33 + i % 8), 32,
+                               32));
+    const AbPair par = runAb(indep, true);
+    EXPECT_GT(par.event.ipc(), 1.8);
+}
+
+TEST(EventCoreAb, SimultaneousMissCompletionAndBranchResolve)
+{
+    // Each round: a far-striding load (D-miss) feeding a conditional
+    // branch with a random direction. The branch waits in the IQ on
+    // the load's writeback and — when mispredicted — resolves in the
+    // same cycle the miss completes, exercising the coincident
+    // writeback + branch-resolve + redirect event path.
+    Prng rng(7);
+    std::vector<Record> stream;
+    for (uint32_t i = 0; i < 4000; ++i) {
+        stream.push_back(
+            loadRec(0x1000, 34, 0x100000 + i * 4096));
+        stream.push_back(
+            branchRec(0x1004, rng.chance(0.5), 0x1000, 34));
+        stream.push_back(aluRec(0x1008, 35, 32, 32));
+    }
+    const AbPair ab = runAb(stream, true);
+    // The scenario must actually produce both event kinds.
+    EXPECT_GT(ab.event.bp.mispredicts, 500u);
+    EXPECT_GT(ab.event.bucketTotal(Bucket::DcacheBubble), 0.0);
+    EXPECT_GT(ab.event.bucketTotal(Bucket::BranchBubble), 0.0);
+}
+
+TEST(EventCoreAb, FlushMidStall)
+{
+    // finish() arrives while the pipe is deep in a load-miss stall:
+    // the drain must fast-forward through the tail stall identically
+    // on both cores and close the accounting exactly.
+    std::vector<Record> stream;
+    for (uint32_t i = 0; i < 40; ++i)
+        stream.push_back(aluRec(0x1000 + 4 * i, 33, 32, 32));
+    stream.push_back(loadRec(0x1100, 34, 0x400000));  // cold miss
+    stream.push_back(aluRec(0x1104, 35, 34, 34));     // stalls on it
+    const AbPair ab = runAb(stream, false);
+    EXPECT_GT(ab.event.bucketTotal(Bucket::DcacheBubble), 0.0);
+
+    // Idempotence: a second finish() must not move anything.
+    TimingConfig cfg;
+    Pipeline pipe(cfg, Pipeline::Filter::All);
+    for (const Record &rec : stream)
+        pipe.consume(rec);
+    pipe.finish();
+    const uint64_t cycles = pipe.stats().cycles;
+    pipe.finish();
+    EXPECT_EQ(pipe.stats().cycles, cycles);
+}
+
+TEST(EventCoreAb, OversizedIqStillBitIdentical)
+{
+    // Regression: the borrowed-batch staging slot sits one past
+    // IQ + FE, so the ring must be sized for large-IQ sweeps too. A
+    // long FDIV chain keeps the IQ full while batches keep arriving.
+    TimingConfig stepped_cfg;
+    stepped_cfg.eventCore = false;
+    stepped_cfg.iqSize = 128;
+    TimingConfig event_cfg = stepped_cfg;
+    event_cfg.eventCore = true;
+
+    Pipeline stepped(stepped_cfg, Pipeline::Filter::All);
+    Pipeline event(event_cfg, Pipeline::Filter::All);
+    ASSERT_EQ(event.engine(), Pipeline::Engine::EventDriven);
+
+    std::vector<Record> stream;
+    for (uint32_t i = 0; i < 8000; ++i) {
+        Record rec;
+        rec.pc = 0x1000 + 4 * (i % 32);
+        rec.op = host::HOp::FDIV;
+        rec.rd = fpRegId(16);
+        rec.rs1 = fpRegId(16);
+        rec.rs2 = fpRegId(17);
+        rec.fromRegion = true;
+        stream.push_back(rec);
+    }
+    for (size_t i = 0; i < stream.size(); i += 256) {
+        const size_t n = std::min<size_t>(256, stream.size() - i);
+        stepped.consumeBatch(stream.data() + i, n);
+        event.consumeBatch(stream.data() + i, n);
+    }
+    stepped.finish();
+    event.finish();
+    expectStatsIdentical(stepped.stats(), event.stats(),
+                         "oversized IQ");
+    expectAccountingCloses(event.stats());
+}
+
+TEST(EventCoreAb, WideIssueFallsBackToReferenceCore)
+{
+    TimingConfig wide;
+    wide.issueWidth = 4;
+    wide.eventCore = true;
+    Pipeline pipe(wide, Pipeline::Filter::All);
+    EXPECT_EQ(pipe.engine(), Pipeline::Engine::CycleStepped);
+}
+
+// ----- system-level A/B over the paper's four suites ---------------------
+
+namespace {
+
+struct SystemOutcome
+{
+    sim::SystemResult result;
+    PipeStats combined;
+    PipeStats tolOnly;
+    PipeStats appOnly;
+    PipeStats tolModule;
+    uint64_t checkerCommits = 0;
+    uint64_t checkerInsts = 0;
+    size_t checkerFailures = 0;
+};
+
+SystemOutcome
+runSystem(const workloads::BenchParams &params, bool event_core)
+{
+    sim::SimConfig cfg;
+    cfg.guestBudget = 250'000;
+    cfg.cosim = true;
+    cfg.cosimStrict = false;
+    cfg.tolOnlyPipe = true;
+    cfg.appOnlyPipe = true;
+    cfg.tolModulePipe = true;
+    cfg.timing.eventCore = event_core;
+
+    sim::System sys(cfg);
+    sys.load(workloads::buildBenchmark(params));
+    SystemOutcome out;
+    out.result = sys.run();
+    out.combined = sys.combinedStats();
+    out.tolOnly = *sys.tolOnlyStats();
+    out.appOnly = *sys.appOnlyStats();
+    out.tolModule = *sys.tolModuleStats();
+    out.checkerCommits = sys.checker()->commits();
+    out.checkerInsts = sys.checker()->instructionsChecked();
+    out.checkerFailures = sys.checker()->failures().size();
+    return out;
+}
+
+class SuiteAb : public ::testing::TestWithParam<const char *>
+{};
+
+} // namespace
+
+TEST_P(SuiteAb, BitIdenticalAcrossCores)
+{
+    const auto members = workloads::suiteBenchmarks(GetParam());
+    ASSERT_FALSE(members.empty());
+    // The suite's first benchmark, end to end with co-simulation and
+    // all three isolation pipelines live.
+    const workloads::BenchParams &params = *members.front();
+
+    const SystemOutcome stepped = runSystem(params, false);
+    const SystemOutcome event = runSystem(params, true);
+
+    // Functional outcome.
+    EXPECT_EQ(stepped.result.guestRetired, event.result.guestRetired);
+    EXPECT_EQ(stepped.result.halted, event.result.halted);
+    EXPECT_EQ(stepped.result.cycles, event.result.cycles);
+    EXPECT_EQ(stepped.result.memoryDiff, event.result.memoryDiff);
+    EXPECT_TRUE(event.result.memoryDiff.empty())
+        << event.result.memoryDiff;
+
+    // State-checker fingerprint.
+    EXPECT_EQ(stepped.checkerCommits, event.checkerCommits);
+    EXPECT_EQ(stepped.checkerInsts, event.checkerInsts);
+    EXPECT_EQ(stepped.checkerFailures, event.checkerFailures);
+    EXPECT_EQ(event.checkerFailures, 0u);
+
+    // Every pipeline instance, every metric.
+    expectStatsIdentical(stepped.combined, event.combined, "combined");
+    expectStatsIdentical(stepped.tolOnly, event.tolOnly, "tol-only");
+    expectStatsIdentical(stepped.appOnly, event.appOnly, "app-only");
+    expectStatsIdentical(stepped.tolModule, event.tolModule,
+                         "tol-module");
+    expectAccountingCloses(event.combined);
+}
+
+INSTANTIATE_TEST_SUITE_P(FourSuites, SuiteAb,
+                         ::testing::Values("SPEC INT", "SPEC FP",
+                                           "Physics", "Media"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == ' ')
+                                     c = '_';
+                             return name;
+                         });
