@@ -160,6 +160,13 @@ struct ThroughputSample
     uint64_t cycles = 0;         ///< simulated cycles (determinism key)
     double seconds = 0;          ///< host process-CPU seconds
     /**
+     * Which timing core actually advanced the clock in the timed run
+     * ("event" / "reference"), recorded from the live pipeline — not
+     * from the requested config — so a silent core switch shows up
+     * in the committed JSON and fails bench/check_perf.py.
+     */
+    std::string timingCore;
+    /**
      * Same scenario re-run on the cycle-stepped reference timing
      * core (0 = not measured): the in-process A/B that backs the
      * event_core_speedup field.
@@ -252,6 +259,10 @@ class ThroughputReporter
                          static_cast<unsigned long long>(s.cycles),
                          s.cyclesPerRecord(), s.seconds, s.guestMips(),
                          s.hostInstPerSec(), s.simCyclesPerSec());
+            if (!s.timingCore.empty()) {
+                std::fprintf(out, ",\n      \"timing_core\": \"%s\"",
+                             s.timingCore.c_str());
+            }
             if (s.steppedSeconds > 0) {
                 std::fprintf(out,
                              ",\n      \"stepped_seconds\": %.6f,\n"

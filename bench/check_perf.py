@@ -2,12 +2,25 @@
 """Perf-tracking gate: compare a freshly measured BENCH_engine.json
 against the committed one (ROADMAP "Perf tracking").
 
-Two kinds of checks, per scenario present in both files:
+The gate iterates the COMMITTED baseline, not the fresh run, so a
+scenario that disappears from the fresh measurement (dropped from the
+harness, or skipped by a crash) is a hard failure rather than a
+silent shrink of the compared set. The reverse holds too: a fresh
+scenario with no committed baseline fails, so new harness scenarios
+must land with a regenerated committed JSON that gates them.
+
+Checks per baseline scenario:
 
 - Determinism fields (guest_retired, host_records, sim_cycles) must
   match EXACTLY. They are bit-stable across machines and build
   flags, so any drift is a simulator semantics change that must be
   intentional (and must come with a regenerated committed JSON).
+- timing_core records which core actually advanced the clock in the
+  timed run ("event" / "reference", captured from the live pipeline
+  by the harness). It must match the baseline exactly: a silent
+  core fallback makes every throughput comparison meaningless, which
+  is precisely how wide-issue configs lost the event core before the
+  width-generalized accounting.
 - Throughput (guest_mips) may not regress by more than the tolerance
   (default 5%, override with DARCO_PERF_TOLERANCE, e.g. "0.05").
   Wall-perf comparisons across different machines are noisy; the
@@ -22,7 +35,8 @@ import json
 import os
 import sys
 
-DETERMINISM_FIELDS = ("guest_retired", "host_records", "sim_cycles")
+DETERMINISM_FIELDS = ("guest_retired", "host_records", "sim_cycles",
+                      "timing_core")
 
 
 def main(argv):
@@ -41,16 +55,20 @@ def main(argv):
         cur = fresh.get(name)
         if cur is None:
             failures.append(f"{name}: scenario disappeared from the "
-                            "fresh measurement")
+                            "fresh measurement (every baseline "
+                            "scenario must be re-measured)")
             continue
 
         for field in DETERMINISM_FIELDS:
             if cur.get(field) != base.get(field):
+                hint = ("a timing core silently changed: fix the "
+                        "engine or intentionally re-baseline"
+                        if field == "timing_core" else
+                        "semantics change: regenerate the committed "
+                        "JSON intentionally or fix the engine")
                 failures.append(
                     f"{name}.{field}: determinism drift "
-                    f"{base.get(field)} -> {cur.get(field)} "
-                    "(semantics change: regenerate the committed "
-                    "JSON intentionally or fix the engine)")
+                    f"{base.get(field)} -> {cur.get(field)} ({hint})")
 
         base_mips = base.get("guest_mips", 0)
         cur_mips = cur.get("guest_mips", 0)
@@ -76,12 +94,24 @@ def main(argv):
                 failures.append(
                     f"{name}.event_core_speedup: {base_speedup:.2f}x "
                     f"-> {speedup:.2f}x (allowed slack 0.20)")
+            elif base_speedup > 1.0 and speedup <= 1.0:
+                failures.append(
+                    f"{name}.event_core_speedup: {speedup:.2f}x — "
+                    "the event core lost to the reference core on a "
+                    "scenario where the baseline has it winning "
+                    f"({base_speedup:.2f}x)")
             else:
                 print(f"     {name}: event_core_speedup "
                       f"{speedup:.2f}x (committed {base_speedup:.2f}x)")
 
-    for name in fresh.keys() - committed.keys():
-        print(f"  new scenario (no baseline): {name}")
+    # The reverse direction is a failure too: a fresh scenario with
+    # no committed baseline gets zero determinism/timing_core/speedup
+    # coverage, so a new harness scenario must land together with a
+    # regenerated committed JSON.
+    for name in sorted(fresh.keys() - committed.keys()):
+        failures.append(f"{name}: scenario has no committed baseline "
+                        "(regenerate BENCH_engine.json so the new "
+                        "scenario is gated)")
 
     if failures:
         print("PERF CHECK FAILED:", file=sys.stderr)

@@ -43,6 +43,8 @@ struct Scenario
     uint32_t sbThreshold;
     double baselineGuestMips;
     double baselineHostInstPerSec;
+    /** Host issue width (wide-issue scenarios sweep past 2). */
+    uint32_t issueWidth = 2;
 };
 
 /** One scenario outcome: the result plus a full metrics snapshot. */
@@ -50,6 +52,8 @@ struct RunOutcome
 {
     sim::SystemResult result;
     timing::PipeStats stats;
+    timing::Pipeline::Engine engine =
+        timing::Pipeline::Engine::CycleStepped;
     double seconds = 0;
 };
 
@@ -60,6 +64,7 @@ runScenario(const Scenario &sc, bool event_core)
     cfg.guestBudget = sc.budget;
     cfg.tol.bbToSbThreshold = sc.sbThreshold;
     cfg.timing.eventCore = event_core;
+    cfg.timing.issueWidth = sc.issueWidth;
     if (sc.interpretOnly)
         cfg.tol.imToBbThreshold = 0xFFFFFFFFu;
 
@@ -72,6 +77,7 @@ runScenario(const Scenario &sc, bool event_core)
     out.result = sys.run();
     out.seconds = timer.seconds();
     out.stats = sys.combinedStats();
+    out.engine = sys.timingEngine();
     return out;
 }
 
@@ -84,6 +90,17 @@ void
 expectIdentical(const char *scenario, const RunOutcome &stepped,
                 const RunOutcome &event)
 {
+    // The A/B is only an A/B if the requested cores actually ran:
+    // a silent fallback would compare the reference core to itself
+    // and certify nothing (the committed timing_core field plus
+    // check_perf.py guard the same property across PRs).
+    fatal_if(event.engine != timing::Pipeline::Engine::EventDriven,
+             "scenario %s: event-core run fell back to the "
+             "reference core",
+             scenario);
+    fatal_if(stepped.engine != timing::Pipeline::Engine::CycleStepped,
+             "scenario %s: reference run used the event core",
+             scenario);
     fatal_if(stepped.result.guestRetired != event.result.guestRetired,
              "A/B mismatch on %s: guest_retired %llu != %llu",
              scenario,
@@ -127,6 +144,16 @@ main(int argc, char **argv)
         // sim_cycles_per_sec are its headline columns.
         {"stallheavy_429.mcf", "429.mcf", 1'000'000, false, 1000,
          0, 0},
+        // Wide-issue sweep points: the event core used to silently
+        // fall back to the reference core above width 2, so these
+        // scenarios exist to pin event_core_speedup > 1 at the
+        // widths the paper's microarchitectural sweeps visit. Width
+        // 3 additionally exercises the non-power-of-two fixed-point
+        // denominator (lcm(1..3) = 6).
+        {"wide3_464.h264ref", "464.h264ref", 1'000'000, false, 1000,
+         0, 0, 3},
+        {"wide4_429.mcf", "429.mcf", 1'000'000, false, 1000,
+         0, 0, 4},
     };
 
     for (const Scenario &sc : scenarios) {
@@ -142,6 +169,9 @@ main(int argc, char **argv)
         sample.hostRecords = ps.records;
         sample.cycles = event.result.cycles;
         sample.seconds = event.seconds;
+        sample.timingCore =
+            event.engine == timing::Pipeline::Engine::EventDriven
+                ? "event" : "reference";
         sample.steppedSeconds = stepped.seconds;
         reporter.add(sample);
         if (sc.baselineGuestMips > 0) {

@@ -1,19 +1,73 @@
 #!/bin/sh
 # Two-phase PGO build of the simulator, trained on the engine-speed
-# scenarios. Produces build-pgo/bench/engine_speed (and the rest of
-# the tree) laid out for the hot per-cycle loops, worth ~20% over the
-# plain Release build. Run from the repository root:
+# scenarios. Produces build-pgo/bench/engine_speed laid out for the
+# hot per-cycle loops, worth ~20% over the plain Release build. Run
+# from the repository root:
 #
-#   sh bench/pgo_build.sh [build-dir]
+#   sh bench/pgo_build.sh [build-dir] [profile-cache-dir]
 #
+# The final optimized build is scoped to engine_speed by default
+# (what CI smoke-runs); set DARCO_PGO_TARGET=all for the whole tree
+# (figure benches, tests) under PGO.
+#
+# With a profile-cache-dir, the .gcda files from the training run are
+# stored there as one tarball stamped with a fingerprint of the
+# sources that produced it, and a later invocation whose sources
+# still match skips the instrumented build + training run entirely.
+# A .gcda profile is only valid for the exact sources it was trained
+# on (gcc hard-errors on coverage mismatches under -fprofile-use), so
+# any fingerprint drift retrains. CI additionally keys its cache on
+# the same inputs plus the compiler version.
 set -e
 BUILD=${1:-build-pgo}
+PROFILE=${2:-}
 
-cmake -B "$BUILD" -S . -DDARCO_PGO_GENERATE=ON -DDARCO_PGO_USE=OFF
-cmake --build "$BUILD" -j --target engine_speed
-(cd "$BUILD" && ./bench/engine_speed >/dev/null)
+# Everything that feeds the trained objects, mirroring the CI cache
+# key (src/**, bench/**, CMakeLists.txt).
+src_fingerprint() {
+    {
+        find src bench -type f -print0 | sort -z | xargs -0 cat
+        cat CMakeLists.txt
+    } | cksum
+}
 
-# Reconfigure in place: the .gcda files sit next to the objects.
-cmake -B "$BUILD" -S . -DDARCO_PGO_GENERATE=OFF -DDARCO_PGO_USE=ON
-cmake --build "$BUILD" -j
+if [ -n "$PROFILE" ]; then
+    mkdir -p "$PROFILE"
+    PROFILE=$(cd "$PROFILE" && pwd)
+    FINGERPRINT=$(src_fingerprint)
+fi
+
+if [ -n "$PROFILE" ] && [ -s "$PROFILE/profile.tar" ] &&
+   [ "$(cat "$PROFILE/source.fingerprint" 2>/dev/null)" = \
+     "$FINGERPRINT" ]; then
+    echo "pgo_build: reusing cached training profile" \
+         "($PROFILE/profile.tar); skipping the training run"
+    cmake -B "$BUILD" -S . -DDARCO_PGO_GENERATE=OFF -DDARCO_PGO_USE=ON
+    tar -xf "$PROFILE/profile.tar" -C "$BUILD"
+else
+    cmake -B "$BUILD" -S . -DDARCO_PGO_GENERATE=ON -DDARCO_PGO_USE=OFF
+    cmake --build "$BUILD" -j --target engine_speed
+    (cd "$BUILD" && ./bench/engine_speed >/dev/null)
+    if [ -n "$PROFILE" ]; then
+        GCDA_LIST=$(cd "$BUILD" && find . -name '*.gcda' -print)
+        if [ -n "$GCDA_LIST" ]; then
+            (cd "$BUILD" && find . -name '*.gcda' -print |
+                 tar -cf "$PROFILE/profile.tar" -T -)
+            printf '%s\n' "$FINGERPRINT" \
+                > "$PROFILE/source.fingerprint"
+            echo "pgo_build: stored training profile in" \
+                 "$PROFILE/profile.tar"
+        else
+            # Never cache an empty profile: that would skip training
+            # forever while providing no profile data.
+            rm -f "$PROFILE/profile.tar" "$PROFILE/source.fingerprint"
+            echo "pgo_build: training produced no .gcda files;" \
+                 "nothing cached" >&2
+        fi
+    fi
+    # Reconfigure in place: the .gcda files sit next to the objects.
+    cmake -B "$BUILD" -S . -DDARCO_PGO_GENERATE=OFF -DDARCO_PGO_USE=ON
+fi
+
+cmake --build "$BUILD" -j --target "${DARCO_PGO_TARGET:-engine_speed}"
 echo "PGO build ready in $BUILD/"

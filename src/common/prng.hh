@@ -11,6 +11,7 @@
 #ifndef DARCO_COMMON_PRNG_HH
 #define DARCO_COMMON_PRNG_HH
 
+#include <cassert>
 #include <cstdint>
 
 namespace darco {
@@ -50,19 +51,48 @@ class Prng
         return s1 + y;
     }
 
-    /** Uniform in [0, bound). @p bound must be non-zero. */
+    /**
+     * Uniform in [0, bound). @p bound must be non-zero.
+     *
+     * Lemire's multiply-shift bounded draw with rejection: exactly
+     * uniform for every bound (a plain `next() % bound` over-weights
+     * the low residues of non-power-of-two bounds by one part in
+     * 2^64/bound). The rejection loop runs at most once in
+     * expectation and almost never for small bounds.
+     */
     uint64_t
     below(uint64_t bound)
     {
-        return next() % bound;
+        assert(bound != 0 && "Prng::below: bound must be non-zero");
+        unsigned __int128 product =
+            static_cast<unsigned __int128>(next()) * bound;
+        uint64_t low = static_cast<uint64_t>(product);
+        if (low < bound) {
+            // 2^64 mod bound, computed without 128-bit division.
+            const uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                product =
+                    static_cast<unsigned __int128>(next()) * bound;
+                low = static_cast<uint64_t>(product);
+            }
+        }
+        return static_cast<uint64_t>(product >> 64);
     }
 
     /** Uniform in [lo, hi] inclusive. */
     int64_t
     range(int64_t lo, int64_t hi)
     {
-        return lo + static_cast<int64_t>(below(
-            static_cast<uint64_t>(hi - lo + 1)));
+        // Span in uint64_t: hi - lo + 1 in signed arithmetic
+        // overflows (UB) for wide ranges. A span of 0 means the full
+        // 64-bit range (e.g. range(INT64_MIN, INT64_MAX)), where any
+        // draw is in range; the unsigned add wraps to the right
+        // signed value.
+        const uint64_t span = static_cast<uint64_t>(hi) -
+                              static_cast<uint64_t>(lo) + 1;
+        const uint64_t offset = span == 0 ? next() : below(span);
+        return static_cast<int64_t>(static_cast<uint64_t>(lo) +
+                                    offset);
     }
 
     /** Uniform double in [0, 1). */

@@ -47,14 +47,21 @@ runBenchmark(const workloads::BenchParams &params,
         m.moduleCycles[mod] =
             ps.moduleCycles(static_cast<timing::Module>(mod));
     }
-    const double total = static_cast<double>(ps.cycles);
+    // Fractions are derived from the exact integer units with one
+    // division each: summing the per-cell doubles first would round
+    // at every cell for issue widths whose fixed-point denominator
+    // is not a power of two (docs/timing-model.md §4).
+    const double total_units = static_cast<double>(ps.cycles) *
+                               static_cast<double>(ps.unitDenom);
     for (unsigned b = 0; b < timing::kNumBuckets; ++b) {
-        double app = ps.bucket[b][0];
-        double tol_side = 0;
+        const uint64_t app = ps.bucketUnits[b][0];
+        uint64_t tol_side = 0;
         for (unsigned mod = 1; mod < timing::kNumModules; ++mod)
-            tol_side += ps.bucket[b][mod];
-        m.bucketFrac[b][0] = total > 0 ? app / total : 0;
-        m.bucketFrac[b][1] = total > 0 ? tol_side / total : 0;
+            tol_side += ps.bucketUnits[b][mod];
+        m.bucketFrac[b][0] = total_units > 0
+            ? static_cast<double>(app) / total_units : 0;
+        m.bucketFrac[b][1] = total_units > 0
+            ? static_cast<double>(tol_side) / total_units : 0;
         m.bucketSrc[b][0] = ps.bucketSrc[b][0];
         m.bucketSrc[b][1] = ps.bucketSrc[b][1];
     }

@@ -46,7 +46,11 @@ struct BenchMetrics
     double tolBpMissRate = 0;
 
     // ----- Figure 9: bucket breakdown (combined pipeline) ----------------
-    /** Fraction of total cycles: [bucket][0=app,1=tol] (by module). */
+    /**
+     * Fraction of total cycles: [bucket][0=app,1=tol] (by module),
+     * derived from the pipeline's exact fixed-point cycle units
+     * (PipeStats::bucketUnits) with one division per cell.
+     */
     double bucketFrac[timing::kNumBuckets][2] = {};
     /** Cycles by stream source: [bucket][0=TOL software,1=region]. */
     double bucketSrc[timing::kNumBuckets][2] = {};

@@ -49,6 +49,15 @@ class System
     {
         return combined->stats();
     }
+    /**
+     * The core that actually advanced simulated time, so harnesses
+     * can record it next to the measurements (a silent core switch
+     * invalidates perf comparisons; see bench/check_perf.py).
+     */
+    timing::Pipeline::Engine timingEngine() const
+    {
+        return combined->engine();
+    }
     /** TOL-software isolated pipeline, if enabled (Figures 10/11). */
     const timing::PipeStats *tolOnlyStats() const
     {

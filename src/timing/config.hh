@@ -11,8 +11,36 @@
 #define DARCO_TIMING_CONFIG_HH
 
 #include <cstdint>
+#include <numeric>
 
 namespace darco::timing {
+
+/**
+ * Widest supported issue width. The bound exists only so the exact
+ * fixed-point cycle accounting stays overflow-safe: accountingDenom()
+ * grows super-exponentially with the width (lcm(1..16) = 720720), and
+ * per-run unit totals must fit in 64 bits.
+ */
+constexpr uint32_t kMaxIssueWidth = 16;
+
+/**
+ * Denominator of the exact fixed-point cycle accounting for a given
+ * issue width: lcm(1..width). A cycle that issues k instructions
+ * charges each one 1/k of the cycle; representing charges in integer
+ * units of 1/lcm(1..W) makes every per-slot share (W/k units for
+ * k <= W) an exact integer, so merging and reordering charges is
+ * associative and the one conversion to doubles at finish() is
+ * bit-identical regardless of accumulation order
+ * (docs/timing-model.md §4).
+ */
+constexpr uint64_t
+accountingDenom(uint32_t width)
+{
+    uint64_t denom = 1;
+    for (uint64_t k = 2; k <= width; ++k)
+        denom = std::lcm(denom, k);
+    return denom;
+}
 
 struct CacheGeometry
 {
@@ -26,7 +54,8 @@ struct CacheGeometry
 struct TimingConfig
 {
     // General (Table I).
-    uint32_t issueWidth = 2;    ///< in-order issue slots per cycle
+    /** In-order issue slots per cycle (1..kMaxIssueWidth). */
+    uint32_t issueWidth = 2;
     uint32_t iqSize = 16;       ///< instruction-queue entries
 
     /**
@@ -34,9 +63,8 @@ struct TimingConfig
      * clock directly to the next event (issue-ready, fetch-ready,
      * writeback, miss completion, branch resolve) instead of ticking
      * every cycle. Bit-identical to the cycle-stepped reference core
-     * by construction (see docs/timing-model.md; enforced by the A/B
-     * determinism tests); applies when issueWidth <= 2 — wider
-     * configs fall back to the reference core.
+     * by construction at every issue width (see docs/timing-model.md;
+     * enforced by the A/B determinism tests and their width sweep).
      */
     bool eventCore = true;
 

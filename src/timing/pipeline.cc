@@ -53,18 +53,38 @@ diffStats(const PipeStats &a, const PipeStats &b)
         }
     };
 
+    auto mismatch_u64_cell = [&](const char *what, unsigned i,
+                                 unsigned j, uint64_t va, uint64_t vb) {
+        if (va != vb) {
+            std::snprintf(line, sizeof(line),
+                          "%s[%u][%u]: %llu != %llu\n", what, i, j,
+                          static_cast<unsigned long long>(va),
+                          static_cast<unsigned long long>(vb));
+            diff += line;
+        }
+    };
+
     mismatch_u64("cycles", a.cycles, b.cycles);
     mismatch_u64("records", a.records, b.records);
+    mismatch_u64("unitDenom", a.unitDenom, b.unitDenom);
     for (unsigned m = 0; m < kNumModules; ++m)
         mismatch_u64(moduleName(static_cast<Module>(m)), a.insts[m],
                      b.insts[m]);
     for (unsigned bk = 0; bk < kNumBuckets; ++bk) {
-        for (unsigned m = 0; m < kNumModules; ++m)
+        for (unsigned m = 0; m < kNumModules; ++m) {
+            mismatch_u64_cell("bucketUnits", bk, m,
+                              a.bucketUnits[bk][m],
+                              b.bucketUnits[bk][m]);
             mismatch_f64("bucket", bk, m, a.bucket[bk][m],
                          b.bucket[bk][m]);
-        for (unsigned s = 0; s < 2; ++s)
+        }
+        for (unsigned s = 0; s < 2; ++s) {
+            mismatch_u64_cell("bucketSrcUnits", bk, s,
+                              a.bucketSrcUnits[bk][s],
+                              b.bucketSrcUnits[bk][s]);
             mismatch_f64("bucketSrc", bk, s, a.bucketSrc[bk][s],
                          b.bucketSrc[bk][s]);
+        }
     }
 
     const CacheStats *cas[] = {&a.l1i, &a.l1d, &a.l2};
@@ -105,40 +125,50 @@ diffStats(const PipeStats &a, const PipeStats &b)
     return diff;
 }
 
+// The derived cycle sums below are computed over the exact integer
+// units and divided once, so they are independent of summation order
+// and close exactly (summing the per-cell doubles first would round
+// at every cell for denominators that are not powers of two).
+
 double
 PipeStats::bucketTotal(Bucket b) const
 {
-    double total = 0;
+    uint64_t units = 0;
     for (unsigned m = 0; m < kNumModules; ++m)
-        total += bucket[static_cast<unsigned>(b)][m];
-    return total;
+        units += bucketUnits[static_cast<unsigned>(b)][m];
+    return static_cast<double>(units) /
+           static_cast<double>(unitDenom);
 }
 
 double
 PipeStats::sourceCycles(bool region) const
 {
-    double total = 0;
+    uint64_t units = 0;
     for (unsigned b = 0; b < kNumBuckets; ++b)
-        total += bucketSrc[b][region ? 1 : 0];
-    return total;
+        units += bucketSrcUnits[b][region ? 1 : 0];
+    return static_cast<double>(units) /
+           static_cast<double>(unitDenom);
 }
 
 double
 PipeStats::moduleCycles(Module m) const
 {
-    double total = 0;
+    uint64_t units = 0;
     for (unsigned b = 0; b < kNumBuckets; ++b)
-        total += bucket[b][static_cast<unsigned>(m)];
-    return total;
+        units += bucketUnits[b][static_cast<unsigned>(m)];
+    return static_cast<double>(units) /
+           static_cast<double>(unitDenom);
 }
 
 double
 PipeStats::tolCycles() const
 {
-    double total = 0;
-    for (unsigned m = 1; m < kNumModules; ++m)
-        total += moduleCycles(static_cast<Module>(m));
-    return total;
+    uint64_t units = 0;
+    for (unsigned b = 0; b < kNumBuckets; ++b)
+        for (unsigned m = 1; m < kNumModules; ++m)
+            units += bucketUnits[b][m];
+    return static_cast<double>(units) /
+           static_cast<double>(unitDenom);
 }
 
 double
@@ -175,12 +205,8 @@ PipeStats::ipc() const
 
 Pipeline::Pipeline(const TimingConfig &config, Filter f)
     : cfg(config), filter(f),
-      // The event core's bulk accounting relies on the exact integer
-      // half-unit representation, so wider-issue configs (double
-      // accounting) fall back to the reference core.
-      eng(config.eventCore && config.issueWidth <= 2
-              ? Engine::EventDriven
-              : Engine::CycleStepped),
+      eng(config.eventCore ? Engine::EventDriven
+                           : Engine::CycleStepped),
       issueWidth(config.issueWidth), iqSize(config.iqSize),
       mispredictPenalty(config.mispredictPenalty),
       prefetcherEnabled(config.prefetcherEnabled),
@@ -191,8 +217,13 @@ Pipeline::Pipeline(const TimingConfig &config, Filter f)
       bp(config),
       pf(config.prefetcherEntries, l2c),
       l1iLineShift(floorLog2(config.l1i.lineBytes)),
-      intAccounting(config.issueWidth <= 2)
+      unitDenom(accountingDenom(config.issueWidth))
 {
+    panic_if(issueWidth == 0 || issueWidth > kMaxIssueWidth,
+             "issueWidth %u out of range [1, %u]", issueWidth,
+             kMaxIssueWidth);
+    for (uint32_t k = 1; k <= issueWidth; ++k)
+        unitsPerIssue[k] = unitDenom / k;
     // Power-of-two ring; grows on demand via pushPending. The event
     // core's borrowed-batch staging writes one slot past IQ + FE
     // without a grow check (it can only run when the ring pending
@@ -304,13 +335,17 @@ Pipeline::consumeBatch(const Record *recs, size_t count)
         //
         // The drain runs deeper than the reference's floor of 64:
         // any floor >= issueWidth is equivalent, because a cycle's
-        // behaviour depends on the backlog depth only through
-        // "non-empty", and with floor >= issueWidth every executed
-        // cycle still sees more backlog than one fetch can consume.
-        // Draining to 2 here minimizes what must be staged into the
-        // ring when the borrowed buffer dies.
+        // behaviour depends on the backlog depth only through "at
+        // least a full fetch group available", and with floor >=
+        // issueWidth every executed cycle still sees more backlog
+        // than one fetch can consume. A shallower floor would let a
+        // cycle run with backlog < issueWidth and fetch a truncated
+        // group the reference schedule never sees. Draining as close
+        // to that bound as allowed minimizes what must be staged
+        // into the ring when the borrowed buffer dies.
         stat.records += count;
-        const size_t used = runEventCore(2, false, recs, count);
+        const size_t floor = issueWidth > 2 ? issueWidth : 2;
+        const size_t used = runEventCore(floor, false, recs, count);
         const size_t left = count - used;
         while (window.size() < inFlight + left)
             growWindow();
@@ -345,14 +380,21 @@ Pipeline::finish()
         return;
     drain(0, true);
     finished = true;
-    if (intAccounting) {
-        for (unsigned b = 0; b < kNumBuckets; ++b) {
-            for (unsigned m = 0; m < kNumModules; ++m)
-                stat.bucket[b][m] =
-                    static_cast<double>(bucketHalf[b][m]) * 0.5;
-            for (unsigned si = 0; si < 2; ++si)
-                stat.bucketSrc[b][si] =
-                    static_cast<double>(bucketSrcHalf[b][si]) * 0.5;
+    // The one units -> doubles conversion: both cores accumulate the
+    // identical integer units, so the derived doubles are identical
+    // too (equal integers divide to equal doubles).
+    stat.unitDenom = unitDenom;
+    const double denom = static_cast<double>(unitDenom);
+    for (unsigned b = 0; b < kNumBuckets; ++b) {
+        for (unsigned m = 0; m < kNumModules; ++m) {
+            stat.bucketUnits[b][m] = bucketUnits[b][m];
+            stat.bucket[b][m] =
+                static_cast<double>(bucketUnits[b][m]) / denom;
+        }
+        for (unsigned si = 0; si < 2; ++si) {
+            stat.bucketSrcUnits[b][si] = bucketSrcUnits[b][si];
+            stat.bucketSrc[b][si] =
+                static_cast<double>(bucketSrcUnits[b][si]) / denom;
         }
     }
     stat.cycles = now;
@@ -423,16 +465,11 @@ Pipeline::issuePhase(unsigned &issued_count)
     // IQ head and the scoreboard are scanned once per cycle, not
     // twice.
     issued_count = 0;
-    std::array<unsigned, 8> issued_modules{};
-    std::array<bool, 8> issued_src{};
-    unsigned issued_n = 0;
+    std::array<uint8_t, kMaxIssueWidth> issued_modules{};
+    std::array<uint8_t, kMaxIssueWidth> issued_src{};
 
     bool head_waiting = false;       ///< head present but blocked
     uint8_t blocking = host::kNoReg; ///< first not-ready source
-
-    // In integer mode each issued instruction is credited 1 half-unit
-    // inside the loop; a solo issue gets its second half afterwards.
-    unsigned last_m = 0, last_s = 0;
 
     while (issued_count < issueWidth && iqCount != 0) {
         InFlight &iq_head = slotAt(0);
@@ -454,20 +491,9 @@ Pipeline::issuePhase(unsigned &issued_count)
         }
 
         issueOne(iq_head);
-        if (intAccounting) {
-            last_m = static_cast<unsigned>(iq_head.rec.module);
-            last_s = iq_head.rec.fromRegion ? 1 : 0;
-            bucketHalf[static_cast<unsigned>(Bucket::Insts)]
-                      [last_m] += 1;
-            bucketSrcHalf[static_cast<unsigned>(Bucket::Insts)]
-                         [last_s] += 1;
-        } else {
-            issued_modules[issued_n % issued_modules.size()] =
-                static_cast<unsigned>(iq_head.rec.module);
-            issued_src[issued_n % issued_src.size()] =
-                iq_head.rec.fromRegion;
-            ++issued_n;
-        }
+        issued_modules[issued_count] =
+            static_cast<uint8_t>(iq_head.rec.module);
+        issued_src[issued_count] = iq_head.rec.fromRegion ? 1 : 0;
         head = (head + 1) & winMask;
         --inFlight;
         --iqCount;
@@ -475,22 +501,14 @@ Pipeline::issuePhase(unsigned &issued_count)
     }
 
     if (issued_count) {
-        if (intAccounting) {
-            if (issued_count == 1) {
-                bucketHalf[static_cast<unsigned>(Bucket::Insts)]
-                          [last_m] += 1;
-                bucketSrcHalf[static_cast<unsigned>(Bucket::Insts)]
-                             [last_s] += 1;
-            }
-        } else {
-            const double share =
-                1.0 / static_cast<double>(issued_count);
-            for (unsigned i = 0; i < issued_count; ++i) {
-                stat.bucket[static_cast<unsigned>(Bucket::Insts)]
-                           [issued_modules[i]] += share;
-                stat.bucketSrc[static_cast<unsigned>(Bucket::Insts)]
-                              [issued_src[i] ? 1 : 0] += share;
-            }
+        // Each of the k issued instructions carries 1/k of the cycle:
+        // unitDenom / k integer units, exact for every k <= width.
+        const uint64_t per = unitsPerIssue[issued_count];
+        for (unsigned i = 0; i < issued_count; ++i) {
+            bucketUnits[static_cast<unsigned>(Bucket::Insts)]
+                       [issued_modules[i]] += per;
+            bucketSrcUnits[static_cast<unsigned>(Bucket::Insts)]
+                          [issued_src[i]] += per;
         }
         return;
     }
@@ -515,13 +533,8 @@ Pipeline::issuePhase(unsigned &issued_count)
         m_idx = static_cast<unsigned>(starveModule);
         s_idx = starveSrcRegion ? 1 : 0;
     }
-    if (intAccounting) {
-        bucketHalf[b_idx][m_idx] += 2;
-        bucketSrcHalf[b_idx][s_idx] += 2;
-    } else {
-        stat.bucket[b_idx][m_idx] += 1.0;
-        stat.bucketSrc[b_idx][s_idx] += 1.0;
-    }
+    bucketUnits[b_idx][m_idx] += unitDenom;
+    bucketSrcUnits[b_idx][s_idx] += unitDenom;
 }
 
 void
@@ -674,17 +687,10 @@ Pipeline::step()
             limit = std::min(limit, fetchBlockedUntil);
         if (limit != UINT64_MAX && limit > now) {
             const uint64_t span = limit - now;
-            if (intAccounting) {
-                // Integer adds are associative: the whole run in one
-                // update, still bit-identical after conversion.
-                bucketHalf[b_idx][m_idx] += 2 * span;
-                bucketSrcHalf[b_idx][s_idx] += 2 * span;
-            } else {
-                for (uint64_t c = 0; c < span; ++c) {
-                    stat.bucket[b_idx][m_idx] += 1.0;
-                    stat.bucketSrc[b_idx][s_idx] += 1.0;
-                }
-            }
+            // Integer adds are associative: the whole run in one
+            // update, still bit-identical after conversion.
+            bucketUnits[b_idx][m_idx] += unitDenom * span;
+            bucketSrcUnits[b_idx][s_idx] += unitDenom * span;
             now = limit;
             return;
         }
@@ -737,7 +743,12 @@ Pipeline::step()
  *    to the same (bucket, module, source) cell that the first stalled
  *    cycle was charged to, so the whole run is accounted in one
  *    integer add — associative, hence bit-identical after the single
- *    half-unit -> double conversion in finish().
+ *    units -> double conversion in finish().
+ *
+ * All accounting is in exact integer units of 1/lcm(1..W) cycles
+ * (accountingDenom), so the argument holds at every issue width —
+ * a cycle issuing k instructions charges W!/k-style integer shares
+ * that merge associatively, never rounded doubles.
  */
 size_t
 Pipeline::runEventCore(size_t pending_floor, bool to_empty,
@@ -745,12 +756,24 @@ Pipeline::runEventCore(size_t pending_floor, bool to_empty,
 {
     panic_if(to_empty && ext_count != 0,
              "event core: final drain with a borrowed batch");
-    if (issueWidth == 2) {
+    // Single-width instantiations for the common sweep points let
+    // the compiler unroll the issue/fetch slot loops and fold the
+    // per-issue unit shares to constants; other widths share the
+    // generic (runtime-width) instantiation.
+    switch (issueWidth) {
+      case 1:
+        return runEventCoreImpl<1>(pending_floor, to_empty, ext,
+                                   ext_count);
+      case 2:
         return runEventCoreImpl<2>(pending_floor, to_empty, ext,
                                    ext_count);
+      case 4:
+        return runEventCoreImpl<4>(pending_floor, to_empty, ext,
+                                   ext_count);
+      default:
+        return runEventCoreImpl<0>(pending_floor, to_empty, ext,
+                                   ext_count);
     }
-    return runEventCoreImpl<0>(pending_floor, to_empty, ext,
-                               ext_count);
 }
 
 template <unsigned W>
@@ -775,6 +798,10 @@ Pipeline::runEventCoreImpl(size_t pending_floor, bool to_empty,
     InFlight *const win = window.data();
     const size_t mask = winMask;
     const uint32_t width = W != 0 ? W : issueWidth;
+    // Folds to a compile-time constant in the single-width
+    // instantiations; one register in the generic one.
+    const uint64_t unit_denom =
+        W != 0 ? accountingDenom(W) : unitDenom;
     const uint32_t iq_cap = iqSize;
     const uint32_t line_shift = l1iLineShift;
     constexpr unsigned insts_b = static_cast<unsigned>(Bucket::Insts);
@@ -783,16 +810,17 @@ Pipeline::runEventCoreImpl(size_t pending_floor, bool to_empty,
                ? n_flight != 0
                : n_flight - iq_n - fe_n + (ext_count - ext_pos) >
                      pending_floor) {
-        // ---- issue phase (reference issuePhase, integer mode) ----
+        // ---- issue phase (reference issuePhase, integer units) ----
         unsigned issued = 0;
-        unsigned m0 = 0, s0 = 0, m1 = 0, s1 = 0;
+        std::array<uint8_t, kMaxIssueWidth> issue_m;
+        std::array<uint8_t, kMaxIssueWidth> issue_s;
         uint8_t blocking = host::kNoReg;
 
         // Side effects run here in reference order; the accounting
-        // adds are deferred past the slot attempts so a dual issue
-        // with matching attribution (the common case) lands as one
-        // add per cell — integer cells, so merging is exact.
-        auto try_issue = [&](unsigned &m_out, unsigned &s_out) {
+        // adds are deferred past the slot attempts because the 1/k
+        // per-slot share is only known once the cycle's issue count
+        // k is — integer unit cells, so the deferral is exact.
+        auto try_issue = [&]() {
             if (iq_n == 0)
                 return false;
             InFlight &iq_head = win[hd];
@@ -849,8 +877,8 @@ Pipeline::runEventCoreImpl(size_t pending_floor, bool to_empty,
                 starve_m = rec.module;
                 starve_src = rec.fromRegion;
             }
-            m_out = static_cast<unsigned>(rec.module);
-            s_out = rec.fromRegion ? 1 : 0;
+            issue_m[issued] = static_cast<uint8_t>(rec.module);
+            issue_s[issued] = rec.fromRegion ? 1 : 0;
 
             hd = (hd + 1) & mask;
             --n_flight;
@@ -858,37 +886,53 @@ Pipeline::runEventCoreImpl(size_t pending_floor, bool to_empty,
             return true;
         };
 
-        if (try_issue(m0, s0)) {
-            issued = 1;
-            if (width == 2 && try_issue(m1, s1))
-                issued = 2;
-        }
+        while (issued < width && try_issue())
+            ++issued;
 
         unsigned b_idx = 0, m_idx = 0, s_idx = 0;
         uint64_t stall_until = 0;
-        if (issued == 2) {
-            // One half-unit per issued instruction (reference),
-            // merged when the attribution matches.
-            if (m0 == m1) {
-                bucketHalf[insts_b][m0] += 2;
-                stat.insts[m0] += 2;
+        if (issued != 0) {
+            // 1/k of the cycle per issued instruction — unitDenom/k
+            // integer units, exact for every k <= width. Integer
+            // adds merge associatively, so the per-slot order (and
+            // any coalescing below) cannot change the converted
+            // totals.
+            if constexpr (W == 2) {
+                // Dual-issue fast path: charges with matching
+                // attribution (the common case) land as one add per
+                // cell.
+                const unsigned m0 = issue_m[0], s0 = issue_s[0];
+                if (issued == 2) {
+                    const unsigned m1 = issue_m[1], s1 = issue_s[1];
+                    if (m0 == m1) {
+                        bucketUnits[insts_b][m0] += 2;
+                        stat.insts[m0] += 2;
+                    } else {
+                        bucketUnits[insts_b][m0] += 1;
+                        bucketUnits[insts_b][m1] += 1;
+                        ++stat.insts[m0];
+                        ++stat.insts[m1];
+                    }
+                    if (s0 == s1) {
+                        bucketSrcUnits[insts_b][s0] += 2;
+                    } else {
+                        bucketSrcUnits[insts_b][s0] += 1;
+                        bucketSrcUnits[insts_b][s1] += 1;
+                    }
+                } else {
+                    // Solo issue carries the whole cycle.
+                    bucketUnits[insts_b][m0] += 2;
+                    bucketSrcUnits[insts_b][s0] += 2;
+                    ++stat.insts[m0];
+                }
             } else {
-                bucketHalf[insts_b][m0] += 1;
-                bucketHalf[insts_b][m1] += 1;
-                ++stat.insts[m0];
-                ++stat.insts[m1];
+                const uint64_t per = unitsPerIssue[issued];
+                for (unsigned i = 0; i < issued; ++i) {
+                    bucketUnits[insts_b][issue_m[i]] += per;
+                    bucketSrcUnits[insts_b][issue_s[i]] += per;
+                    ++stat.insts[issue_m[i]];
+                }
             }
-            if (s0 == s1) {
-                bucketSrcHalf[insts_b][s0] += 2;
-            } else {
-                bucketSrcHalf[insts_b][s0] += 1;
-                bucketSrcHalf[insts_b][s1] += 1;
-            }
-        } else if (issued == 1) {
-            // Solo issue gets both half-units (reference).
-            bucketHalf[insts_b][m0] += 2;
-            bucketSrcHalf[insts_b][s0] += 2;
-            ++stat.insts[m0];
         } else {
             // Stalled cycle: classify once; the classification both
             // charges this cycle and names the event that ends the
@@ -915,8 +959,8 @@ Pipeline::runEventCoreImpl(size_t pending_floor, bool to_empty,
                 stall_until =
                     iq_n != 0 ? win[hd].arrival : UINT64_MAX;
             }
-            bucketHalf[b_idx][m_idx] += 2;
-            bucketSrcHalf[b_idx][s_idx] += 2;
+            bucketUnits[b_idx][m_idx] += unit_denom;
+            bucketSrcUnits[b_idx][s_idx] += unit_denom;
         }
 
         // ---- fetch phase (reference fetchPhase) ----
@@ -1031,8 +1075,8 @@ Pipeline::runEventCoreImpl(size_t pending_floor, bool to_empty,
                  "event core: inert cycle with no pending event");
         if (limit > t) {
             const uint64_t span = limit - t;
-            bucketHalf[b_idx][m_idx] += 2 * span;
-            bucketSrcHalf[b_idx][s_idx] += 2 * span;
+            bucketUnits[b_idx][m_idx] += unit_denom * span;
+            bucketSrcUnits[b_idx][s_idx] += unit_denom * span;
             t = limit;
         }
     }

@@ -83,7 +83,19 @@ struct PipeStats
     uint64_t records = 0;   ///< records accepted past the filter
     /** Instructions issued, by attributed module. */
     std::array<uint64_t, kNumModules> insts{};
-    /** Fractional cycles: [bucket][module]. */
+    /**
+     * Fixed-point denominator of the exact integer accounting:
+     * lcm(1..issueWidth) (timing::accountingDenom). bucketUnits /
+     * bucketSrcUnits hold integer multiples of 1/unitDenom cycles;
+     * the double views below are derived from them once at finish().
+     */
+    uint64_t unitDenom = 1;
+    /** Exact cycle units (1/unitDenom cycles): [bucket][module]. */
+    std::array<std::array<uint64_t, kNumModules>, kNumBuckets>
+        bucketUnits{};
+    /** Exact cycle units by stream source: [bucket][0=TOL,1=region]. */
+    std::array<std::array<uint64_t, 2>, kNumBuckets> bucketSrcUnits{};
+    /** Fractional cycles: [bucket][module] (bucketUnits/unitDenom). */
     std::array<std::array<double, kNumModules>, kNumBuckets> bucket{};
     /**
      * Secondary accounting by stream source for the isolation study
@@ -148,7 +160,7 @@ class Pipeline : public RecordSink
     /** Current simulated cycle. */
     uint64_t cyclesNow() const { return now; }
 
-    /** The core actually driving this instance (after fallback). */
+    /** The core driving this instance (TimingConfig::eventCore). */
     Engine engine() const { return eng; }
 
   private:
@@ -187,7 +199,8 @@ class Pipeline : public RecordSink
      * issue/fetch cycle body over register-resident pipeline state,
      * and an event-horizon fast-forward that advances the clock in
      * one jump across any interval in which every phase is provably
-     * inert. Requires integer accounting (issueWidth <= 2).
+     * inert. Exact at every issue width via the 1/unitDenom
+     * fixed-point accounting.
      *
      * @param ext optional borrowed tail of the pending backlog (a
      *     producer batch, in emission order after the ring's own
@@ -285,18 +298,23 @@ class Pipeline : public RecordSink
         opLatency{};
 
     /**
-     * Integer cycle accounting, usable when issueWidth <= 2: every
-     * per-cycle bucket contribution is then a multiple of 0.5, which
-     * is exact in binary floating point, so accumulating half-units
-     * in integers and converting once at finish() is bit-identical
-     * to the sequential double additions — while breaking the
-     * FP-add latency chain on the per-cycle path and letting stall
-     * runs account in O(1). Wider configs fall back to doubles.
+     * Exact integer cycle accounting in units of 1/unitDenom cycles,
+     * unitDenom = lcm(1..issueWidth): a cycle issuing k instructions
+     * charges each one unitDenom/k units (an exact integer for every
+     * k <= issueWidth), a stalled cycle charges unitDenom units to
+     * one cell. Integer addition is associative, so bulk-charging a
+     * stall run or reordering per-slot charges is bit-identical to
+     * the reference per-cycle additions after the single conversion
+     * to doubles at finish() — while breaking the FP-add latency
+     * chain on the per-cycle path and letting stall runs account in
+     * O(1). Both cores accumulate these same units at every width.
      */
-    bool intAccounting;
+    uint64_t unitDenom;
+    /** unitDenom / k for k issued instructions (no hot-path divide). */
+    std::array<uint64_t, kMaxIssueWidth + 1> unitsPerIssue{};
     std::array<std::array<uint64_t, kNumModules>, kNumBuckets>
-        bucketHalf{};
-    std::array<std::array<uint64_t, 2>, kNumBuckets> bucketSrcHalf{};
+        bucketUnits{};
+    std::array<std::array<uint64_t, 2>, kNumBuckets> bucketSrcUnits{};
 
     /** Sticky cause of front-end starvation for empty-IQ accounting. */
     Bucket starveBucket = Bucket::IcacheBubble;

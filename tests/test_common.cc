@@ -44,6 +44,65 @@ TEST(Prng, BelowStaysInRange)
         ASSERT_LT(rng.below(13), 13u);
 }
 
+TEST(Prng, BelowIsUnbiasedForNonPowerOfTwoBounds)
+{
+    // The unbiased bounded draw must hit every residue of a
+    // non-power-of-two bound at ~uniform frequency. (The old
+    // `next() % bound` construction is also near-uniform for tiny
+    // bounds; the sharp check is the huge-bound one below, where
+    // modulo reduction would concentrate mass on [0, 2^64 mod b).)
+    Prng rng(19);
+    constexpr uint64_t kBound = 13;
+    constexpr int kDraws = 130000;
+    unsigned counts[kBound] = {};
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[rng.below(kBound)];
+    for (uint64_t v = 0; v < kBound; ++v) {
+        EXPECT_GT(counts[v], kDraws / kBound * 85 / 100) << v;
+        EXPECT_LT(counts[v], kDraws / kBound * 115 / 100) << v;
+    }
+
+    // Bound just above 2^63: a modulo draw would land in
+    // [0, 2^63 + 2) twice as often as in the upper half. The
+    // unbiased draw splits evenly around the bound's midpoint.
+    const uint64_t huge = (1ull << 63) + 2;
+    unsigned upper_half = 0;
+    constexpr int kHugeDraws = 10000;
+    for (int i = 0; i < kHugeDraws; ++i) {
+        const uint64_t v = rng.below(huge);
+        ASSERT_LT(v, huge);
+        if (v >= huge / 2)
+            ++upper_half;
+    }
+    EXPECT_GT(upper_half, kHugeDraws * 45 / 100);
+    EXPECT_LT(upper_half, kHugeDraws * 55 / 100);
+}
+
+TEST(Prng, RangeHandlesExtremeBounds)
+{
+    // range(INT64_MIN, INT64_MAX) used to compute hi - lo + 1 in
+    // signed arithmetic (UB); the unsigned span wraps to 0 and must
+    // mean "full 64-bit range".
+    Prng rng(23);
+    bool negative = false, positive = false;
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.range(INT64_MIN, INT64_MAX);
+        negative = negative || v < 0;
+        positive = positive || v > 0;
+    }
+    EXPECT_TRUE(negative);
+    EXPECT_TRUE(positive);
+
+    // Near-full spans exercise the wrap-around add.
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.range(INT64_MIN + 1, INT64_MAX - 1);
+        EXPECT_GT(v, INT64_MIN);
+        EXPECT_LT(v, INT64_MAX);
+    }
+    // Degenerate single-point range.
+    EXPECT_EQ(rng.range(-7, -7), -7);
+}
+
 TEST(Prng, UniformCoversRange)
 {
     Prng rng(11);

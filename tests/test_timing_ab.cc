@@ -5,10 +5,12 @@
  * reference core — every cycle total, every accounting cell, every
  * cache/TLB/predictor counter, and the co-simulation state-checker
  * fingerprint — across the paper's four workload suites, randomized
- * record streams, and the pipeline edge events (zero-latency
- * back-to-back issues, simultaneous miss-completion + branch-resolve,
- * flush mid-stall). See docs/timing-model.md for the equivalence
- * argument these tests enforce.
+ * record streams, an issue-width sweep (1, 2, 3, 4, 8, 16: the 1/W
+ * fixed-point accounting must stay exact at every width), and the
+ * pipeline edge events (zero-latency back-to-back issues,
+ * simultaneous miss-completion + branch-resolve, flush mid-stall).
+ * See docs/timing-model.md for the equivalence argument these tests
+ * enforce.
  */
 
 #include <gtest/gtest.h>
@@ -41,15 +43,37 @@ expectStatsIdentical(const PipeStats &a, const PipeStats &b,
 void
 expectAccountingCloses(const PipeStats &stats)
 {
-    // With issueWidth <= 2 every contribution is a multiple of 0.5,
-    // so the sums are exact in binary floating point.
+    // Exact closure at every issue width: every cycle contributes
+    // exactly unitDenom integer units (split 1/k per issued
+    // instruction, k | unitDenom by construction), so the unit sums
+    // — associative, no rounding — must equal cycles * unitDenom.
+    uint64_t units = 0, src_units = 0;
+    for (unsigned b = 0; b < kNumBuckets; ++b) {
+        for (unsigned m = 0; m < kNumModules; ++m)
+            units += stats.bucketUnits[b][m];
+        for (unsigned s = 0; s < 2; ++s)
+            src_units += stats.bucketSrcUnits[b][s];
+    }
+    EXPECT_EQ(units, stats.cycles * stats.unitDenom);
+    EXPECT_EQ(src_units, stats.cycles * stats.unitDenom);
+
+    // The derived double totals close exactly when unitDenom is a
+    // power of two (every cell is a dyadic rational; the paper's
+    // W<=2 configs), and to rounding noise otherwise (1/3-style
+    // shares have no finite binary representation in any scheme).
     double total = 0;
     for (unsigned b = 0; b < kNumBuckets; ++b)
         total += stats.bucketTotal(static_cast<Bucket>(b));
-    EXPECT_EQ(total, static_cast<double>(stats.cycles));
     const double src_total =
         stats.sourceCycles(false) + stats.sourceCycles(true);
-    EXPECT_EQ(src_total, static_cast<double>(stats.cycles));
+    const double cycles = static_cast<double>(stats.cycles);
+    if ((stats.unitDenom & (stats.unitDenom - 1)) == 0) {
+        EXPECT_EQ(total, cycles);
+        EXPECT_EQ(src_total, cycles);
+    } else {
+        EXPECT_NEAR(total, cycles, 1e-9 * cycles + 1e-9);
+        EXPECT_NEAR(src_total, cycles, 1e-9 * cycles + 1e-9);
+    }
 }
 
 // ----- record constructors (mirroring test_timing.cc) -------------------
@@ -109,12 +133,15 @@ struct AbPair
 
 AbPair
 runAb(const std::vector<Record> &stream, bool batched,
-      Pipeline::Filter filter = Pipeline::Filter::All)
+      Pipeline::Filter filter = Pipeline::Filter::All,
+      uint32_t issue_width = 2)
 {
     TimingConfig stepped_cfg;
     stepped_cfg.eventCore = false;
+    stepped_cfg.issueWidth = issue_width;
     TimingConfig event_cfg;
     event_cfg.eventCore = true;
+    event_cfg.issueWidth = issue_width;
 
     Pipeline stepped(stepped_cfg, filter);
     Pipeline event(event_cfg, filter);
@@ -148,6 +175,52 @@ runAb(const std::vector<Record> &stream, bool batched,
     return {stepped.stats(), event.stats()};
 }
 
+/** Mixed fuzz stream: loads, stores, branches, FP chains, ALU ops. */
+std::vector<Record>
+makeFuzzStream(uint64_t seed, uint32_t count)
+{
+    Prng rng(seed);
+    std::vector<Record> stream;
+    for (uint32_t i = 0; i < count; ++i) {
+        const double roll = rng.uniform();
+        if (roll < 0.18) {
+            stream.push_back(loadRec(
+                0x1000 + 4 * (i % 64),
+                static_cast<uint8_t>(34 + i % 4),
+                static_cast<uint32_t>(rng.below(1u << 22))));
+        } else if (roll < 0.30) {
+            Record rec = loadRec(0x1200 + 4 * (i % 16), 38,
+                                 static_cast<uint32_t>(
+                                     rng.below(1u << 14)));
+            rec.isLoad = false;
+            rec.isStore = true;
+            rec.op = host::HOp::ST;
+            rec.rd = host::kNoReg;
+            stream.push_back(rec);
+        } else if (roll < 0.45) {
+            stream.push_back(branchRec(0x2000 + 4 * (i % 8),
+                                       rng.chance(0.5), 0x1000));
+        } else if (roll < 0.55) {
+            // Long-latency FP chain ops from a TOL module.
+            Record rec;
+            rec.pc = 0x3000 + 4 * (i % 32);
+            rec.op = host::HOp::FDIV;
+            rec.rd = fpRegId(16 + i % 4);
+            rec.rs1 = fpRegId(16 + (i + 1) % 4);
+            rec.rs2 = fpRegId(17);
+            rec.module = Module::SBM;
+            rec.fromRegion = false;
+            stream.push_back(rec);
+        } else {
+            stream.push_back(aluRec(
+                0x1000 + 4 * (i % 64),
+                static_cast<uint8_t>(33 + i % 6), 32, 32,
+                rng.chance(0.3) ? Module::IM : Module::App));
+        }
+    }
+    return stream;
+}
+
 } // namespace
 
 // ----- randomized stream fuzz -------------------------------------------
@@ -155,50 +228,29 @@ runAb(const std::vector<Record> &stream, bool batched,
 TEST(EventCoreAb, RandomStreamsBitIdentical)
 {
     for (uint64_t seed : {3u, 11u, 42u}) {
-        Prng rng(seed);
-        std::vector<Record> stream;
-        for (uint32_t i = 0; i < 30000; ++i) {
-            const double roll = rng.uniform();
-            if (roll < 0.18) {
-                stream.push_back(loadRec(
-                    0x1000 + 4 * (i % 64),
-                    static_cast<uint8_t>(34 + i % 4),
-                    static_cast<uint32_t>(rng.below(1u << 22))));
-            } else if (roll < 0.30) {
-                Record rec = loadRec(0x1200 + 4 * (i % 16), 38,
-                                     static_cast<uint32_t>(
-                                         rng.below(1u << 14)));
-                rec.isLoad = false;
-                rec.isStore = true;
-                rec.op = host::HOp::ST;
-                rec.rd = host::kNoReg;
-                stream.push_back(rec);
-            } else if (roll < 0.45) {
-                stream.push_back(branchRec(0x2000 + 4 * (i % 8),
-                                           rng.chance(0.5), 0x1000));
-            } else if (roll < 0.55) {
-                // Long-latency FP chain ops from a TOL module.
-                Record rec;
-                rec.pc = 0x3000 + 4 * (i % 32);
-                rec.op = host::HOp::FDIV;
-                rec.rd = fpRegId(16 + i % 4);
-                rec.rs1 = fpRegId(16 + (i + 1) % 4);
-                rec.rs2 = fpRegId(17);
-                rec.module = Module::SBM;
-                rec.fromRegion = false;
-                stream.push_back(rec);
-            } else {
-                stream.push_back(aluRec(
-                    0x1000 + 4 * (i % 64),
-                    static_cast<uint8_t>(33 + i % 6), 32, 32,
-                    rng.chance(0.3) ? Module::IM : Module::App));
-            }
-        }
+        const std::vector<Record> stream = makeFuzzStream(seed, 30000);
         runAb(stream, false);
         runAb(stream, true);
         // Isolation filters take the staged (non-borrowed) path.
         runAb(stream, true, Pipeline::Filter::TolOnly);
         runAb(stream, true, Pipeline::Filter::AppOnly);
+    }
+}
+
+TEST(EventCoreAb, WidthSweepBitIdentical)
+{
+    // The 1/W fixed-point accounting must keep the event core exact
+    // at every width — including width 3, whose denominator
+    // lcm(1..3) = 6 is not a power of two, and widths at or past the
+    // 8-entry front-end buffer, which can retire more than the
+    // front-end fetches per cycle. 16 is kMaxIssueWidth (the largest
+    // denominator, lcm(1..16) = 720720).
+    for (uint32_t width : {1u, 2u, 3u, 4u, 8u, 16u}) {
+        const std::vector<Record> stream =
+            makeFuzzStream(101 + width, 20000);
+        runAb(stream, false, Pipeline::Filter::All, width);
+        runAb(stream, true, Pipeline::Filter::All, width);
+        runAb(stream, true, Pipeline::Filter::TolOnly, width);
     }
 }
 
@@ -310,13 +362,19 @@ TEST(EventCoreAb, OversizedIqStillBitIdentical)
     expectAccountingCloses(event.stats());
 }
 
-TEST(EventCoreAb, WideIssueFallsBackToReferenceCore)
+TEST(EventCoreAb, EventCoreRunsAtEveryWidth)
 {
-    TimingConfig wide;
-    wide.issueWidth = 4;
-    wide.eventCore = true;
-    Pipeline pipe(wide, Pipeline::Filter::All);
-    EXPECT_EQ(pipe.engine(), Pipeline::Engine::CycleStepped);
+    // Regression for the silent wide-issue fallback: with eventCore
+    // requested, every supported width must actually run the event
+    // core — no quiet switch to the reference core.
+    for (uint32_t width = 1; width <= kMaxIssueWidth; ++width) {
+        TimingConfig cfg;
+        cfg.issueWidth = width;
+        cfg.eventCore = true;
+        Pipeline pipe(cfg, Pipeline::Filter::All);
+        EXPECT_EQ(pipe.engine(), Pipeline::Engine::EventDriven)
+            << "width " << width;
+    }
 }
 
 // ----- system-level A/B over the paper's four suites ---------------------
@@ -336,7 +394,8 @@ struct SystemOutcome
 };
 
 SystemOutcome
-runSystem(const workloads::BenchParams &params, bool event_core)
+runSystem(const workloads::BenchParams &params, bool event_core,
+          uint32_t issue_width = 2)
 {
     sim::SimConfig cfg;
     cfg.guestBudget = 250'000;
@@ -346,6 +405,7 @@ runSystem(const workloads::BenchParams &params, bool event_core)
     cfg.appOnlyPipe = true;
     cfg.tolModulePipe = true;
     cfg.timing.eventCore = event_core;
+    cfg.timing.issueWidth = issue_width;
 
     sim::System sys(cfg);
     sys.load(workloads::buildBenchmark(params));
@@ -409,4 +469,44 @@ INSTANTIATE_TEST_SUITE_P(FourSuites, SuiteAb,
                                  if (c == ' ')
                                      c = '_';
                              return name;
+                         });
+
+// ----- system-level issue-width sweep ------------------------------------
+
+class WidthSweepAb : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(WidthSweepAb, BitIdenticalAcrossCores)
+{
+    // End-to-end A/B at a non-default issue width: co-simulation and
+    // all isolation pipelines live, every metric compared with the
+    // bit-identical contract. Covers the configs the paper's
+    // microarchitectural sweeps visit (the old event core silently
+    // fell back to the reference core above width 2).
+    const uint32_t width = GetParam();
+    const auto members = workloads::suiteBenchmarks("SPEC INT");
+    ASSERT_FALSE(members.empty());
+    const workloads::BenchParams &params = *members.front();
+
+    const SystemOutcome stepped = runSystem(params, false, width);
+    const SystemOutcome event = runSystem(params, true, width);
+
+    EXPECT_EQ(stepped.result.guestRetired, event.result.guestRetired);
+    EXPECT_EQ(stepped.result.cycles, event.result.cycles);
+    EXPECT_EQ(stepped.checkerCommits, event.checkerCommits);
+    EXPECT_EQ(event.checkerFailures, 0u);
+
+    expectStatsIdentical(stepped.combined, event.combined, "combined");
+    expectStatsIdentical(stepped.tolOnly, event.tolOnly, "tol-only");
+    expectStatsIdentical(stepped.appOnly, event.appOnly, "app-only");
+    expectStatsIdentical(stepped.tolModule, event.tolModule,
+                         "tol-module");
+    expectAccountingCloses(event.combined);
+    expectAccountingCloses(event.tolOnly);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthSweepAb,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u),
+                         [](const auto &info) {
+                             return "w" + std::to_string(info.param);
                          });
