@@ -57,23 +57,20 @@ main(int argc, char **argv)
              "overhead%"});
 
     for (const char *name : kBenchmarks) {
-        const workloads::BenchParams *params =
-            workloads::findBenchmark(name);
-        fatal_if(!params, "unknown benchmark %s", name);
+        const workloads::Workload workload =
+            workloads::resolveWorkload(workloads::syntheticUri(name));
 
         uint64_t baseline_cycles = 0;
         for (const Variant &variant : kVariants) {
-            sim::MetricsOptions options;
-            options.guestBudget = args.budget;
-            options.tolConfig.bbToSbThreshold =
-                sim::scaledSbThreshold(args.budget);
+            sim::MetricsOptions options =
+                bench::makeMetricsOptions(args);
             variant.apply(options.tolConfig);
             if (std::string(variant.name) == "no prefetcher")
                 options.timingConfig.prefetcherEnabled = false;
 
             std::fprintf(stderr, "  %s / %s\n", name, variant.name);
             const sim::BenchMetrics m =
-                sim::runBenchmark(*params, options);
+                sim::runWorkload(workload, options);
             if (std::string(variant.name) == "baseline")
                 baseline_cycles = m.cycles;
 

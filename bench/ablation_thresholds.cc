@@ -30,16 +30,15 @@ main(int argc, char **argv)
     Table t({"benchmark", "BB/SBth", "overhead%", "IM dyn%", "BBM dyn%",
              "SBM dyn%", "SBs", "cycles"});
     for (const char *name : benchmarks) {
-        const workloads::BenchParams *params =
-            workloads::findBenchmark(name);
-        fatal_if(!params, "unknown benchmark %s", name);
+        const workloads::Workload workload =
+            workloads::resolveWorkload(workloads::syntheticUri(name));
         for (uint32_t threshold : thresholds) {
-            sim::MetricsOptions options;
-            options.guestBudget = args.budget;
+            sim::MetricsOptions options =
+                bench::makeMetricsOptions(args);
             options.tolConfig.bbToSbThreshold = threshold;
             std::fprintf(stderr, "  %s / %u\n", name, threshold);
             const sim::BenchMetrics m =
-                sim::runBenchmark(*params, options);
+                sim::runWorkload(workload, options);
             const double dyn = std::max<double>(
                 1.0, static_cast<double>(m.dynTotal()));
             t.beginRow();

@@ -20,6 +20,7 @@
 #include "common/table.hh"
 #include "sim/metrics.hh"
 #include "workloads/params.hh"
+#include "workloads/source.hh"
 
 namespace darco::bench {
 
@@ -56,7 +57,9 @@ struct BenchArgs
                 std::printf(
                     "options: --budget=N --suite=NAME --benchmark=NAME "
                     "--csv\n  suites: 'SPEC INT', 'SPEC FP', 'Physics', "
-                    "'Media'\n  env: DARCO_BUDGET\n");
+                    "'Media'\n  benchmark: a synthetic name or a "
+                    "workload URI\n    (source://synthetic/<name>, "
+                    "source://trace/<file>)\n  env: DARCO_BUDGET\n");
                 std::exit(0);
             } else {
                 fatal("unknown argument: %s", arg.c_str());
@@ -66,35 +69,67 @@ struct BenchArgs
     }
 };
 
-/** Benchmarks selected by the args, in figure order. */
-inline std::vector<const workloads::BenchParams *>
-selectBenchmarks(const BenchArgs &args)
+/**
+ * The shared System/config wiring every bench repeats: the guest
+ * budget plus the budget-scaled BB->SB promotion threshold. Apply
+ * before per-bench config tweaks (a grid point that overrides the
+ * threshold simply assigns over it).
+ */
+inline void
+applyBudget(sim::MetricsOptions &options, uint64_t budget)
 {
-    std::vector<const workloads::BenchParams *> selected;
+    options.guestBudget = budget;
+    options.tolConfig.bbToSbThreshold =
+        sim::scaledSbThreshold(budget);
+}
+
+/** Fresh MetricsOptions pre-wired for the parsed args. */
+inline sim::MetricsOptions
+makeMetricsOptions(const BenchArgs &args)
+{
+    sim::MetricsOptions options;
+    applyBudget(options, args.budget);
+    return options;
+}
+
+/**
+ * Workloads selected by the args, resolved through the source
+ * registry, in figure order. `--benchmark=` accepts a full workload
+ * URI (any registered scheme) or a bare synthetic benchmark name.
+ */
+inline std::vector<workloads::Workload>
+selectWorkloads(const BenchArgs &args)
+{
+    std::vector<workloads::Workload> selected;
+    if (workloads::isSourceUri(args.benchmark)) {
+        selected.push_back(workloads::resolveWorkload(args.benchmark));
+        return selected;
+    }
     for (const workloads::BenchParams &p : workloads::allBenchmarks()) {
         if (!args.suite.empty() && p.suite != args.suite)
             continue;
         if (!args.benchmark.empty() && p.name != args.benchmark)
             continue;
-        selected.push_back(&p);
+        selected.push_back(workloads::resolveWorkload(
+            workloads::syntheticUri(p.name)));
     }
     fatal_if(selected.empty(), "no benchmarks match the filters");
     return selected;
 }
 
-/** Run the selected benchmarks and append the four suite averages. */
+/** Run the selected workloads and append the four suite averages. */
 inline std::vector<sim::BenchMetrics>
 runSweep(const BenchArgs &args, sim::MetricsOptions options,
          bool progress = true)
 {
-    options.guestBudget = args.budget;
-    options.tolConfig.bbToSbThreshold =
-        sim::scaledSbThreshold(args.budget);
+    applyBudget(options, args.budget);
     std::vector<sim::BenchMetrics> all;
-    for (const workloads::BenchParams *p : selectBenchmarks(args)) {
+    for (const workloads::Workload &w : selectWorkloads(args)) {
         if (progress)
-            std::fprintf(stderr, "  running %-24s ...\n", p->name.c_str());
-        all.push_back(sim::runBenchmark(*p, options));
+            std::fprintf(stderr, "  running %-24s ...\n", w.name.c_str());
+        sim::MetricsOptions per_workload = options;
+        sim::applyCaptureRecipe(per_workload, w);
+        all.push_back(sim::runWorkload(w, per_workload));
     }
 
     // Suite averages (only when the full suite ran).

@@ -28,18 +28,47 @@ Checks per baseline scenario:
   event_core_speedup field stays machine-consistent.
 
 Usage: check_perf.py <fresh.json> <committed.json>
+       check_perf.py --update <fresh.json> <committed.json>
+
+--update regenerates the committed baseline in place from the fresh
+measurement (use after an intentional engine change: re-run
+engine_speed on the measurement box, then commit the refreshed JSON).
+
 Exit code 0 = pass, 1 = regression/mismatch, 2 = usage error.
 """
 
 import json
 import os
+import shutil
 import sys
 
 DETERMINISM_FIELDS = ("guest_retired", "host_records", "sim_cycles",
                       "timing_core")
 
+UPDATE_HINT = (
+    "If this change is intentional, regenerate the committed "
+    "baseline in place:\n"
+    "    (cd build && ./bench/engine_speed) && \\\n"
+    "    python3 bench/check_perf.py --update "
+    "build/BENCH_engine.json BENCH_engine.json\n"
+    "and commit the refreshed BENCH_engine.json.")
+
+
+def update(fresh_path, committed_path):
+    with open(fresh_path) as f:
+        num_scenarios = len(json.load(f)["scenarios"])  # pre-copy check
+    shutil.copyfile(fresh_path, committed_path)
+    print(f"updated {committed_path} from {fresh_path} "
+          f"({num_scenarios} scenarios)")
+    return 0
+
 
 def main(argv):
+    if len(argv) > 1 and argv[1] == "--update":
+        if len(argv) != 4:
+            print(__doc__, file=sys.stderr)
+            return 2
+        return update(argv[2], argv[3])
     if len(argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
@@ -117,6 +146,7 @@ def main(argv):
         print("PERF CHECK FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
+        print(UPDATE_HINT, file=sys.stderr)
         return 1
     print("perf check passed")
     return 0

@@ -3,10 +3,14 @@
  * Simulator-throughput harness: measures host speed (process-CPU
  * time, robust on shared machines) of the engine's hottest execution
  * modes (pure interpretation, steady-state translated execution, the
- * default mixed pipeline, and a stall-heavy memory-bound run) in
+ * default mixed pipeline, a stall-heavy memory-bound run, and
+ * trace-driven replays of the mixed/stall-heavy workloads) in
  * guest-MIPS, host-records/s and simulated-cycles/s, and emits
  * BENCH_engine.json so every future PR has a perf trajectory to
- * compare against.
+ * compare against. Workloads resolve through the source registry
+ * (source://synthetic/..., source://trace/...); the trace scenarios
+ * capture their input at startup and hard-fail unless the replay
+ * reproduces the capture run's pinned determinism fields.
  *
  * Every scenario runs twice — once on the cycle-stepped reference
  * timing core and once on the event-driven core — and the harness
@@ -27,7 +31,7 @@
 
 #include "bench_util.hh"
 #include "sim/system.hh"
-#include "workloads/params.hh"
+#include "workloads/source.hh"
 
 namespace {
 
@@ -37,7 +41,10 @@ using namespace darco;
 struct Scenario
 {
     const char *name;
+    /** Workload URI (source://synthetic/... or source://trace/...). */
     const char *workload;
+    /** Run recipe; ignored for trace workloads, which re-apply the
+     *  recipe pinned at capture time. */
     uint64_t budget;
     bool interpretOnly;
     uint32_t sbThreshold;
@@ -60,6 +67,9 @@ struct RunOutcome
 RunOutcome
 runScenario(const Scenario &sc, bool event_core)
 {
+    const workloads::Workload workload =
+        workloads::resolveWorkload(sc.workload);
+
     sim::SimConfig cfg;
     cfg.guestBudget = sc.budget;
     cfg.tol.bbToSbThreshold = sc.sbThreshold;
@@ -67,10 +77,12 @@ runScenario(const Scenario &sc, bool event_core)
     cfg.timing.issueWidth = sc.issueWidth;
     if (sc.interpretOnly)
         cfg.tol.imToBbThreshold = 0xFFFFFFFFu;
+    // Bit-identical replay: a trace's capture-time recipe wins over
+    // the scenario fields (which are 0 for trace scenarios).
+    sim::applyCaptureRecipe(cfg, workload);
 
     sim::System sys(cfg);
-    sys.load(workloads::buildBenchmark(
-        *workloads::findBenchmark(sc.workload)));
+    sys.load(workload);
 
     bench::CpuTimer timer;
     RunOutcome out;
@@ -78,7 +90,46 @@ runScenario(const Scenario &sc, bool event_core)
     out.seconds = timer.seconds();
     out.stats = sys.combinedStats();
     out.engine = sys.timingEngine();
+
+    if (workload.capturedPins) {
+        // A replayed trace must reproduce the capture run's pinned
+        // determinism fields on either timing core.
+        const trace::TracePins &pins = *workload.capturedPins;
+        fatal_if(out.result.guestRetired != pins.guestRetired ||
+                     out.result.cycles != pins.simCycles ||
+                     out.stats.records != pins.hostRecords,
+                 "trace replay diverged from capture pins on %s: "
+                 "guest %llu/%llu cycles %llu/%llu records %llu/%llu",
+                 sc.name,
+                 static_cast<unsigned long long>(
+                     out.result.guestRetired),
+                 static_cast<unsigned long long>(pins.guestRetired),
+                 static_cast<unsigned long long>(out.result.cycles),
+                 static_cast<unsigned long long>(pins.simCycles),
+                 static_cast<unsigned long long>(out.stats.records),
+                 static_cast<unsigned long long>(pins.hostRecords));
+    }
     return out;
+}
+
+/**
+ * Capture a synthetic workload to a replayable binary trace in the
+ * CWD (next to BENCH_engine.json). The capture run doubles as the
+ * live run whose determinism fields are pinned inside the trace.
+ */
+void
+captureTrace(const char *benchmark, uint64_t budget,
+             uint32_t sb_threshold, const char *path)
+{
+    sim::SimConfig cfg;
+    cfg.guestBudget = budget;
+    cfg.tol.bbToSbThreshold = sb_threshold;
+    cfg.timing.eventCore = true;
+    cfg.captureTracePath = path;
+    sim::System sys(cfg);
+    sys.load(workloads::resolveWorkload(
+        workloads::syntheticUri(benchmark)));
+    sys.run();
 }
 
 /**
@@ -131,30 +182,54 @@ main(int argc, char **argv)
     // no IPO/PGO), same harness and budgets, median of 6 interleaved
     // A/B rounds on the same machine (process CPU time).
     const Scenario scenarios[] = {
-        {"interpreter", "464.h264ref", 250'000, true, 300,
-         0.947, 18.0e6},
-        {"translated", "464.h264ref", 2'000'000, false, 300,
-         9.093, 19.8e6},
-        {"mixed_464.h264ref", "464.h264ref", 1'000'000, false, 1000,
-         7.802, 19.9e6},
+        {"interpreter", "source://synthetic/464.h264ref", 250'000,
+         true, 300, 0.947, 18.0e6},
+        {"translated", "source://synthetic/464.h264ref", 2'000'000,
+         false, 300, 9.093, 19.8e6},
+        {"mixed_464.h264ref", "source://synthetic/464.h264ref",
+         1'000'000, false, 1000, 7.802, 19.9e6},
         // Stall-heavy pointer chasing: most cycles are load-miss or
         // TLB stalls, the regime where the event core advances many
         // simulated cycles per host op. No seed baseline (added with
         // the event core); cycles_per_host_record and
         // sim_cycles_per_sec are its headline columns.
-        {"stallheavy_429.mcf", "429.mcf", 1'000'000, false, 1000,
-         0, 0},
+        {"stallheavy_429.mcf", "source://synthetic/429.mcf",
+         1'000'000, false, 1000, 0, 0},
         // Wide-issue sweep points: the event core used to silently
         // fall back to the reference core above width 2, so these
         // scenarios exist to pin event_core_speedup > 1 at the
         // widths the paper's microarchitectural sweeps visit. Width
         // 3 additionally exercises the non-power-of-two fixed-point
         // denominator (lcm(1..3) = 6).
-        {"wide3_464.h264ref", "464.h264ref", 1'000'000, false, 1000,
-         0, 0, 3},
-        {"wide4_429.mcf", "429.mcf", 1'000'000, false, 1000,
-         0, 0, 4},
+        {"wide3_464.h264ref", "source://synthetic/464.h264ref",
+         1'000'000, false, 1000, 0, 0, 3},
+        {"wide4_429.mcf", "source://synthetic/429.mcf", 1'000'000,
+         false, 1000, 0, 0, 4},
+        // Trace-driven replay: the same workloads as the mixed and
+        // stall-heavy scenarios, sourced from binary traces captured
+        // at startup (capture -> replay on every harness run). The
+        // replay must reproduce the trace's pinned determinism
+        // fields exactly (runScenario asserts it in-process), so the
+        // committed JSON rows for these scenarios are CI's proof
+        // that trace round-trips stay bit-identical — their
+        // guest_retired/sim_cycles/host_records equal the
+        // mixed_464.h264ref / stallheavy_429.mcf rows by
+        // construction.
+        {"trace_464.h264ref",
+         "source://trace/engine_speed_464.h264ref.dtrc", 0, false, 0,
+         0, 0},
+        {"trace_429.mcf", "source://trace/engine_speed_429.mcf.dtrc",
+         0, false, 0, 0, 0},
     };
+
+    // Capture the trace scenarios' inputs before any timing: the
+    // capture runs also pin the determinism fields the replays are
+    // checked against.
+    std::fprintf(stderr, "  capturing replay traces ...\n");
+    captureTrace("464.h264ref", 1'000'000, 1000,
+                 "engine_speed_464.h264ref.dtrc");
+    captureTrace("429.mcf", 1'000'000, 1000,
+                 "engine_speed_429.mcf.dtrc");
 
     for (const Scenario &sc : scenarios) {
         std::fprintf(stderr, "  running %-20s (A/B) ...\n", sc.name);

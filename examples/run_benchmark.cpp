@@ -9,6 +9,8 @@
  *   $ ./run_benchmark --list
  *   $ ./run_benchmark 462.libquantum --budget=1000000 --cosim
  *   $ ./run_benchmark 400.perlbench --no-ibtc --dump-hottest
+ *   $ ./run_benchmark 429.mcf --capture=mcf.dtrc
+ *   $ ./run_benchmark source://trace/mcf.dtrc
  */
 
 #include <algorithm>
@@ -19,6 +21,7 @@
 #include "host/disasm.hh"
 #include "sim/metrics.hh"
 #include "sim/system.hh"
+#include "workloads/source.hh"
 
 using namespace darco;
 
@@ -28,11 +31,16 @@ void
 usage()
 {
     std::printf(
-        "usage: run_benchmark <name> [options]\n"
+        "usage: run_benchmark <name-or-uri> [options]\n"
         "       run_benchmark --list\n"
+        "workload: a synthetic benchmark name, or a source URI\n"
+        "  (source://synthetic/<name>, source://trace/<file>);\n"
+        "  trace workloads replay their capture-time recipe unless\n"
+        "  --budget/--sb-threshold override it\n"
         "options:\n"
         "  --budget=N        guest instructions (default 2000000)\n"
         "  --sb-threshold=N  BB->SB threshold (default: budget-scaled)\n"
+        "  --capture=PATH    snapshot the run to a replayable trace\n"
         "  --cosim           verify against the authoritative emulator\n"
         "  --no-chaining --no-ibtc --no-bbm-opts --no-sbm-opts\n"
         "  --no-scheduling --ibtc-2way --sb-partition --no-prefetcher\n"
@@ -50,16 +58,19 @@ main(int argc, char **argv)
     cfg.guestBudget = 2'000'000;
     bool dump_hottest = false;
     bool threshold_set = false;
+    bool budget_set = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--list") {
-            for (const auto &p : workloads::allBenchmarks())
-                std::printf("%-24s %s\n", p.name.c_str(),
-                            p.suite.c_str());
+            for (const std::string &uri : workloads::listWorkloadUris())
+                std::printf("%s\n", uri.c_str());
             return 0;
         } else if (arg.rfind("--budget=", 0) == 0) {
             cfg.guestBudget = std::strtoull(arg.c_str() + 9, nullptr, 10);
+            budget_set = true;
+        } else if (arg.rfind("--capture=", 0) == 0) {
+            cfg.captureTracePath = arg.substr(10);
         } else if (arg.rfind("--sb-threshold=", 0) == 0) {
             cfg.tol.bbToSbThreshold = static_cast<uint32_t>(
                 std::strtoul(arg.c_str() + 15, nullptr, 10));
@@ -104,13 +115,27 @@ main(int argc, char **argv)
         usage();
         return 1;
     }
-    const workloads::BenchParams *params =
-        workloads::findBenchmark(name);
-    if (!params) {
+    if (!workloads::isSourceUri(name) &&
+        !workloads::findBenchmark(name)) {
         std::fprintf(stderr,
                      "unknown benchmark '%s' (see --list)\n",
                      name.c_str());
         return 1;
+    }
+    const workloads::Workload workload =
+        workloads::resolveWorkload(name);
+    if (workload.capturedMeta) {
+        // Trace replay: the capture-time recipe applies unless the
+        // command line explicitly overrides a field.
+        const uint64_t user_budget = cfg.guestBudget;
+        const uint32_t user_threshold = cfg.tol.bbToSbThreshold;
+        sim::applyCaptureRecipe(cfg, workload);
+        if (budget_set)
+            cfg.guestBudget = user_budget;
+        if (threshold_set)
+            cfg.tol.bbToSbThreshold = user_threshold;
+        else
+            threshold_set = true;  // the recipe supplied it
     }
     if (!threshold_set) {
         cfg.tol.bbToSbThreshold =
@@ -118,15 +143,21 @@ main(int argc, char **argv)
     }
 
     sim::System sys(cfg);
-    sys.load(workloads::buildBenchmark(*params));
+    sys.load(workload);
     const sim::SystemResult res = sys.run();
 
     const tol::TolStats &ts = sys.tolStats();
     const timing::PipeStats &ps = sys.combinedStats();
     const double cycles = std::max(1.0, static_cast<double>(ps.cycles));
 
-    std::printf("== %s (%s) ==\n", params->name.c_str(),
-                params->suite.c_str());
+    std::printf("== %s (%s) ==\n", workload.name.c_str(),
+                workload.suite.c_str());
+    if (!cfg.captureTracePath.empty()) {
+        std::printf("captured     %s (replay with "
+                    "source://trace/%s)\n",
+                    cfg.captureTracePath.c_str(),
+                    cfg.captureTracePath.c_str());
+    }
     std::printf("guest insts  %-12llu halted %-5s cycles %llu "
                 "(guest IPC %.3f)\n",
                 static_cast<unsigned long long>(res.guestRetired),

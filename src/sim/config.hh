@@ -8,6 +8,7 @@
 #define DARCO_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "timing/config.hh"
 #include "tol/config.hh"
@@ -31,6 +32,15 @@ struct SimConfig
     bool cosim = false;
     /** panic() on the first co-simulation mismatch. */
     bool cosimStrict = true;
+
+    /**
+     * When non-empty, System snapshots the loaded workload to this
+     * binary trace file (docs/traces.md): the program image, the run
+     * recipe (budget + promotion thresholds), and — once run()
+     * finishes — the run's determinism pins. The trace replays
+     * bit-identically through `source://trace/<file>`.
+     */
+    std::string captureTracePath;
 
     /** TOL-software-stream isolated pipeline (Figures 10/11). */
     bool tolOnlyPipe = false;

@@ -4,9 +4,12 @@
 
 namespace darco::sim {
 
-BenchMetrics
-runBenchmark(const workloads::BenchParams &params,
-             const MetricsOptions &options)
+namespace {
+
+/** The one MetricsOptions -> SimConfig translation (runWorkload and
+ *  snapshotRun must not diverge on which options take effect). */
+SimConfig
+configFromOptions(const MetricsOptions &options)
 {
     SimConfig cfg;
     cfg.tol = options.tolConfig;
@@ -16,14 +19,25 @@ runBenchmark(const workloads::BenchParams &params,
     cfg.tolOnlyPipe = options.tolOnlyPipe;
     cfg.appOnlyPipe = options.appOnlyPipe;
     cfg.tolModulePipe = options.tolModulePipe;
+    cfg.captureTracePath = options.captureTracePath;
+    return cfg;
+}
+
+} // namespace
+
+BenchMetrics
+runWorkload(const workloads::Workload &workload,
+            const MetricsOptions &options)
+{
+    const SimConfig cfg = configFromOptions(options);
 
     System sys(cfg);
-    sys.load(workloads::buildBenchmark(params));
+    sys.load(workload);
     const SystemResult res = sys.run();
 
     BenchMetrics m;
-    m.name = params.name;
-    m.suite = params.suite;
+    m.name = workload.name;
+    m.suite = workload.suite;
     m.guestRetired = res.guestRetired;
     m.halted = res.halted;
     m.cycles = res.cycles;
@@ -95,6 +109,29 @@ runBenchmark(const workloads::BenchParams &params,
     }
 
     return m;
+}
+
+BenchMetrics
+runBenchmark(const workloads::BenchParams &params,
+             const MetricsOptions &options)
+{
+    return runWorkload(workloads::syntheticWorkload(params), options);
+}
+
+RunSnapshot
+snapshotRun(const workloads::Workload &workload,
+            const MetricsOptions &options)
+{
+    SimConfig cfg = configFromOptions(options);
+    applyCaptureRecipe(cfg, workload);
+
+    System sys(cfg);
+    sys.load(workload);
+    RunSnapshot snap;
+    snap.result = sys.run();
+    snap.stats = sys.combinedStats();
+    snap.tolStats = sys.tolStats();
+    return snap;
 }
 
 BenchMetrics

@@ -12,6 +12,7 @@
 
 #include "sim/system.hh"
 #include "workloads/params.hh"
+#include "workloads/source.hh"
 
 namespace darco::sim {
 
@@ -161,6 +162,9 @@ struct MetricsOptions
     /** Optional overrides applied to the default TolConfig. */
     tol::TolConfig tolConfig;
     timing::TimingConfig timingConfig;
+    /** When non-empty, snapshot the run to this binary trace file
+     *  (SimConfig::captureTracePath passthrough; docs/traces.md). */
+    std::string captureTracePath;
 };
 
 /**
@@ -186,7 +190,73 @@ scaledSbThreshold(uint64_t guest_budget)
     return static_cast<uint32_t>(linear);
 }
 
-/** Run one benchmark and collect all figure metrics. */
+/**
+ * Re-apply a trace workload's capture-time recipe (budget +
+ * promotion thresholds) so a replay reproduces the captured
+ * functional execution bit-identically; no-op for workloads that
+ * did not come from a trace. The single point of truth for which
+ * TraceMeta fields constitute the recipe — every harness goes
+ * through one of these two overloads, so a recipe field added in a
+ * future trace minor version is applied everywhere at once. The
+ * host microarchitecture is deliberately untouched: traces exist to
+ * compare one workload across timing configs (docs/traces.md §4).
+ */
+inline void
+applyCaptureRecipe(SimConfig &cfg,
+                   const workloads::Workload &workload)
+{
+    if (!workload.capturedMeta)
+        return;
+    cfg.guestBudget = workload.capturedMeta->guestBudget;
+    cfg.tol.imToBbThreshold = workload.capturedMeta->imToBbThreshold;
+    cfg.tol.bbToSbThreshold = workload.capturedMeta->bbToSbThreshold;
+}
+
+inline void
+applyCaptureRecipe(MetricsOptions &options,
+                   const workloads::Workload &workload)
+{
+    if (!workload.capturedMeta)
+        return;
+    options.guestBudget = workload.capturedMeta->guestBudget;
+    options.tolConfig.imToBbThreshold =
+        workload.capturedMeta->imToBbThreshold;
+    options.tolConfig.bbToSbThreshold =
+        workload.capturedMeta->bbToSbThreshold;
+}
+
+/**
+ * Run one resolved workload — whatever source it came from — and
+ * collect all figure metrics. Trace-sourced workloads replay their
+ * captured program image; apply the capture recipe to @p options
+ * first (applyCaptureRecipe) for bit-identical replay.
+ */
+BenchMetrics runWorkload(const workloads::Workload &workload,
+                         const MetricsOptions &options);
+
+/**
+ * Raw outcome of one run: the result plus full stats snapshots.
+ * This is the round-trip gates' currency (tests/
+ * test_trace_roundtrip.cc, bench/trace_roundtrip.cc): everything
+ * needed to prove two runs bit-identical via timing::diffStats and
+ * tol::diffTolStats.
+ */
+struct RunSnapshot
+{
+    SystemResult result;
+    timing::PipeStats stats;
+    tol::TolStats tolStats;
+};
+
+/**
+ * One System run of @p workload under the default configuration
+ * plus @p options overrides and the workload's capture recipe (when
+ * it has one); @p options.captureTracePath captures as usual.
+ */
+RunSnapshot snapshotRun(const workloads::Workload &workload,
+                        const MetricsOptions &options);
+
+/** Run one synthetic benchmark (runWorkload over the builder). */
 BenchMetrics runBenchmark(const workloads::BenchParams &params,
                           const MetricsOptions &options);
 

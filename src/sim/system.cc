@@ -32,6 +32,21 @@ System::System(const SimConfig &config) : cfg(config)
 void
 System::load(const guest::Program &program)
 {
+    loadIdentified(program, "anonymous", "", 0);
+}
+
+void
+System::load(const workloads::Workload &workload)
+{
+    loadIdentified(workload.program, workload.name, workload.suite,
+                   workload.seed);
+}
+
+void
+System::loadIdentified(const guest::Program &program,
+                       const std::string &name,
+                       const std::string &suite, uint64_t seed)
+{
     panic_if(loaded, "System::load called twice");
     loaded = true;
     runtime->load(program);
@@ -41,6 +56,38 @@ System::load(const guest::Program &program)
                                                       cfg.cosimStrict);
         runtime->setObserver(stateChecker.get());
     }
+    if (!cfg.captureTracePath.empty()) {
+        capture = std::make_unique<trace::TraceFile>();
+        capture->meta.name = name;
+        capture->meta.suite = suite;
+        capture->meta.seed = seed;
+        capture->meta.guestBudget = cfg.guestBudget;
+        capture->meta.imToBbThreshold = cfg.tol.imToBbThreshold;
+        capture->meta.bbToSbThreshold = cfg.tol.bbToSbThreshold;
+        capture->program = program;
+    }
+}
+
+void
+System::writeCapturedTrace(const SystemResult &result)
+{
+    const timing::PipeStats &ps = combined->stats();
+    const tol::TolStats &ts = runtime->stats();
+    trace::TracePins &pins = capture->pins;
+    pins.guestRetired = result.guestRetired;
+    pins.simCycles = result.cycles;
+    pins.hostRecords = ps.records;
+    pins.timingCore =
+        combined->engine() == timing::Pipeline::Engine::EventDriven
+            ? "event" : "reference";
+    pins.dynIm = ts.dynIm;
+    pins.dynBbm = ts.dynBbm;
+    pins.dynSbm = ts.dynSbm;
+    pins.bbsTranslated = ts.bbsTranslated;
+    pins.sbsCreated = ts.sbsCreated;
+    pins.guestIndirectBranches = ts.guestIndirectBranches;
+    capture->hasPins = true;
+    trace::writeTrace(cfg.captureTracePath, *capture);
 }
 
 SystemResult
@@ -71,6 +118,8 @@ System::run()
     result.cycles = combined->stats().cycles;
     if (cfg.cosim)
         result.memoryDiff = compareGuestMemory(authMem, hostMem);
+    if (capture)
+        writeCapturedTrace(result);
     return result;
 }
 

@@ -19,6 +19,8 @@
 #include "sim/state_checker.hh"
 #include "timing/pipeline.hh"
 #include "tol/runtime.hh"
+#include "trace/trace.hh"
+#include "workloads/source.hh"
 
 namespace darco::sim {
 
@@ -38,6 +40,13 @@ class System
 
     /** Load a guest program into both components. */
     void load(const guest::Program &program);
+
+    /**
+     * Load a resolved workload: same as load(Program), but the
+     * workload's identity (name, suite, seed) flows into the capture
+     * metadata when SimConfig::captureTracePath is set.
+     */
+    void load(const workloads::Workload &workload);
 
     /** Run to the budget (or HALT), then drain the pipelines. */
     SystemResult run();
@@ -88,7 +97,16 @@ class System
     guest::Memory &authMemory() { return authMem; }
 
   private:
+    void loadIdentified(const guest::Program &program,
+                        const std::string &name,
+                        const std::string &suite, uint64_t seed);
+    void writeCapturedTrace(const SystemResult &result);
+
     SimConfig cfg;
+
+    /** Pending capture (captureTracePath set): filled at load(),
+     *  pinned and written at the end of run(). */
+    std::unique_ptr<trace::TraceFile> capture;
 
     host::Memory hostMem;
     guest::Memory authMem;

@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <unordered_map>
 
 namespace darco::tol {
@@ -114,6 +116,64 @@ struct TolStats
         }
     }
 };
+
+/**
+ * Exact comparison of every TOL activity counter two runs produced
+ * (including the per-mode static map), mirroring timing::diffStats:
+ * returns a newline-separated description of each mismatching field,
+ * empty when identical. The trace round-trip gates (tests, bench,
+ * CI) use this to prove a replayed workload drove the TOL
+ * bit-identically to the live run.
+ */
+inline std::string
+diffTolStats(const TolStats &a, const TolStats &b)
+{
+    std::string diff;
+    char line[128];
+    auto mismatch = [&](const char *what, uint64_t va, uint64_t vb) {
+        if (va != vb) {
+            std::snprintf(line, sizeof(line),
+                          "  %s: %llu != %llu\n", what,
+                          static_cast<unsigned long long>(va),
+                          static_cast<unsigned long long>(vb));
+            diff += line;
+        }
+    };
+    mismatch("dynIm", a.dynIm, b.dynIm);
+    mismatch("dynBbm", a.dynBbm, b.dynBbm);
+    mismatch("dynSbm", a.dynSbm, b.dynSbm);
+    mismatch("bbsTranslated", a.bbsTranslated, b.bbsTranslated);
+    mismatch("sbsCreated", a.sbsCreated, b.sbsCreated);
+    mismatch("guestInstsTranslatedBb", a.guestInstsTranslatedBb,
+             b.guestInstsTranslatedBb);
+    mismatch("guestInstsTranslatedSb", a.guestInstsTranslatedSb,
+             b.guestInstsTranslatedSb);
+    mismatch("hostInstsEmittedBb", a.hostInstsEmittedBb,
+             b.hostInstsEmittedBb);
+    mismatch("hostInstsEmittedSb", a.hostInstsEmittedSb,
+             b.hostInstsEmittedSb);
+    mismatch("dispatchLoops", a.dispatchLoops, b.dispatchLoops);
+    mismatch("mapLookups", a.mapLookups, b.mapLookups);
+    mismatch("mapHits", a.mapHits, b.mapHits);
+    mismatch("chainsPatched", a.chainsPatched, b.chainsPatched);
+    mismatch("entryForwards", a.entryForwards, b.entryForwards);
+    mismatch("ibtcMisses", a.ibtcMisses, b.ibtcMisses);
+    mismatch("ibtcFills", a.ibtcFills, b.ibtcFills);
+    mismatch("promotions", a.promotions, b.promotions);
+    mismatch("codeCacheFlushes", a.codeCacheFlushes,
+             b.codeCacheFlushes);
+    mismatch("contextFills", a.contextFills, b.contextFills);
+    mismatch("contextSpills", a.contextSpills, b.contextSpills);
+    mismatch("guestIndirectBranches", a.guestIndirectBranches,
+             b.guestIndirectBranches);
+    uint64_t a_im, a_bbm, a_sbm, b_im, b_bbm, b_sbm;
+    a.staticCounts(a_im, a_bbm, a_sbm);
+    b.staticCounts(b_im, b_bbm, b_sbm);
+    mismatch("staticIm", a_im, b_im);
+    mismatch("staticBbm", a_bbm, b_bbm);
+    mismatch("staticSbm", a_sbm, b_sbm);
+    return diff;
+}
 
 } // namespace darco::tol
 

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Workload-source registry and the two builtin sources: the
+ * synthetic paper-benchmark builder and the binary-trace replayer.
+ *
+ * The registry is deliberately explicit (builtin sources are
+ * constructed on first use, not via static self-registration): the
+ * simulator links as a static library, and a linker is free to drop
+ * a translation unit whose only purpose is a self-registering static
+ * initializer.
+ */
+
+#include "workloads/source.hh"
+
+#include "common/logging.hh"
+
+namespace darco::workloads {
+
+namespace {
+
+constexpr const char *kPrefix = "source://";
+constexpr size_t kPrefixLen = 9;
+
+class SyntheticSource : public WorkloadSource
+{
+  public:
+    std::string scheme() const override { return "synthetic"; }
+
+    Workload
+    resolve(const std::string &spec) const override
+    {
+        const BenchParams *params = findBenchmark(spec);
+        fatal_if(!params,
+                 "workload source: unknown synthetic benchmark '%s' "
+                 "(see --list or workloads::allBenchmarks())",
+                 spec.c_str());
+        return syntheticWorkload(*params);
+    }
+
+    std::vector<std::string>
+    list() const override
+    {
+        std::vector<std::string> specs;
+        for (const BenchParams &p : allBenchmarks())
+            specs.push_back(p.name);
+        return specs;
+    }
+};
+
+class TraceSource : public WorkloadSource
+{
+  public:
+    std::string scheme() const override { return "trace"; }
+
+    Workload
+    resolve(const std::string &spec) const override
+    {
+        trace::ReadResult read = trace::readTrace(spec);
+        fatal_if(!read.ok(), "workload source: %s",
+                 read.error.c_str());
+        Workload w;
+        w.uri = traceUri(spec);
+        w.name = read.file.meta.name;
+        w.suite = read.file.meta.suite;
+        w.seed = read.file.meta.seed;
+        w.program = std::move(read.file.program);
+        w.capturedMeta = std::move(read.file.meta);
+        if (read.file.hasPins)
+            w.capturedPins = std::move(read.file.pins);
+        return w;
+    }
+};
+
+std::vector<std::unique_ptr<WorkloadSource>> &
+registry()
+{
+    static std::vector<std::unique_ptr<WorkloadSource>> sources = [] {
+        std::vector<std::unique_ptr<WorkloadSource>> builtin;
+        builtin.push_back(std::make_unique<SyntheticSource>());
+        builtin.push_back(std::make_unique<TraceSource>());
+        return builtin;
+    }();
+    return sources;
+}
+
+const WorkloadSource *
+findSource(const std::string &scheme)
+{
+    for (const auto &source : registry()) {
+        if (source->scheme() == scheme)
+            return source.get();
+    }
+    return nullptr;
+}
+
+} // namespace
+
+bool
+isSourceUri(const std::string &text)
+{
+    return text.rfind(kPrefix, 0) == 0;
+}
+
+std::string
+syntheticUri(const std::string &benchmark)
+{
+    return std::string(kPrefix) + "synthetic/" + benchmark;
+}
+
+std::string
+traceUri(const std::string &path)
+{
+    return std::string(kPrefix) + "trace/" + path;
+}
+
+void
+registerSource(std::unique_ptr<WorkloadSource> source)
+{
+    panic_if(!source, "registerSource(nullptr)");
+    fatal_if(findSource(source->scheme()) != nullptr,
+             "workload source: scheme '%s' already registered",
+             source->scheme().c_str());
+    registry().push_back(std::move(source));
+}
+
+Workload
+resolveWorkload(const std::string &uri_or_name)
+{
+    if (!isSourceUri(uri_or_name)) {
+        // Compatibility: bare names are synthetic benchmarks.
+        return findSource("synthetic")->resolve(uri_or_name);
+    }
+    const std::string rest = uri_or_name.substr(kPrefixLen);
+    const size_t slash = rest.find('/');
+    fatal_if(slash == std::string::npos || slash == 0 ||
+                 slash + 1 >= rest.size(),
+             "workload source: malformed URI '%s' (expected "
+             "source://<scheme>/<spec>)",
+             uri_or_name.c_str());
+    const std::string scheme = rest.substr(0, slash);
+    const std::string spec = rest.substr(slash + 1);
+    const WorkloadSource *source = findSource(scheme);
+    fatal_if(!source,
+             "workload source: unknown scheme '%s' in '%s'",
+             scheme.c_str(), uri_or_name.c_str());
+    return source->resolve(spec);
+}
+
+std::vector<std::string>
+listWorkloadUris()
+{
+    std::vector<std::string> uris;
+    for (const auto &source : registry()) {
+        for (const std::string &spec : source->list()) {
+            uris.push_back(std::string(kPrefix) + source->scheme() +
+                           "/" + spec);
+        }
+    }
+    return uris;
+}
+
+Workload
+syntheticWorkload(const BenchParams &params)
+{
+    Workload w;
+    w.uri = syntheticUri(params.name);
+    w.name = params.name;
+    w.suite = params.suite;
+    w.seed = params.seed;
+    w.program = buildBenchmark(params);
+    return w;
+}
+
+} // namespace darco::workloads

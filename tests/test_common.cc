@@ -261,6 +261,94 @@ TEST(PagedMemory, BulkReadWrite)
     EXPECT_EQ(data, back);
 }
 
+TEST(PagedMemory, StraddleEveryOffsetAndSizeMatchesByteModel)
+{
+    // Exhaustive page-boundary sweep: every access size at every
+    // offset that straddles (or just touches) the boundary must agree
+    // with a flat byte-array reference, for both stores and loads.
+    PagedMemory<uint32_t> mem;
+    constexpr uint32_t kBoundary = 0x9000;
+    uint8_t model[32] = {};
+    const uint32_t model_base = kBoundary - 16;
+
+    uint64_t pattern = 0x0123456789ABCDEFull;
+    for (unsigned size : {1u, 2u, 4u, 8u}) {
+        for (uint32_t off = 16 - size - 1; off <= 16 + 1; ++off) {
+            pattern = pattern * 0x9E3779B97F4A7C15ull + size;
+            mem.store(model_base + off, pattern, size);
+            for (unsigned b = 0; b < size; ++b)
+                model[off + b] = uint8_t(pattern >> (8 * b));
+        }
+    }
+    for (unsigned size : {1u, 2u, 4u, 8u}) {
+        for (uint32_t off = 0; off + size <= 32; ++off) {
+            uint64_t expect = 0;
+            for (unsigned b = 0; b < size; ++b)
+                expect |= uint64_t(model[off + b]) << (8 * b);
+            ASSERT_EQ(mem.load(model_base + off, size), expect)
+                << "size " << size << " offset " << off;
+        }
+    }
+    EXPECT_EQ(mem.numPages(), 2u);
+}
+
+TEST(PagedMemory, StraddleIntoUnmappedPageReadsZero)
+{
+    // A straddling load whose tail page is unmapped zero-extends the
+    // missing bytes and must not allocate the unmapped page.
+    PagedMemory<uint32_t> mem;
+    mem.store32(0x1FFC, 0xAABBCCDD);  // last word of page 0x1000
+    EXPECT_EQ(mem.numPages(), 1u);
+    EXPECT_EQ(mem.load64(0x1FFC), 0x00000000AABBCCDDull);
+    EXPECT_EQ(mem.load(0x1FFE, 4), 0x0000AABBull);
+    EXPECT_EQ(mem.numPages(), 1u);
+
+    // The mirror case: head page unmapped, tail mapped.
+    PagedMemory<uint32_t> mem2;
+    mem2.store32(0x3000, 0x11223344);
+    EXPECT_EQ(mem2.load64(0x2FFC), 0x1122334400000000ull);
+    EXPECT_EQ(mem2.numPages(), 1u);
+}
+
+TEST(PagedMemory, BulkReadSpansUnmappedGap)
+{
+    // readBytes across mapped-unmapped-mapped pages: the hole reads
+    // as zeroes without allocating.
+    PagedMemory<uint32_t> mem;
+    mem.store8(0x4FFF, 0xAA);  // page 0x4000
+    mem.store8(0x6000, 0xBB);  // page 0x6000; 0x5000 stays unmapped
+    std::vector<uint8_t> back(0x6001 - 0x4FFF);
+    mem.readBytes(0x4FFF, back.data(), back.size());
+    EXPECT_EQ(back.front(), 0xAAu);
+    EXPECT_EQ(back.back(), 0xBBu);
+    for (size_t i = 1; i + 1 < back.size(); ++i)
+        ASSERT_EQ(back[i], 0u) << "offset " << i;
+    EXPECT_EQ(mem.numPages(), 2u);
+}
+
+TEST(PagedMemory, WideAddressSpaceStraddles)
+{
+    // The 64-bit instantiation uses the hashed top-level directory:
+    // straddles across a second-level-table boundary (4 MiB) and
+    // across top-level buckets beyond 4 GiB must behave exactly like
+    // the flat-directory case, including dirty tracking.
+    PagedMemory<uint64_t> mem;
+    const uint64_t table_edge = (1ull << 22) - 4;  // 4 MiB boundary
+    mem.store64(table_edge, 0x1122334455667788ull);
+    EXPECT_EQ(mem.load64(table_edge), 0x1122334455667788ull);
+    EXPECT_EQ(mem.load32(1ull << 22), 0x11223344u);
+
+    const uint64_t high = (5ull << 32) + 0xFFFFFFFEull;  // > 4 GiB
+    mem.store(high, 0xBEEF, 4);  // straddles a top-level bucket
+    EXPECT_EQ(mem.load(high, 4), 0xBEEFull);
+    EXPECT_EQ(mem.load8(high + 1), 0xBEu);
+    EXPECT_EQ(mem.numPages(), 4u);
+    EXPECT_TRUE(mem.dirtyPages().count(table_edge & ~0xFFFull));
+    EXPECT_TRUE(mem.dirtyPages().count(1ull << 22));
+    EXPECT_TRUE(mem.dirtyPages().count(high & ~0xFFFull));
+    EXPECT_TRUE(mem.dirtyPages().count((high + 4) & ~0xFFFull));
+}
+
 TEST(Strprintf, FormatsLikePrintf)
 {
     EXPECT_EQ(strprintf("x=%d y=%s", 42, "abc"), "x=42 y=abc");

@@ -11,6 +11,7 @@
 #include "guest/assembler.hh"
 #include "sim/system.hh"
 #include "tol/cost_model.hh"
+#include "tol/guest_reader.hh"
 #include "tol/ibtc.hh"
 #include "tol/profile.hh"
 #include "tol/trans_map.hh"
@@ -528,4 +529,124 @@ TEST(TolRuntime, IbtcDisabledStillCorrect)
     EXPECT_TRUE(res.halted);
     EXPECT_EQ(sys.guestState().gpr[g::EAX], 1500u);
     EXPECT_EQ(sys.tolStats().ibtcFills, 0u);
+}
+
+// ---------------------------------------------------------------------
+// GuestCodeReader: the decode cache in front of the stable backing
+// map (fast-slot collisions, invalidation, reference stability).
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Write one assembled instruction sequence at @p addr. */
+uint32_t
+emitAt(host::Memory &mem, uint32_t addr,
+       void (*build)(g::Assembler &))
+{
+    g::Assembler as;
+    build(as);
+    const std::vector<uint8_t> bytes = as.finalize(addr);
+    mem.writeBytes(addr, bytes.data(), bytes.size());
+    return addr;
+}
+
+} // namespace
+
+TEST(GuestCodeReader, DirectMappedCollisionsStayCorrect)
+{
+    // Two eips 1<<12 apart share a fast-cache slot (the front cache
+    // indexes with the low 12 bits); alternating queries must keep
+    // returning the right decode, served from the stable backing map.
+    host::Memory mem;
+    const uint32_t base = g::Program::layoutCodeBase();
+    const uint32_t a =
+        emitAt(mem, base, [](g::Assembler &as) { as.add(g::EAX, 1); });
+    const uint32_t b = emitAt(mem, base + (1u << 12),
+                              [](g::Assembler &as) { as.halt(); });
+
+    tol::GuestCodeReader reader(mem);
+    const tol::DecodedInst &first = reader.decoded(a);
+    EXPECT_EQ(first.inst.op, g::Op::ADD);
+    ASSERT_NE(first.info, nullptr);
+    for (int round = 0; round < 4; ++round) {
+        const tol::DecodedInst &da = reader.decoded(a);
+        const tol::DecodedInst &db = reader.decoded(b);
+        EXPECT_EQ(da.inst.op, g::Op::ADD);
+        EXPECT_EQ(db.inst.op, g::Op::HALT);
+        // Backing entries are address-stable for the reader's
+        // lifetime, collisions or not.
+        EXPECT_EQ(&da, &first);
+    }
+}
+
+TEST(GuestCodeReader, InvalidateKeepsBackingEntriesStable)
+{
+    // invalidateCache() drops only the direct-mapped front cache;
+    // previously returned references (held by translated paths)
+    // must survive, and re-decoding must find the same entries.
+    host::Memory mem;
+    const uint32_t base = g::Program::layoutCodeBase();
+    const uint32_t a =
+        emitAt(mem, base, [](g::Assembler &as) { as.dec(g::ECX); });
+    const uint32_t b = emitAt(mem, base + 64, [](g::Assembler &as) {
+        as.mov(g::EBX, g::mem(g::ESI, 8));
+    });
+
+    tol::GuestCodeReader reader(mem);
+    const tol::DecodedInst &da = reader.decoded(a);
+    const tol::DecodedInst &db = reader.decoded(b);
+    const g::Inst &ia = reader.at(a);
+
+    reader.invalidateCache();
+    EXPECT_EQ(&reader.decoded(a), &da);
+    EXPECT_EQ(&reader.decoded(b), &db);
+    EXPECT_EQ(&reader.at(a), &ia);
+    EXPECT_EQ(reader.decoded(a).inst.op, g::Op::DEC);
+    EXPECT_EQ(reader.decoded(b).inst.op, g::Op::MOV);
+
+    // Repeated invalidation (every code-cache flush) is harmless.
+    reader.invalidateCache();
+    reader.invalidateCache();
+    EXPECT_EQ(&reader.decoded(a), &da);
+}
+
+TEST(GuestCodeReader, FlushDrivenInvalidationEndToEnd)
+{
+    // Force repeated code-cache flushes (each one invalidates the
+    // decode cache inside the runtime) under strict co-simulation:
+    // post-flush re-decode + re-translation must stay architecturally
+    // identical to the authoritative emulator.
+    sim::SimConfig cfg;
+    cfg.cosim = true;
+    cfg.guestBudget = 600'000;
+    cfg.tol.imToBbThreshold = 2;
+    cfg.tol.bbToSbThreshold = 40;
+    cfg.tol.codeCacheBytes = 4 * 1024;
+
+    g::Assembler as;
+    as.mov(g::EBP, 60);
+    as.mov(g::EDI, 0);
+    auto outer = as.newLabel();
+    as.bind(outer);
+    for (int blk = 0; blk < 120; ++blk) {
+        as.add(g::EDI, blk + 1);
+        as.xor_(g::EDI, 0x3C);
+        auto skip = as.newLabel();
+        as.cmp(g::EDI, -1);
+        as.jcc(g::Cond::E, skip);
+        as.bind(skip);
+    }
+    as.dec(g::EBP);
+    as.jcc(g::Cond::NE, outer);
+    as.halt();
+    g::Program prog;
+    prog.code = as.finalize(prog.codeBase);
+    prog.entry = prog.codeBase;
+
+    sim::System sys(cfg);
+    sys.load(prog);
+    const auto res = sys.run();
+    EXPECT_TRUE(res.halted);
+    EXPECT_GE(sys.tolStats().codeCacheFlushes, 2u);
+    EXPECT_TRUE(res.memoryDiff.empty()) << res.memoryDiff;
 }
