@@ -18,6 +18,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "runner/batch_runner.hh"
 #include "sim/metrics.hh"
 #include "workloads/params.hh"
 #include "workloads/source.hh"
@@ -30,6 +31,13 @@ struct BenchArgs
     std::string suite;      ///< empty = all suites
     std::string benchmark;  ///< empty = all benchmarks
     bool csv = false;
+    /**
+     * Worker threads for the sweep: 0 (default) = one per hardware
+     * thread, 1 = the serial reference path, N = a fixed pool. The
+     * engine is deterministic and every job independent, so results
+     * are bit-identical at any value (tests/test_batch_runner.cc).
+     */
+    unsigned jobs = 0;
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -51,15 +59,21 @@ struct BenchArgs
                 args.suite = v2;
             else if (const char *v3 = value("--benchmark="))
                 args.benchmark = v3;
+            else if (const char *v4 = value("--jobs="))
+                args.jobs = static_cast<unsigned>(
+                    std::strtoul(v4, nullptr, 10));
             else if (arg == "--csv")
                 args.csv = true;
             else if (arg == "--help" || arg == "-h") {
                 std::printf(
                     "options: --budget=N --suite=NAME --benchmark=NAME "
-                    "--csv\n  suites: 'SPEC INT', 'SPEC FP', 'Physics', "
-                    "'Media'\n  benchmark: a synthetic name or a "
-                    "workload URI\n    (source://synthetic/<name>, "
-                    "source://trace/<file>)\n  env: DARCO_BUDGET\n");
+                    "--jobs=N --csv\n  suites: 'SPEC INT', 'SPEC FP', "
+                    "'Physics', 'Media'\n  benchmark: a synthetic name "
+                    "or a workload URI\n    (source://synthetic/<name>, "
+                    "source://trace/<file>)\n  jobs: sweep worker "
+                    "threads (0 = hardware threads, 1 = serial\n    "
+                    "reference; results are bit-identical either way)\n"
+                    "  env: DARCO_BUDGET\n");
                 std::exit(0);
             } else {
                 fatal("unknown argument: %s", arg.c_str());
@@ -93,43 +107,106 @@ makeMetricsOptions(const BenchArgs &args)
 }
 
 /**
- * Workloads selected by the args, resolved through the source
- * registry, in figure order. `--benchmark=` accepts a full workload
- * URI (any registered scheme) or a bare synthetic benchmark name.
+ * Workload URIs selected by the args, in figure order, without
+ * resolving them (resolution can be expensive — a trace URI reads
+ * and checksums the whole file — so the parallel sweep leaves it to
+ * the workers). `--benchmark=` accepts a full workload URI (any
+ * registered scheme) or a bare synthetic benchmark name.
  */
-inline std::vector<workloads::Workload>
-selectWorkloads(const BenchArgs &args)
+inline std::vector<std::string>
+selectWorkloadUris(const BenchArgs &args)
 {
-    std::vector<workloads::Workload> selected;
+    std::vector<std::string> uris;
     if (workloads::isSourceUri(args.benchmark)) {
-        selected.push_back(workloads::resolveWorkload(args.benchmark));
-        return selected;
+        uris.push_back(args.benchmark);
+        return uris;
     }
     for (const workloads::BenchParams &p : workloads::allBenchmarks()) {
         if (!args.suite.empty() && p.suite != args.suite)
             continue;
         if (!args.benchmark.empty() && p.name != args.benchmark)
             continue;
-        selected.push_back(workloads::resolveWorkload(
-            workloads::syntheticUri(p.name)));
+        uris.push_back(workloads::syntheticUri(p.name));
     }
-    fatal_if(selected.empty(), "no benchmarks match the filters");
+    fatal_if(uris.empty(), "no benchmarks match the filters");
+    return uris;
+}
+
+/** The selected workloads, resolved through the source registry. */
+inline std::vector<workloads::Workload>
+selectWorkloads(const BenchArgs &args)
+{
+    std::vector<workloads::Workload> selected;
+    for (const std::string &uri : selectWorkloadUris(args))
+        selected.push_back(workloads::resolveWorkload(uri));
     return selected;
 }
 
-/** Run the selected workloads and append the four suite averages. */
+/**
+ * Run the selected workloads and append the four suite averages.
+ *
+ * `args.jobs` picks the execution path: 1 runs the serial reference
+ * loop on the calling thread; any other value routes the sweep
+ * through runner::BatchRunner on a worker pool (0 = one worker per
+ * hardware thread). Every job is an independent deterministic
+ * System, so the returned metrics are bit-identical across paths
+ * and pool sizes — only wall clock changes
+ * (tests/test_batch_runner.cc enforces this).
+ */
 inline std::vector<sim::BenchMetrics>
 runSweep(const BenchArgs &args, sim::MetricsOptions options,
          bool progress = true)
 {
     applyBudget(options, args.budget);
     std::vector<sim::BenchMetrics> all;
-    for (const workloads::Workload &w : selectWorkloads(args)) {
-        if (progress)
-            std::fprintf(stderr, "  running %-24s ...\n", w.name.c_str());
-        sim::MetricsOptions per_workload = options;
-        sim::applyCaptureRecipe(per_workload, w);
-        all.push_back(sim::runWorkload(w, per_workload));
+    if (args.jobs == 1) {
+        // Serial reference path: unchanged semantics, no threads.
+        for (const workloads::Workload &w : selectWorkloads(args)) {
+            if (progress) {
+                std::fprintf(stderr, "  running %-24s ...\n",
+                             w.name.c_str());
+            }
+            sim::MetricsOptions per_workload = options;
+            sim::applyCaptureRecipe(per_workload, w);
+            all.push_back(sim::runWorkload(w, per_workload));
+        }
+    } else {
+        // Workers resolve their own jobs (a trace URI reads the
+        // whole file), so the sweep only selects URIs here.
+        std::vector<runner::BatchJob> jobs;
+        for (std::string &uri : selectWorkloadUris(args)) {
+            runner::BatchJob job;
+            job.workload = std::move(uri);
+            job.options = options;
+            // The serial reference path (runWorkload) does not
+            // verify in-file capture pins, so the parallel path
+            // must not either — the two would otherwise diverge on
+            // a stale trace (pin enforcement lives in the trace
+            // gates and engine_speed, not in figure sweeps).
+            job.checkCapturedPins = false;
+            jobs.push_back(std::move(job));
+        }
+        runner::BatchConfig config;
+        config.workers = args.jobs;
+        if (progress) {
+            config.onJobDone = [](size_t, const runner::JobResult &r) {
+                std::fprintf(stderr, "  finished %-24s %s\n",
+                             r.name.empty() ? r.uri.c_str()
+                                            : r.name.c_str(),
+                             r.ok ? "" : "(FAILED)");
+            };
+        }
+        const runner::BatchRunner pool(config);
+        if (progress) {
+            std::fprintf(stderr,
+                         "  sweeping %zu workloads on %u workers\n",
+                         jobs.size(), pool.effectiveWorkers(jobs.size()));
+        }
+        for (runner::JobResult &r : pool.run(jobs)) {
+            fatal_if(!r.ok, "sweep job %s failed:\n%s", r.uri.c_str(),
+                     r.error.c_str());
+            all.push_back(std::move(r.metrics));
+        }
     }
 
     // Suite averages (only when the full suite ran).
@@ -207,6 +284,14 @@ struct ThroughputSample
      * event_core_speedup field.
      */
     double steppedSeconds = 0;
+    /**
+     * How the scenario was executed: "serial" (alone on the process,
+     * the only mode whose timings are comparable across PRs) or
+     * "parallel" (shared the process with concurrent jobs).
+     * bench/check_perf.py requires "serial" on every committed
+     * engine_speed scenario — see the rationale there.
+     */
+    std::string execution = "serial";
 
     /** Guest MIPS achieved (forward progress per host second). */
     double
@@ -297,6 +382,10 @@ class ThroughputReporter
             if (!s.timingCore.empty()) {
                 std::fprintf(out, ",\n      \"timing_core\": \"%s\"",
                              s.timingCore.c_str());
+            }
+            if (!s.execution.empty()) {
+                std::fprintf(out, ",\n      \"execution\": \"%s\"",
+                             s.execution.c_str());
             }
             if (s.steppedSeconds > 0) {
                 std::fprintf(out,

@@ -45,6 +45,25 @@ import sys
 DETERMINISM_FIELDS = ("guest_retired", "host_records", "sim_cycles",
                       "timing_core")
 
+# Why every scenario must report "execution": "serial": engine_speed
+# samples are host timings of ONE simulation owning the whole
+# process. The parallel batch runner exists for the figure sweeps
+# (whose output is simulated quantities, immune to co-scheduling),
+# but routing engine_speed through a worker pool would make scenarios
+# share cache/bandwidth with each other, silently inflating
+# `seconds` and corrupting every guest_mips / event_core_speedup
+# comparison in the committed trajectory. The harness asserts this at
+# runtime (engine_speed rejects --jobs > 1); this gate pins it in the
+# committed JSON so a future code change cannot re-route it quietly.
+SERIAL_ONLY_EXPLANATION = (
+    "engine_speed scenarios must execute serially: the committed "
+    "perf trajectory is a set of single-job host timings, and a "
+    "scenario that ran through the parallel batch pool shared the "
+    "process with other jobs, so its seconds/guest_mips numbers are "
+    "not comparable with any committed baseline. Keep engine_speed "
+    "off the BatchRunner path (it asserts --jobs <= 1) and "
+    "regenerate the JSON serially.")
+
 UPDATE_HINT = (
     "If this change is intentional, regenerate the committed "
     "baseline in place:\n"
@@ -81,12 +100,25 @@ def main(argv):
     failures = []
 
     for name, base in committed.items():
+        # Both sides must record serial execution (see
+        # SERIAL_ONLY_EXPLANATION): the committed baseline so the
+        # repo never blesses a pool-contaminated trajectory, and the
+        # fresh run so a re-routed harness fails here even before
+        # anyone commits its output.
+        if base.get("execution") != "serial":
+            failures.append(f"{name}: committed scenario reports "
+                            f"execution={base.get('execution')!r}. "
+                            + SERIAL_ONLY_EXPLANATION)
         cur = fresh.get(name)
         if cur is None:
             failures.append(f"{name}: scenario disappeared from the "
                             "fresh measurement (every baseline "
                             "scenario must be re-measured)")
             continue
+        if cur.get("execution") != "serial":
+            failures.append(f"{name}: fresh scenario reports "
+                            f"execution={cur.get('execution')!r}. "
+                            + SERIAL_ONLY_EXPLANATION)
 
         for field in DETERMINISM_FIELDS:
             if cur.get(field) != base.get(field):

@@ -11,14 +11,21 @@
  *   $ ./run_benchmark 400.perlbench --no-ibtc --dump-hottest
  *   $ ./run_benchmark 429.mcf --capture=mcf.dtrc
  *   $ ./run_benchmark source://trace/mcf.dtrc
+ *   $ ./run_benchmark 429.mcf 462.libquantum 473.astar --jobs=4
+ *
+ * With several workloads, the runs execute on a BatchRunner worker
+ * pool (--jobs workers) and print one summary line each; the
+ * detailed single-workload report is unchanged.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "host/disasm.hh"
+#include "runner/batch_runner.hh"
 #include "sim/metrics.hh"
 #include "sim/system.hh"
 #include "workloads/source.hh"
@@ -31,7 +38,8 @@ void
 usage()
 {
     std::printf(
-        "usage: run_benchmark <name-or-uri> [options]\n"
+        "usage: run_benchmark <name-or-uri> [more workloads...] "
+        "[options]\n"
         "       run_benchmark --list\n"
         "workload: a synthetic benchmark name, or a source URI\n"
         "  (source://synthetic/<name>, source://trace/<file>);\n"
@@ -40,12 +48,17 @@ usage()
         "options:\n"
         "  --budget=N        guest instructions (default 2000000)\n"
         "  --sb-threshold=N  BB->SB threshold (default: budget-scaled)\n"
+        "  --jobs=N          worker threads for multiple workloads\n"
+        "                    (0 = hardware threads, 1 = serial;\n"
+        "                    results are identical either way)\n"
         "  --capture=PATH    snapshot the run to a replayable trace\n"
         "  --cosim           verify against the authoritative emulator\n"
         "  --no-chaining --no-ibtc --no-bbm-opts --no-sbm-opts\n"
         "  --no-scheduling --ibtc-2way --sb-partition --no-prefetcher\n"
         "  --isolation       also run TOL-only/APP-only instances\n"
-        "  --dump-hottest    disassemble the most-executed region\n");
+        "  --dump-hottest    disassemble the most-executed region\n"
+        "with several workloads, --capture/--cosim/--isolation/\n"
+        "--dump-hottest are single-run features and are rejected\n");
 }
 
 } // namespace
@@ -53,12 +66,13 @@ usage()
 int
 main(int argc, char **argv)
 {
-    std::string name;
+    std::vector<std::string> names;
     sim::SimConfig cfg;
     cfg.guestBudget = 2'000'000;
     bool dump_hottest = false;
     bool threshold_set = false;
     bool budget_set = false;
+    unsigned jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -69,6 +83,9 @@ main(int argc, char **argv)
         } else if (arg.rfind("--budget=", 0) == 0) {
             cfg.guestBudget = std::strtoull(arg.c_str() + 9, nullptr, 10);
             budget_set = true;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 7, nullptr, 10));
         } else if (arg.rfind("--capture=", 0) == 0) {
             cfg.captureTracePath = arg.substr(10);
         } else if (arg.rfind("--sb-threshold=", 0) == 0) {
@@ -103,7 +120,7 @@ main(int argc, char **argv)
             usage();
             return 0;
         } else if (!arg.empty() && arg[0] != '-') {
-            name = arg;
+            names.push_back(arg);
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage();
@@ -111,17 +128,94 @@ main(int argc, char **argv)
         }
     }
 
-    if (name.empty()) {
+    if (names.empty()) {
         usage();
         return 1;
     }
-    if (!workloads::isSourceUri(name) &&
-        !workloads::findBenchmark(name)) {
-        std::fprintf(stderr,
-                     "unknown benchmark '%s' (see --list)\n",
-                     name.c_str());
-        return 1;
+    for (const std::string &n : names) {
+        if (!workloads::isSourceUri(n) && !workloads::findBenchmark(n)) {
+            std::fprintf(stderr,
+                         "unknown benchmark '%s' (see --list)\n",
+                         n.c_str());
+            return 1;
+        }
     }
+
+    if (names.size() > 1) {
+        // Batch mode: independent Systems on a worker pool, one
+        // summary line per workload in request order. The detailed
+        // single-run reports (capture confirmation, cosim verdict,
+        // isolation stats, hottest-region dump) have no column in
+        // the summary, so the flags that exist only to feed them
+        // are rejected rather than silently burning work.
+        if (!cfg.captureTracePath.empty() || cfg.cosim ||
+            dump_hottest || cfg.tolOnlyPipe) {
+            std::fprintf(stderr,
+                         "--capture/--cosim/--isolation/"
+                         "--dump-hottest are single-workload "
+                         "features\n");
+            return 1;
+        }
+        sim::MetricsOptions options = sim::optionsFromConfig(cfg);
+        if (!threshold_set) {
+            options.tolConfig.bbToSbThreshold =
+                sim::scaledSbThreshold(cfg.guestBudget);
+        }
+        std::vector<runner::BatchJob> batch;
+        for (const std::string &n : names) {
+            runner::BatchJob job;
+            job.workload = n;
+            job.options = options;
+            // Same precedence as the single-workload path: a trace's
+            // capture recipe supplies the defaults, an explicit
+            // --budget/--sb-threshold wins. A budget override
+            // changes the functional execution, so the in-file pins
+            // no longer apply.
+            if (budget_set) {
+                job.guestBudgetOverride = cfg.guestBudget;
+                job.checkCapturedPins = false;
+            }
+            if (threshold_set) {
+                job.sbThresholdOverride = cfg.tol.bbToSbThreshold;
+                job.checkCapturedPins = false;
+            }
+            batch.push_back(std::move(job));
+        }
+        runner::BatchConfig config;
+        config.workers = jobs;
+        const runner::BatchRunner pool(config);
+        std::fprintf(stderr, "running %zu workloads on %u workers\n",
+                     batch.size(),
+                     pool.effectiveWorkers(batch.size()));
+
+        bool all_ok = true;
+        std::printf("%-24s %-10s %12s %12s %7s %6s\n", "workload",
+                    "suite", "guest insts", "cycles", "IPC", "halt");
+        for (const runner::JobResult &r : pool.run(batch)) {
+            if (!r.ok) {
+                all_ok = false;
+                std::printf("%-24s FAILED: %s\n",
+                            r.name.empty() ? r.uri.c_str()
+                                           : r.name.c_str(),
+                            r.error.c_str());
+                continue;
+            }
+            const double cycles = std::max(
+                1.0, static_cast<double>(r.snapshot.result.cycles));
+            std::printf("%-24s %-10s %12llu %12llu %7.3f %6s\n",
+                        r.name.c_str(), r.suite.c_str(),
+                        static_cast<unsigned long long>(
+                            r.snapshot.result.guestRetired),
+                        static_cast<unsigned long long>(
+                            r.snapshot.result.cycles),
+                        static_cast<double>(
+                            r.snapshot.result.guestRetired) / cycles,
+                        r.snapshot.result.halted ? "yes" : "no");
+        }
+        return all_ok ? 0 : 1;
+    }
+
+    const std::string &name = names.front();
     const workloads::Workload workload =
         workloads::resolveWorkload(name);
     if (workload.capturedMeta) {

@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -7,19 +8,38 @@
 namespace darco {
 
 namespace {
-bool quietFlag = false;
+
+// Atomic: the quiet switch is process-global and may be read from
+// worker threads while the main thread flips it (docs/concurrency.md
+// — the only intentionally shared mutable state in common/).
+std::atomic<bool> quietFlag{false};
+
+// Depth of live ScopedFatalThrow instances on this thread; >0 turns
+// fatal() into a FatalError throw instead of a process exit.
+thread_local unsigned fatalThrowDepth = 0;
+
 } // namespace
 
 void
 setQuiet(bool q)
 {
-    quietFlag = q;
+    quietFlag.store(q, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+ScopedFatalThrow::ScopedFatalThrow()
+{
+    ++fatalThrowDepth;
+}
+
+ScopedFatalThrow::~ScopedFatalThrow()
+{
+    --fatalThrowDepth;
 }
 
 std::string
@@ -52,6 +72,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (fatalThrowDepth > 0)
+        throw FatalError(strprintf("%s @ %s:%d", msg.c_str(), file, line));
     std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
     std::fflush(stderr);
     std::exit(1);
@@ -60,14 +82,14 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (!quietFlag)
+    if (!quiet())
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quietFlag)
+    if (!quiet())
         std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

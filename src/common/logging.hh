@@ -16,6 +16,7 @@
 #define DARCO_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace darco {
@@ -33,6 +34,37 @@ void informImpl(const std::string &msg);
 /** Global switch for warn()/inform() output (benches silence them). */
 void setQuiet(bool quiet);
 bool quiet();
+
+/**
+ * What fatal() raises inside a ScopedFatalThrow region instead of
+ * printing and exiting the process. what() carries the formatted
+ * message plus the fatal site ("message @ file:line").
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * While an instance is live on a thread, fatal()/fatal_if() on THAT
+ * thread throw FatalError instead of exiting the process. This is
+ * the batch-execution failure seam (runner::BatchRunner wraps each
+ * job in one so a bad workload URI or unreadable trace fails the job,
+ * not the whole sweep); docs/concurrency.md. The scope is
+ * thread-local and nests. panic() is unaffected: a simulator bug
+ * still aborts, because continuing other jobs after an invariant
+ * violation would report numbers from a broken process.
+ */
+class ScopedFatalThrow
+{
+  public:
+    ScopedFatalThrow();
+    ~ScopedFatalThrow();
+
+    ScopedFatalThrow(const ScopedFatalThrow &) = delete;
+    ScopedFatalThrow &operator=(const ScopedFatalThrow &) = delete;
+};
 
 } // namespace darco
 

@@ -1,0 +1,183 @@
+#include "runner/batch_runner.hh"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/logging.hh"
+#include "sim/system.hh"
+#include "workloads/source.hh"
+
+namespace darco::runner {
+
+namespace {
+
+/** Append a pin-mismatch line for every field that diverged. */
+void
+diffPins(const char *label, const trace::TracePins &pins,
+         const JobResult &r, std::string &error)
+{
+    const tol::TolStats &ts = r.snapshot.tolStats;
+    auto check = [&](const char *what, uint64_t got, uint64_t want) {
+        if (got != want) {
+            error += strprintf(
+                "%s pin mismatch: %s %llu != pinned %llu\n", label,
+                what, static_cast<unsigned long long>(got),
+                static_cast<unsigned long long>(want));
+        }
+    };
+    check("guest_retired", r.snapshot.result.guestRetired,
+          pins.guestRetired);
+    check("sim_cycles", r.snapshot.result.cycles, pins.simCycles);
+    check("host_records", r.snapshot.stats.records, pins.hostRecords);
+    // timing_core is a determinism field too (check_perf.py): a
+    // replay that advanced time on a different core than the
+    // capture is not the same experiment, even if the counters
+    // happen to agree.
+    if (!pins.timingCore.empty() &&
+        r.snapshot.timingCore != pins.timingCore) {
+        error += strprintf(
+            "%s pin mismatch: timing_core %s != pinned %s\n", label,
+            r.snapshot.timingCore.c_str(), pins.timingCore.c_str());
+    }
+    check("dyn_im", ts.dynIm, pins.dynIm);
+    check("dyn_bbm", ts.dynBbm, pins.dynBbm);
+    check("dyn_sbm", ts.dynSbm, pins.dynSbm);
+    check("bbs_translated", ts.bbsTranslated, pins.bbsTranslated);
+    check("sbs_created", ts.sbsCreated, pins.sbsCreated);
+    check("guest_indirect_branches", ts.guestIndirectBranches,
+          pins.guestIndirectBranches);
+}
+
+/**
+ * Run one job start to finish on the calling thread. Everything a
+ * job touches is job-local (its own System, memories, pipelines);
+ * the only shared services are the workload registry and the logging
+ * switches, both thread-safe (docs/concurrency.md).
+ */
+JobResult
+executeJob(const BatchJob &job)
+{
+    JobResult r;
+    // Identity up front, so a job that fails before (or during)
+    // resolution still reports which workload it was.
+    r.uri = job.workload;
+    // fatal() anywhere below (unknown scheme, unreadable trace, bad
+    // config) becomes a FatalError we turn into a structured failure.
+    ScopedFatalThrow fatal_throws;
+    try {
+        const workloads::Workload workload =
+            workloads::resolveWorkload(job.workload);
+        r.name = workload.name;
+        r.suite = workload.suite;
+        r.uri = workload.uri;
+
+        // Same per-job wiring as the serial sweep reference path
+        // (bench_util::runSweep with --jobs 1): recipe, then
+        // explicit per-job overrides, then the one shared
+        // MetricsOptions -> SimConfig translation.
+        sim::MetricsOptions options = job.options;
+        sim::applyCaptureRecipe(options, workload);
+        if (job.guestBudgetOverride)
+            options.guestBudget = *job.guestBudgetOverride;
+        if (job.sbThresholdOverride) {
+            options.tolConfig.bbToSbThreshold =
+                *job.sbThresholdOverride;
+        }
+        const sim::SimConfig cfg = sim::configFromOptions(options);
+
+        sim::System sys(cfg);
+        sys.load(workload);
+        r.snapshot.result = sys.run();
+        r.snapshot.stats = sys.combinedStats();
+        r.snapshot.tolStats = sys.tolStats();
+        r.snapshot.timingCore =
+            sys.timingEngine() ==
+                    timing::Pipeline::Engine::EventDriven
+                ? "event" : "reference";
+        r.metrics = sim::collectMetrics(sys, r.snapshot.result,
+                                        workload.name, workload.suite);
+
+        if (job.checkCapturedPins && workload.capturedPins)
+            diffPins("capture", *workload.capturedPins, r, r.error);
+        if (job.expectedPins)
+            diffPins("expected", *job.expectedPins, r, r.error);
+        r.ok = r.error.empty();
+    } catch (const std::exception &e) {
+        r.ok = false;
+        r.error = e.what();
+    }
+    return r;
+}
+
+} // namespace
+
+BatchRunner::BatchRunner(BatchConfig config) : cfg(std::move(config)) {}
+
+unsigned
+BatchRunner::effectiveWorkers(size_t jobCount) const
+{
+    unsigned workers = cfg.workers;
+    if (workers == 0)
+        workers = std::thread::hardware_concurrency();
+    if (workers == 0)
+        workers = 1;
+    if (jobCount < workers)
+        workers = static_cast<unsigned>(jobCount);
+    return workers;
+}
+
+std::vector<JobResult>
+BatchRunner::run(const std::vector<BatchJob> &jobs) const
+{
+    // Two jobs capturing to one path would interleave writes into the
+    // same trace file; that is a batch-construction error, caught
+    // before any work starts.
+    std::set<std::string> capture_paths;
+    for (const BatchJob &job : jobs) {
+        if (job.options.captureTracePath.empty())
+            continue;
+        fatal_if(!capture_paths.insert(job.options.captureTracePath)
+                      .second,
+                 "batch runner: two jobs capture to '%s'",
+                 job.options.captureTracePath.c_str());
+    }
+
+    std::vector<JobResult> results(jobs.size());
+    const unsigned workers = effectiveWorkers(jobs.size());
+
+    // FIFO dispatch, no stealing: the cursor hands each worker the
+    // lowest unclaimed job index; each worker writes only its own
+    // result slots, so the vector needs no lock.
+    std::atomic<size_t> cursor{0};
+    std::mutex done_mutex;
+    auto drain = [&] {
+        for (;;) {
+            const size_t index =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (index >= jobs.size())
+                return;
+            results[index] = executeJob(jobs[index]);
+            if (cfg.onJobDone) {
+                std::lock_guard<std::mutex> lock(done_mutex);
+                cfg.onJobDone(index, results[index]);
+            }
+        }
+    };
+
+    if (workers <= 1) {
+        // Serial reference path: same executeJob, calling thread.
+        drain();
+        return results;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(drain);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace darco::runner

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic multi-worker batch execution of independent
+ * simulations.
+ *
+ * The paper's characterization campaign is batch-shaped: every
+ * figure is a sweep of 48 benchmarks x configurations, and each
+ * (workload, config) cell is an independent, deterministic
+ * simulation. `BatchRunner` executes such a batch on a fixed-size
+ * worker pool, one `sim::System` per job, one job per thread at a
+ * time — the "one System per thread, no sharing" contract of
+ * docs/concurrency.md.
+ *
+ * Determinism: each job's metrics depend only on its (workload,
+ * options) pair, never on scheduling, and results land in slots
+ * ordered by job index — so a batch's output is bit-identical
+ * whether it ran on 1 worker or 64, in whatever interleaving. The
+ * equivalence is enforced by tests/test_batch_runner.cc, which A/Bs
+ * parallel against serial sweeps with timing::diffStats /
+ * tol::diffTolStats.
+ *
+ * Failure isolation: a job that fails (unknown URI, unreadable
+ * trace, determinism-pin mismatch) reports through its JobResult;
+ * it never aborts the batch. fatal() inside a job is converted to a
+ * structured failure via the ScopedFatalThrow seam; panic() still
+ * aborts the process, because an invariant violation poisons every
+ * number the process could still report.
+ */
+
+#ifndef DARCO_RUNNER_BATCH_RUNNER_HH
+#define DARCO_RUNNER_BATCH_RUNNER_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "trace/trace.hh"
+
+namespace darco::runner {
+
+/** One independent simulation in a batch. */
+struct BatchJob
+{
+    /** Workload URI (any registered scheme) or bare synthetic name. */
+    std::string workload;
+    /** Per-job run configuration; a trace workload's capture recipe
+     *  is re-applied on top (sim::applyCaptureRecipe), exactly as
+     *  the serial sweep path does. */
+    sim::MetricsOptions options;
+    /**
+     * Optional externally pinned determinism expectations: when set,
+     * the finished run must reproduce these fields exactly or the
+     * job fails (structured, batch continues). Pins a trace workload
+     * carries in-file are checked independently of this field.
+     */
+    std::optional<trace::TracePins> expectedPins;
+    /** Verify in-file capture pins of trace workloads (default on). */
+    bool checkCapturedPins = true;
+    /**
+     * Explicit user overrides applied AFTER the capture recipe,
+     * mirroring run_benchmark's single-workload semantics: the
+     * recipe supplies defaults, the command line wins. An override
+     * that changes the functional execution invalidates a trace's
+     * in-file pins — set checkCapturedPins = false alongside.
+     */
+    std::optional<uint64_t> guestBudgetOverride;
+    std::optional<uint32_t> sbThresholdOverride;
+};
+
+/** Outcome slot for one job, at the job's index in the batch. */
+struct JobResult
+{
+    bool ok = false;
+    /** Failure description when !ok (fatal message incl. site, or a
+     *  pin-mismatch report); empty on success. */
+    std::string error;
+
+    /** Resolved workload identity (empty if resolution failed). */
+    std::string name;
+    std::string suite;
+    std::string uri;
+
+    /** Raw result + full stats snapshots (the bit-identity currency:
+     *  compare with timing::diffStats / tol::diffTolStats). */
+    sim::RunSnapshot snapshot;
+    /** Derived figure metrics, identical to sim::runWorkload's. */
+    sim::BenchMetrics metrics;
+};
+
+struct BatchConfig
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency().
+     *  Effective pool size is capped at the job count; 1 executes
+     *  inline on the calling thread (the serial reference path). */
+    unsigned workers = 0;
+    /**
+     * Invoked after each job completes, serialized under an internal
+     * mutex (safe to print from). Jobs COMPLETE in scheduling order,
+     * which is nondeterministic for workers > 1 — only the returned
+     * slot order is deterministic.
+     */
+    std::function<void(size_t index, const JobResult &result)> onJobDone;
+};
+
+class BatchRunner
+{
+  public:
+    explicit BatchRunner(BatchConfig config = {});
+
+    /** Number of workers a batch of @p jobCount jobs would use. */
+    unsigned effectiveWorkers(size_t jobCount) const;
+
+    /**
+     * Execute every job and return results indexed like @p jobs.
+     * Jobs are dispatched FIFO (no stealing): a shared atomic cursor
+     * hands each worker the lowest unclaimed index. fatal() if two
+     * jobs capture to the same trace path (they would race on the
+     * file); individual job failures are reported in their slots.
+     */
+    std::vector<JobResult> run(const std::vector<BatchJob> &jobs) const;
+
+  private:
+    BatchConfig cfg;
+};
+
+} // namespace darco::runner
+
+#endif // DARCO_RUNNER_BATCH_RUNNER_HH

@@ -4,10 +4,6 @@
 
 namespace darco::sim {
 
-namespace {
-
-/** The one MetricsOptions -> SimConfig translation (runWorkload and
- *  snapshotRun must not diverge on which options take effect). */
 SimConfig
 configFromOptions(const MetricsOptions &options)
 {
@@ -23,7 +19,19 @@ configFromOptions(const MetricsOptions &options)
     return cfg;
 }
 
-} // namespace
+MetricsOptions
+optionsFromConfig(const SimConfig &cfg)
+{
+    MetricsOptions options;
+    options.tolConfig = cfg.tol;
+    options.timingConfig = cfg.timing;
+    options.guestBudget = cfg.guestBudget;
+    options.tolOnlyPipe = cfg.tolOnlyPipe;
+    options.appOnlyPipe = cfg.appOnlyPipe;
+    options.tolModulePipe = cfg.tolModulePipe;
+    options.captureTracePath = cfg.captureTracePath;
+    return options;
+}
 
 BenchMetrics
 runWorkload(const workloads::Workload &workload,
@@ -34,10 +42,16 @@ runWorkload(const workloads::Workload &workload,
     System sys(cfg);
     sys.load(workload);
     const SystemResult res = sys.run();
+    return collectMetrics(sys, res, workload.name, workload.suite);
+}
 
+BenchMetrics
+collectMetrics(const System &sys, const SystemResult &res,
+               const std::string &name, const std::string &suite)
+{
     BenchMetrics m;
-    m.name = workload.name;
-    m.suite = workload.suite;
+    m.name = name;
+    m.suite = suite;
     m.guestRetired = res.guestRetired;
     m.halted = res.halted;
     m.cycles = res.cycles;
@@ -131,6 +145,9 @@ snapshotRun(const workloads::Workload &workload,
     snap.result = sys.run();
     snap.stats = sys.combinedStats();
     snap.tolStats = sys.tolStats();
+    snap.timingCore =
+        sys.timingEngine() == timing::Pipeline::Engine::EventDriven
+            ? "event" : "reference";
     return snap;
 }
 

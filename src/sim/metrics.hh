@@ -226,6 +226,25 @@ applyCaptureRecipe(MetricsOptions &options,
 }
 
 /**
+ * The one MetricsOptions -> SimConfig translation: runWorkload,
+ * snapshotRun and runner::BatchRunner must not diverge on which
+ * options take effect (parallel and serial sweeps have to build
+ * bit-identical Systems from the same options).
+ */
+SimConfig configFromOptions(const MetricsOptions &options);
+
+/**
+ * The inverse translation, for drivers that parse into a SimConfig
+ * but execute through the options-based batch path. Kept next to
+ * configFromOptions so a field added to one cannot be forgotten in
+ * the other: optionsFromConfig(configFromOptions(o)) == o for every
+ * MetricsOptions field, and configFromOptions(optionsFromConfig(c))
+ * == c for every field except cosim/cosimStrict (batch execution
+ * never co-simulates).
+ */
+MetricsOptions optionsFromConfig(const SimConfig &cfg);
+
+/**
  * Run one resolved workload — whatever source it came from — and
  * collect all figure metrics. Trace-sourced workloads replay their
  * captured program image; apply the capture recipe to @p options
@@ -233,6 +252,17 @@ applyCaptureRecipe(MetricsOptions &options,
  */
 BenchMetrics runWorkload(const workloads::Workload &workload,
                          const MetricsOptions &options);
+
+/**
+ * Derive the full figure-metrics record from a finished System run.
+ * Shared by runWorkload and the batch runner so one System execution
+ * can yield both a BenchMetrics and a RunSnapshot without running
+ * the workload twice.
+ */
+BenchMetrics collectMetrics(const System &sys,
+                            const SystemResult &res,
+                            const std::string &name,
+                            const std::string &suite);
 
 /**
  * Raw outcome of one run: the result plus full stats snapshots.
@@ -246,6 +276,9 @@ struct RunSnapshot
     SystemResult result;
     timing::PipeStats stats;
     tol::TolStats tolStats;
+    /** Core that advanced simulated time ("event" / "reference"),
+     *  same encoding as trace::TracePins::timingCore. */
+    std::string timingCore;
 };
 
 /**

@@ -8,9 +8,16 @@
  * simulator links as a static library, and a linker is free to drop
  * a translation unit whose only purpose is a self-registering static
  * initializer.
+ *
+ * The registry is thread-safe: builtin construction is guarded by
+ * std::call_once, and registration/lookup serialize on a mutex, so
+ * batch workers may resolve (and even register) sources concurrently
+ * (docs/concurrency.md).
  */
 
 #include "workloads/source.hh"
+
+#include <mutex>
 
 #include "common/logging.hh"
 
@@ -71,22 +78,34 @@ class TraceSource : public WorkloadSource
     }
 };
 
-std::vector<std::unique_ptr<WorkloadSource>> &
-registry()
+// The registry is process-global mutable state shared across worker
+// threads (docs/concurrency.md): construction is std::call_once'd and
+// every access to the source vector holds registryMutex. Sources are
+// never removed, so a `const WorkloadSource *` obtained under the
+// lock stays valid after release — resolve() itself runs unlocked
+// (trace resolution does file I/O; serializing it would make the
+// registry a batch-wide bottleneck), which is safe because sources
+// are immutable once registered (WorkloadSource::resolve is const
+// and the builtins are stateless).
+std::vector<std::unique_ptr<WorkloadSource>> registrySources;
+std::once_flag registryOnce;
+std::mutex registryMutex;
+
+void
+initBuiltinSources()
 {
-    static std::vector<std::unique_ptr<WorkloadSource>> sources = [] {
-        std::vector<std::unique_ptr<WorkloadSource>> builtin;
-        builtin.push_back(std::make_unique<SyntheticSource>());
-        builtin.push_back(std::make_unique<TraceSource>());
-        return builtin;
-    }();
-    return sources;
+    std::call_once(registryOnce, [] {
+        registrySources.push_back(std::make_unique<SyntheticSource>());
+        registrySources.push_back(std::make_unique<TraceSource>());
+    });
 }
 
 const WorkloadSource *
 findSource(const std::string &scheme)
 {
-    for (const auto &source : registry()) {
+    initBuiltinSources();
+    std::lock_guard<std::mutex> lock(registryMutex);
+    for (const auto &source : registrySources) {
         if (source->scheme() == scheme)
             return source.get();
     }
@@ -117,10 +136,16 @@ void
 registerSource(std::unique_ptr<WorkloadSource> source)
 {
     panic_if(!source, "registerSource(nullptr)");
-    fatal_if(findSource(source->scheme()) != nullptr,
-             "workload source: scheme '%s' already registered",
-             source->scheme().c_str());
-    registry().push_back(std::move(source));
+    initBuiltinSources();
+    // Check and insert under one lock: two threads racing to claim
+    // the same scheme must serialize, with exactly one winner.
+    std::lock_guard<std::mutex> lock(registryMutex);
+    for (const auto &existing : registrySources) {
+        fatal_if(existing->scheme() == source->scheme(),
+                 "workload source: scheme '%s' already registered",
+                 source->scheme().c_str());
+    }
+    registrySources.push_back(std::move(source));
 }
 
 Workload
@@ -149,8 +174,18 @@ resolveWorkload(const std::string &uri_or_name)
 std::vector<std::string>
 listWorkloadUris()
 {
+    initBuiltinSources();
+    // Snapshot the source pointers under the lock, then enumerate
+    // unlocked (list() may be arbitrarily expensive for a future
+    // scheme, and sources are immutable once registered).
+    std::vector<const WorkloadSource *> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex);
+        for (const auto &source : registrySources)
+            snapshot.push_back(source.get());
+    }
     std::vector<std::string> uris;
-    for (const auto &source : registry()) {
+    for (const WorkloadSource *source : snapshot) {
         for (const std::string &spec : source->list()) {
             uris.push_back(std::string(kPrefix) + source->scheme() +
                            "/" + spec);

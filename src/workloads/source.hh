@@ -81,6 +81,9 @@ std::string traceUri(const std::string &path);
 /**
  * Register an additional source. fatal() if the scheme is already
  * taken (the builtin "synthetic" and "trace" schemes are reserved).
+ * Thread-safe: registration and lookup serialize on the registry
+ * mutex, so concurrent registrations of distinct schemes both land
+ * and concurrent claims of one scheme have exactly one winner.
  */
 void registerSource(std::unique_ptr<WorkloadSource> source);
 
@@ -88,6 +91,8 @@ void registerSource(std::unique_ptr<WorkloadSource> source);
  * Resolve a workload from a "source://<scheme>/<spec>" URI or, for
  * compatibility, a bare synthetic benchmark name. fatal() on an
  * unknown scheme, unknown benchmark, or unreadable trace.
+ * Thread-safe: safe to call from batch workers concurrently with
+ * other resolutions and with registerSource().
  */
 Workload resolveWorkload(const std::string &uri_or_name);
 
