@@ -38,6 +38,15 @@ struct BenchArgs
      * are bit-identical at any value (tests/test_batch_runner.cc).
      */
     unsigned jobs = 0;
+    /**
+     * Fault tolerance for long sweeps (docs/robustness.md): per-job
+     * wall-clock watchdog, transient-failure retries, and a crash-
+     * resumable journal. All off by default — and they MUST stay off
+     * for committed perf baselines (bench/check_perf.py).
+     */
+    uint64_t timeoutMs = 0;
+    unsigned retries = 0;
+    std::string journal;
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -62,17 +71,29 @@ struct BenchArgs
             else if (const char *v4 = value("--jobs="))
                 args.jobs = static_cast<unsigned>(
                     std::strtoul(v4, nullptr, 10));
+            else if (const char *v5 = value("--timeout="))
+                args.timeoutMs = std::strtoull(v5, nullptr, 10);
+            else if (const char *v6 = value("--retries="))
+                args.retries = static_cast<unsigned>(
+                    std::strtoul(v6, nullptr, 10));
+            else if (const char *v7 = value("--journal="))
+                args.journal = v7;
             else if (arg == "--csv")
                 args.csv = true;
             else if (arg == "--help" || arg == "-h") {
                 std::printf(
                     "options: --budget=N --suite=NAME --benchmark=NAME "
-                    "--jobs=N --csv\n  suites: 'SPEC INT', 'SPEC FP', "
+                    "--jobs=N --csv\n         --timeout=MS --retries=N "
+                    "--journal=PATH\n  suites: 'SPEC INT', 'SPEC FP', "
                     "'Physics', 'Media'\n  benchmark: a synthetic name "
                     "or a workload URI\n    (source://synthetic/<name>, "
                     "source://trace/<file>)\n  jobs: sweep worker "
                     "threads (0 = hardware threads, 1 = serial\n    "
                     "reference; results are bit-identical either way)\n"
+                    "  timeout/retries/journal: per-job watchdog, "
+                    "transient-failure\n    retries, crash-resumable "
+                    "journal (batch path only; keep off\n    for "
+                    "committed perf baselines)\n"
                     "  env: DARCO_BUDGET\n");
                 std::exit(0);
             } else {
@@ -188,11 +209,15 @@ runSweep(const BenchArgs &args, sim::MetricsOptions options,
         }
         runner::BatchConfig config;
         config.workers = args.jobs;
+        config.timeoutMs = args.timeoutMs;
+        config.retries = args.retries;
+        config.journalPath = args.journal;
         if (progress) {
             config.onJobDone = [](size_t, const runner::JobResult &r) {
-                std::fprintf(stderr, "  finished %-24s %s\n",
+                std::fprintf(stderr, "  finished %-24s %s%s\n",
                              r.name.empty() ? r.uri.c_str()
                                             : r.name.c_str(),
+                             r.fromJournal ? "(from journal) " : "",
                              r.ok ? "" : "(FAILED)");
             };
         }
@@ -203,7 +228,9 @@ runSweep(const BenchArgs &args, sim::MetricsOptions options,
                          jobs.size(), pool.effectiveWorkers(jobs.size()));
         }
         for (runner::JobResult &r : pool.run(jobs)) {
-            fatal_if(!r.ok, "sweep job %s failed:\n%s", r.uri.c_str(),
+            fatal_if(!r.ok, "sweep job %s failed (%s after %u "
+                     "attempt(s)):\n%s",
+                     r.uri.c_str(), r.runError.name(), r.attempts,
                      r.error.c_str());
             all.push_back(std::move(r.metrics));
         }

@@ -70,7 +70,12 @@ UPDATE_HINT = (
     "    (cd build && ./bench/engine_speed) && \\\n"
     "    python3 bench/check_perf.py --update "
     "build/BENCH_engine.json BENCH_engine.json\n"
-    "and commit the refreshed BENCH_engine.json.")
+    "and commit the refreshed BENCH_engine.json.\n"
+    "Baseline runs must execute with every fault-tolerance knob off\n"
+    "(no --timeout/--retries/--journal, no cancel token wired): a\n"
+    "watchdog-cancelled or journal-replayed run measures a different\n"
+    "experiment, and retry backoff pollutes the wall-clock numbers\n"
+    "(docs/robustness.md).")
 
 
 def update(fresh_path, committed_path):

@@ -39,6 +39,14 @@ wallSeconds(const std::function<void()> &fn)
     return elapsed.count();
 }
 
+runner::BatchConfig
+withWorkers(unsigned workers)
+{
+    runner::BatchConfig cfg;
+    cfg.workers = workers;
+    return cfg;
+}
+
 } // namespace
 
 int
@@ -65,7 +73,7 @@ main(int argc, char **argv)
     // Serial reference (1 worker), then the pool.
     std::vector<runner::JobResult> serial, parallel;
     const double serial_s = wallSeconds([&] {
-        serial = runner::BatchRunner({1, nullptr}).run(batch);
+        serial = runner::BatchRunner(withWorkers(1)).run(batch);
     });
     runner::BatchConfig config;
     config.workers = workers;

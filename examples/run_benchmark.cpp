@@ -51,14 +51,24 @@ usage()
         "  --jobs=N          worker threads for multiple workloads\n"
         "                    (0 = hardware threads, 1 = serial;\n"
         "                    results are identical either way)\n"
+        "  --timeout=MS      per-workload wall-clock watchdog: a run\n"
+        "                    past the deadline is cancelled and fails\n"
+        "                    as Timeout with partial metrics\n"
+        "  --retries=N       re-run transiently failed workloads up\n"
+        "                    to N times (bounded exponential backoff)\n"
+        "  --journal=PATH    crash-resumable campaign journal: rerun\n"
+        "                    the same command after a crash and\n"
+        "                    completed workloads replay from PATH\n"
         "  --capture=PATH    snapshot the run to a replayable trace\n"
         "  --cosim           verify against the authoritative emulator\n"
         "  --no-chaining --no-ibtc --no-bbm-opts --no-sbm-opts\n"
         "  --no-scheduling --ibtc-2way --sb-partition --no-prefetcher\n"
         "  --isolation       also run TOL-only/APP-only instances\n"
         "  --dump-hottest    disassemble the most-executed region\n"
-        "with several workloads, --capture/--cosim/--isolation/\n"
-        "--dump-hottest are single-run features and are rejected\n");
+        "with several workloads (or --timeout/--retries/--journal,\n"
+        "which run through the same batch machinery), --capture/\n"
+        "--cosim/--isolation/--dump-hottest are single-run features\n"
+        "and are rejected\n");
 }
 
 } // namespace
@@ -73,6 +83,9 @@ main(int argc, char **argv)
     bool threshold_set = false;
     bool budget_set = false;
     unsigned jobs = 0;
+    uint64_t timeout_ms = 0;
+    unsigned retries = 0;
+    std::string journal_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -86,6 +99,13 @@ main(int argc, char **argv)
         } else if (arg.rfind("--jobs=", 0) == 0) {
             jobs = static_cast<unsigned>(
                 std::strtoul(arg.c_str() + 7, nullptr, 10));
+        } else if (arg.rfind("--timeout=", 0) == 0) {
+            timeout_ms = std::strtoull(arg.c_str() + 10, nullptr, 10);
+        } else if (arg.rfind("--retries=", 0) == 0) {
+            retries = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 10, nullptr, 10));
+        } else if (arg.rfind("--journal=", 0) == 0) {
+            journal_path = arg.substr(10);
         } else if (arg.rfind("--capture=", 0) == 0) {
             cfg.captureTracePath = arg.substr(10);
         } else if (arg.rfind("--sb-threshold=", 0) == 0) {
@@ -141,7 +161,13 @@ main(int argc, char **argv)
         }
     }
 
-    if (names.size() > 1) {
+    // Fault-tolerant execution (watchdog, retry, journal) lives in
+    // the BatchRunner, so those flags route even a single workload
+    // through the batch path (summary line instead of the detailed
+    // report).
+    const bool fault_tolerant =
+        timeout_ms > 0 || retries > 0 || !journal_path.empty();
+    if (names.size() > 1 || fault_tolerant) {
         // Batch mode: independent Systems on a worker pool, one
         // summary line per workload in request order. The detailed
         // single-run reports (capture confirmation, cosim verdict,
@@ -183,6 +209,9 @@ main(int argc, char **argv)
         }
         runner::BatchConfig config;
         config.workers = jobs;
+        config.timeoutMs = timeout_ms;
+        config.retries = retries;
+        config.journalPath = journal_path;
         const runner::BatchRunner pool(config);
         std::fprintf(stderr, "running %zu workloads on %u workers\n",
                      batch.size(),
@@ -193,11 +222,19 @@ main(int argc, char **argv)
                     "suite", "guest insts", "cycles", "IPC", "halt");
         for (const runner::JobResult &r : pool.run(batch)) {
             if (!r.ok) {
+                // One classified line per failure: class, whether a
+                // retry could help, attempts spent, and the detail —
+                // and a non-zero exit below, so a campaign script
+                // cannot mistake a half-failed sweep for a clean one.
                 all_ok = false;
-                std::printf("%-24s FAILED: %s\n",
+                std::printf("%-24s FAILED %s (%s, %u attempt%s): %s\n",
                             r.name.empty() ? r.uri.c_str()
                                            : r.name.c_str(),
-                            r.error.c_str());
+                            r.runError.name(),
+                            r.runError.transient() ? "transient"
+                                                   : "permanent",
+                            r.attempts, r.attempts == 1 ? "" : "s",
+                            r.runError.context.c_str());
                 continue;
             }
             const double cycles = std::max(

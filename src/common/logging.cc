@@ -70,13 +70,22 @@ panicImpl(const char *file, int line, const std::string &msg)
 }
 
 void
-fatalImpl(const char *file, int line, const std::string &msg)
+fatalKindImpl(ErrKind kind, const char *file, int line,
+              const std::string &msg)
 {
-    if (fatalThrowDepth > 0)
-        throw FatalError(strprintf("%s @ %s:%d", msg.c_str(), file, line));
+    if (fatalThrowDepth > 0) {
+        throw FatalError(strprintf("%s @ %s:%d", msg.c_str(), file, line),
+                         kind);
+    }
     std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
     std::fflush(stderr);
     std::exit(1);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    fatalKindImpl(ErrKind::Unclassified, file, line, msg);
 }
 
 void

@@ -25,15 +25,34 @@ namespace darco {
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+enum class ErrKind : uint8_t;
+
 /** Internal: print a message with a severity prefix and location. */
 [[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalKindImpl(ErrKind kind, const char *file, int line,
+                                const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
 /** Global switch for warn()/inform() output (benches silence them). */
 void setQuiet(bool quiet);
 bool quiet();
+
+/**
+ * Coarse classification a fatal site can attach to its failure, so a
+ * catcher (runner::BatchRunner via the ScopedFatalThrow seam) can map
+ * it into the sim::RunError taxonomy without matching message text.
+ * Plain fatal() raises Unclassified; only failure paths reachable
+ * from a batch job need — or have — a sharper kind (fatal_kind).
+ */
+enum class ErrKind : uint8_t {
+    Unclassified,   ///< any fatal() that never stated a kind
+    BadWorkload,    ///< unresolvable workload URI / unknown benchmark
+    Io,             ///< host I/O failure (possibly transient)
+    Corrupt,        ///< input failed a structural/integrity check
+    Guest,          ///< the guest program itself is invalid
+};
 
 /**
  * What fatal() raises inside a ScopedFatalThrow region instead of
@@ -43,7 +62,15 @@ bool quiet();
 class FatalError : public std::runtime_error
 {
   public:
-    using std::runtime_error::runtime_error;
+    explicit FatalError(const std::string &what,
+                        ErrKind err_kind = ErrKind::Unclassified)
+        : std::runtime_error(what), errKind(err_kind)
+    {}
+
+    ErrKind kind() const { return errKind; }
+
+  private:
+    ErrKind errKind;
 };
 
 /**
@@ -73,6 +100,15 @@ class ScopedFatalThrow
 
 #define fatal(...) \
     ::darco::fatalImpl(__FILE__, __LINE__, ::darco::strprintf(__VA_ARGS__))
+
+/**
+ * fatal() with an ErrKind attached, for failure paths a batch runner
+ * can classify (see sim/run_error.hh). Outside a ScopedFatalThrow
+ * region it behaves exactly like fatal().
+ */
+#define fatal_kind(kind, ...)                                          \
+    ::darco::fatalKindImpl((kind), __FILE__, __LINE__,                 \
+                           ::darco::strprintf(__VA_ARGS__))
 
 #define warn(...) \
     ::darco::warnImpl(::darco::strprintf(__VA_ARGS__))

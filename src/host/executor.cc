@@ -38,6 +38,9 @@ Executor::Stop
 Executor::run(uint32_t pc, uint64_t guest_budget)
 {
     lastRetired = 0;
+    // flushRecords() zeroes the cap when cancellation is requested;
+    // the boundary check below reads the cap, not the parameter.
+    budgetCap = guest_budget;
 
     CodeRegion *region = store.find(pc);
     panic_if(!region, "executor entry at 0x%08x is not translated code", pc);
@@ -288,7 +291,7 @@ Executor::run(uint32_t pc, uint64_t guest_budget)
         // Retiring transfers always land on a region entry, so this
         // is a clean architectural point to stop at (covers regions
         // chained to themselves as well).
-        if (inst.guestBoundary && lastRetired >= guest_budget) {
+        if (inst.guestBoundary && lastRetired >= budgetCap) {
             flushRecords();
             return Stop{StopReason::Budget, region, 0,
                         region->guestEntry};

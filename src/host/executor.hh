@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/cancel.hh"
 #include "common/paged_memory.hh"
 #include "host/address_map.hh"
 #include "host/code_store.hh"
@@ -71,6 +72,19 @@ class Executor
     /** Guest instructions retired by the most recent run(). */
     uint64_t lastGuestRetired() const { return lastRetired; }
 
+    /**
+     * Cooperative cancellation (nullptr = never cancelled). Polled
+     * only when the record batch drains — every kRecordBatch
+     * instructions, off the per-instruction path — and honored by
+     * collapsing the remaining budget to zero, so a cancelled run
+     * stops through the ordinary Budget path at the next clean
+     * region-entry guest boundary with exact partial accounting.
+     */
+    void setCancelToken(const common::CancelToken *token)
+    {
+        cancel = token;
+    }
+
     /** Host instructions executed across all runs. */
     uint64_t hostExecuted() const { return hostCount; }
 
@@ -118,11 +132,19 @@ class Executor
             sink.consumeBatch(recBatch.data(), recCount);
             recCount = 0;
         }
+        // The cancellation batch boundary: collapsing the budget makes
+        // run()'s existing Budget check stop at the next region-entry
+        // guest boundary. Completed work keeps its exact accounting.
+        if (cancel && cancel->requested())
+            budgetCap = 0;
     }
 
     CodeStore &store;
     Memory &mem;
     timing::RecordSink &sink;
+    const common::CancelToken *cancel = nullptr;
+    /** Effective budget of the in-flight run() (see flushRecords). */
+    uint64_t budgetCap = 0;
     uint64_t lastRetired = 0;
     uint64_t hostCount = 0;
     uint64_t bbRetired = 0;

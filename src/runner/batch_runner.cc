@@ -1,11 +1,16 @@
 #include "runner/batch_runner.hh"
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <thread>
+#include <unordered_map>
 
 #include "common/logging.hh"
+#include "runner/journal.hh"
+#include "runner/watchdog.hh"
 #include "sim/system.hh"
 #include "workloads/source.hh"
 
@@ -50,22 +55,32 @@ diffPins(const char *label, const trace::TracePins &pins,
           pins.guestIndirectBranches);
 }
 
+/** Per-batch execution services shared by every worker. */
+struct ExecContext
+{
+    Watchdog *watchdog = nullptr;
+    uint64_t timeoutMs = 0;
+};
+
 /**
- * Run one job start to finish on the calling thread. Everything a
- * job touches is job-local (its own System, memories, pipelines);
- * the only shared services are the workload registry and the logging
- * switches, both thread-safe (docs/concurrency.md).
+ * Run one attempt of one job start to finish on the calling thread.
+ * Everything a job touches is job-local (its own System, memories,
+ * pipelines, cancel token); the only shared services are the
+ * workload registry, the logging switches, and the watchdog — all
+ * thread-safe (docs/concurrency.md).
  */
 JobResult
-executeJob(const BatchJob &job)
+executeAttempt(const BatchJob &job, const ExecContext &ctx)
 {
     JobResult r;
     // Identity up front, so a job that fails before (or during)
     // resolution still reports which workload it was.
     r.uri = job.workload;
     // fatal() anywhere below (unknown scheme, unreadable trace, bad
-    // config) becomes a FatalError we turn into a structured failure.
+    // config) becomes a FatalError we classify into the taxonomy.
     ScopedFatalThrow fatal_throws;
+    // Outlives the WatchdogArm scope below, as Watchdog requires.
+    common::CancelToken token;
     try {
         const workloads::Workload workload =
             workloads::resolveWorkload(job.workload);
@@ -85,30 +100,164 @@ executeJob(const BatchJob &job)
             options.tolConfig.bbToSbThreshold =
                 *job.sbThresholdOverride;
         }
+        // Fingerprint before wiring the cancel token: the token is
+        // runtime plumbing, not part of the experiment definition.
+        r.fingerprint = configFingerprint(options, job.workload,
+                                          job.requireHalt);
+        if (ctx.timeoutMs)
+            options.cancel = &token;
         const sim::SimConfig cfg = sim::configFromOptions(options);
 
+        WatchdogArm deadline(ctx.watchdog, &token, ctx.timeoutMs);
         sim::System sys(cfg);
         sys.load(workload);
-        r.snapshot.result = sys.run();
-        r.snapshot.stats = sys.combinedStats();
-        r.snapshot.tolStats = sys.tolStats();
-        r.snapshot.timingCore =
-            sys.timingEngine() ==
-                    timing::Pipeline::Engine::EventDriven
-                ? "event" : "reference";
-        r.metrics = sim::collectMetrics(sys, r.snapshot.result,
-                                        workload.name, workload.suite);
+        const sim::SystemResult res = sys.run();
+        deadline.fired();  // disarm before any post-run work
+
+        r.snapshot = sim::snapshotFromSystem(sys, res);
+        r.metrics = sim::collectMetrics(r.snapshot, workload.name,
+                                        workload.suite);
+
+        if (res.cancelled) {
+            r.runError = {sim::RunErrorClass::Timeout, r.uri,
+                          strprintf("wall-clock deadline of %llu ms "
+                                    "exceeded; cancelled after %llu "
+                                    "guest instructions (partial "
+                                    "metrics retained)",
+                                    static_cast<unsigned long long>(
+                                        ctx.timeoutMs),
+                                    static_cast<unsigned long long>(
+                                        res.guestRetired))};
+            r.error = r.runError.describe();
+            return r;
+        }
+        if (job.requireHalt && !res.halted) {
+            r.runError = {sim::RunErrorClass::BudgetExhausted, r.uri,
+                          strprintf("guest did not reach HALT within "
+                                    "the %llu-instruction budget",
+                                    static_cast<unsigned long long>(
+                                        cfg.guestBudget))};
+            r.error = r.runError.describe();
+            return r;
+        }
 
         if (job.checkCapturedPins && workload.capturedPins)
             diffPins("capture", *workload.capturedPins, r, r.error);
         if (job.expectedPins)
             diffPins("expected", *job.expectedPins, r, r.error);
+        if (!r.error.empty()) {
+            // A determinism violation on intact inputs is an engine
+            // defect: permanent, never retried.
+            r.runError = {sim::RunErrorClass::Internal, r.uri,
+                          r.error};
+        }
         r.ok = r.error.empty();
+    } catch (const FatalError &e) {
+        r.ok = false;
+        r.error = e.what();
+        r.runError = sim::runErrorFromFatal(e, r.uri);
     } catch (const std::exception &e) {
         r.ok = false;
         r.error = e.what();
+        r.runError = {sim::RunErrorClass::Internal, r.uri, e.what()};
     }
     return r;
+}
+
+/** executeAttempt plus the transient-failure retry loop. */
+JobResult
+executeJob(const BatchJob &job, const ExecContext &ctx,
+           const BatchConfig &cfg)
+{
+    const auto start = std::chrono::steady_clock::now();
+    JobResult r;
+    uint64_t backoff_total = 0;
+    for (unsigned attempt = 0;; ++attempt) {
+        // From scratch every time: a retried attempt builds a fresh
+        // System from the same (workload, options) pair, so its
+        // numbers are bit-identical to a first-try success — retry
+        // changes whether a result exists, never what it measures.
+        r = executeAttempt(job, ctx);
+        r.attempts = attempt + 1;
+        if (r.ok || !r.runError.transient() || attempt >= cfg.retries)
+            break;
+        // The schedule is deterministic (attempt-indexed, no clock
+        // reads, no jitter); only the sleeps themselves touch time.
+        const uint64_t delay =
+            backoffDelayMs(cfg.backoffBaseMs, attempt);
+        backoff_total += delay;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay));
+    }
+    r.backoffMsApplied = backoff_total;
+    r.durationMs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    return r;
+}
+
+/**
+ * Try to satisfy @p job from a journal @p entry: same workload
+ * string (checked by the caller), same effective config fingerprint,
+ * pins re-verified against the *current* workload resolution — a
+ * trace file that changed since the campaign started must not be
+ * papered over by the journal. Any mismatch re-runs the job; any
+ * resolution failure re-runs it too, so the failure is reported with
+ * its proper classification by the normal path.
+ */
+std::optional<JobResult>
+tryReplay(const BatchJob &job, size_t index, const JournalEntry &entry)
+{
+    ScopedFatalThrow fatal_throws;
+    try {
+        const workloads::Workload workload =
+            workloads::resolveWorkload(job.workload);
+        sim::MetricsOptions options = job.options;
+        sim::applyCaptureRecipe(options, workload);
+        if (job.guestBudgetOverride)
+            options.guestBudget = *job.guestBudgetOverride;
+        if (job.sbThresholdOverride) {
+            options.tolConfig.bbToSbThreshold =
+                *job.sbThresholdOverride;
+        }
+        const uint64_t fp = configFingerprint(options, job.workload,
+                                              job.requireHalt);
+        if (fp != entry.fingerprint) {
+            warn("journal: job %zu (%s): config fingerprint changed; "
+                 "re-running",
+                 index, job.workload.c_str());
+            return std::nullopt;
+        }
+
+        JobResult r;
+        r.name = workload.name;
+        r.suite = workload.suite;
+        r.uri = workload.uri;
+        r.snapshot = entry.snapshot;
+        r.fingerprint = fp;
+        r.fromJournal = true;
+        r.attempts = 0;
+
+        std::string pin_error;
+        if (job.checkCapturedPins && workload.capturedPins)
+            diffPins("capture", *workload.capturedPins, r, pin_error);
+        if (job.expectedPins)
+            diffPins("expected", *job.expectedPins, r, pin_error);
+        if (!pin_error.empty()) {
+            warn("journal: job %zu (%s): journaled result no longer "
+                 "matches pins; re-running:\n%s",
+                 index, job.workload.c_str(), pin_error.c_str());
+            return std::nullopt;
+        }
+
+        r.metrics = sim::collectMetrics(r.snapshot, workload.name,
+                                        workload.suite);
+        r.ok = true;
+        return r;
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
 }
 
 } // namespace
@@ -145,7 +294,59 @@ BatchRunner::run(const std::vector<BatchJob> &jobs) const
     }
 
     std::vector<JobResult> results(jobs.size());
+    std::vector<char> replayed(jobs.size(), 0);
+
+    // Resume pass: satisfy jobs from an existing journal before any
+    // worker starts, then keep the journal open for appends.
+    std::unique_ptr<Journal> journal;
+    if (!cfg.journalPath.empty()) {
+        const JournalLoad load = loadJournal(cfg.journalPath);
+        if (load.skippedLines) {
+            warn("journal '%s': skipped %zu damaged line(s)",
+                 cfg.journalPath.c_str(), load.skippedLines);
+        }
+        if (!load.entries.empty() &&
+            load.engine != kJournalEngineVersion) {
+            warn("journal '%s': engine '%s' does not match '%s'; "
+                 "ignoring %zu completed job(s)",
+                 cfg.journalPath.c_str(), load.engine.c_str(),
+                 kJournalEngineVersion, load.entries.size());
+        } else {
+            std::unordered_map<uint64_t, const JournalEntry *> by_job;
+            for (const JournalEntry &e : load.entries)
+                by_job[e.jobIndex] = &e;  // last write wins
+            for (size_t i = 0; i < jobs.size(); ++i) {
+                // Capture jobs always re-run: their product is the
+                // capture file, which the journal does not carry.
+                if (!jobs[i].options.captureTracePath.empty())
+                    continue;
+                const auto it = by_job.find(i);
+                if (it == by_job.end() ||
+                    it->second->workload != jobs[i].workload) {
+                    continue;
+                }
+                if (std::optional<JobResult> r =
+                        tryReplay(jobs[i], i, *it->second)) {
+                    results[i] = std::move(*r);
+                    replayed[i] = 1;
+                }
+            }
+        }
+        journal = std::make_unique<Journal>(cfg.journalPath);
+        if (cfg.onJobDone) {
+            for (size_t i = 0; i < jobs.size(); ++i) {
+                if (replayed[i])
+                    cfg.onJobDone(i, results[i]);
+            }
+        }
+    }
+
     const unsigned workers = effectiveWorkers(jobs.size());
+    std::optional<Watchdog> watchdog;
+    if (cfg.timeoutMs > 0)
+        watchdog.emplace();
+    const ExecContext ctx{watchdog ? &*watchdog : nullptr,
+                          cfg.timeoutMs};
 
     // FIFO dispatch, no stealing: the cursor hands each worker the
     // lowest unclaimed job index; each worker writes only its own
@@ -158,11 +359,27 @@ BatchRunner::run(const std::vector<BatchJob> &jobs) const
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (index >= jobs.size())
                 return;
-            results[index] = executeJob(jobs[index]);
-            if (cfg.onJobDone) {
-                std::lock_guard<std::mutex> lock(done_mutex);
-                cfg.onJobDone(index, results[index]);
+            if (replayed[index])
+                continue;
+            results[index] = executeJob(jobs[index], ctx, cfg);
+            const JobResult &r = results[index];
+            std::lock_guard<std::mutex> lock(done_mutex);
+            // Journal before reporting: once onJobDone has seen a
+            // job, a crash must not lose it.
+            if (journal && r.ok &&
+                jobs[index].options.captureTracePath.empty()) {
+                JournalEntry entry;
+                entry.jobIndex = index;
+                entry.workload = jobs[index].workload;
+                entry.fingerprint = r.fingerprint;
+                entry.name = r.name;
+                entry.suite = r.suite;
+                entry.uri = r.uri;
+                entry.snapshot = r.snapshot;
+                journal->append(entry);
             }
+            if (cfg.onJobDone)
+                cfg.onJobDone(index, r);
         }
     };
 

@@ -1,7 +1,7 @@
 /**
  * @file
  * Deterministic multi-worker batch execution of independent
- * simulations.
+ * simulations, with fault-tolerant campaign semantics.
  *
  * The paper's characterization campaign is batch-shaped: every
  * figure is a sweep of 48 benchmarks x configurations, and each
@@ -19,23 +19,33 @@
  * parallel against serial sweeps with timing::diffStats /
  * tol::diffTolStats.
  *
- * Failure isolation: a job that fails (unknown URI, unreadable
- * trace, determinism-pin mismatch) reports through its JobResult;
- * it never aborts the batch. fatal() inside a job is converted to a
- * structured failure via the ScopedFatalThrow seam; panic() still
- * aborts the process, because an invariant violation poisons every
- * number the process could still report.
+ * Fault tolerance (docs/robustness.md): a job that fails reports a
+ * classified sim::RunError in its slot; it never aborts the batch.
+ * fatal() inside a job is converted via the ScopedFatalThrow seam
+ * and classified by its ErrKind; panic() still aborts the process,
+ * because an invariant violation poisons every number the process
+ * could still report. On top of classification the runner offers
+ *   - a per-job wall-clock watchdog (timeoutMs) that cancels a stuck
+ *     run cooperatively and reports Timeout with partial metrics,
+ *   - bounded-exponential-backoff re-runs of transiently failed jobs
+ *     (retries/backoffBaseMs) — each attempt from scratch, so a
+ *     retried success is bit-identical to a first-try success,
+ *   - a crash-resumable campaign journal (journalPath): completed
+ *     jobs are appended durably and skipped when the same campaign
+ *     runs again over the same journal (runner/journal.hh).
  */
 
 #ifndef DARCO_RUNNER_BATCH_RUNNER_HH
 #define DARCO_RUNNER_BATCH_RUNNER_HH
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/metrics.hh"
+#include "sim/run_error.hh"
 #include "trace/trace.hh"
 
 namespace darco::runner {
@@ -67,15 +77,25 @@ struct BatchJob
      */
     std::optional<uint64_t> guestBudgetOverride;
     std::optional<uint32_t> sbThresholdOverride;
+    /**
+     * Require the guest to reach HALT within the budget: a run that
+     * merely exhausts the budget fails with BudgetExhausted
+     * (permanent — a bigger budget is a different experiment, not a
+     * retry). Off by default: budget-bounded sweeps are the normal
+     * campaign shape.
+     */
+    bool requireHalt = false;
 };
 
 /** Outcome slot for one job, at the job's index in the batch. */
 struct JobResult
 {
     bool ok = false;
-    /** Failure description when !ok (fatal message incl. site, or a
-     *  pin-mismatch report); empty on success. */
+    /** Failure description when !ok (runError.describe(), or the raw
+     *  pin-mismatch/fatal text); empty on success. */
     std::string error;
+    /** Classified failure (cls == None on success). */
+    sim::RunError runError;
 
     /** Resolved workload identity (empty if resolution failed). */
     std::string name;
@@ -83,11 +103,38 @@ struct JobResult
     std::string uri;
 
     /** Raw result + full stats snapshots (the bit-identity currency:
-     *  compare with timing::diffStats / tol::diffTolStats). */
+     *  compare with timing::diffStats / tol::diffTolStats). A
+     *  Timeout failure still carries the partial-run snapshot. */
     sim::RunSnapshot snapshot;
     /** Derived figure metrics, identical to sim::runWorkload's. */
     sim::BenchMetrics metrics;
+
+    /** Execution attempts made (1 = no retry; 0 = journal replay). */
+    unsigned attempts = 0;
+    /** Total backoff slept before the final attempt. */
+    uint64_t backoffMsApplied = 0;
+    /** Wall-clock spent executing this job (all attempts; reporting
+     *  only — never feeds any measured quantity). */
+    uint64_t durationMs = 0;
+    /** Satisfied from the campaign journal without running. */
+    bool fromJournal = false;
+    /** journal::configFingerprint of the effective options (0 if the
+     *  job failed before resolution). */
+    uint64_t fingerprint = 0;
 };
+
+/**
+ * Deterministic bounded exponential backoff: base << attempt,
+ * saturating at base * 64. No randomized jitter — jobs in one
+ * campaign retry independent inputs, there is no shared resource to
+ * avoid stampeding, and a deterministic schedule keeps campaign
+ * wall-clock reproducible enough to reason about.
+ */
+inline uint64_t
+backoffDelayMs(uint64_t base_ms, unsigned attempt)
+{
+    return base_ms << std::min(attempt, 6u);
+}
 
 struct BatchConfig
 {
@@ -99,9 +146,36 @@ struct BatchConfig
      * Invoked after each job completes, serialized under an internal
      * mutex (safe to print from). Jobs COMPLETE in scheduling order,
      * which is nondeterministic for workers > 1 — only the returned
-     * slot order is deterministic.
+     * slot order is deterministic. Journal-replayed jobs report
+     * before any worker starts.
      */
     std::function<void(size_t index, const JobResult &result)> onJobDone;
+
+    /**
+     * Per-job wall-clock deadline in milliseconds; 0 disables the
+     * watchdog. A job past its deadline is cancelled cooperatively
+     * at the next record-batch boundary and fails with Timeout,
+     * partial metrics attached (common/cancel.hh). Overrides any
+     * options.cancel the job supplied. Must be 0 for perf-baseline
+     * runs (bench/check_perf.py).
+     */
+    uint64_t timeoutMs = 0;
+    /** Extra from-scratch attempts for jobs whose RunError is
+     *  transient (Timeout, IoTransient); permanent failures are
+     *  never retried. 0 disables retry. */
+    unsigned retries = 0;
+    /** First retry backoff; doubles per attempt (backoffDelayMs). */
+    uint64_t backoffBaseMs = 100;
+    /**
+     * Campaign journal path; "" disables journaling. When set,
+     * completed jobs are appended durably, and jobs already present
+     * (matched on job index + workload + config fingerprint + engine
+     * version, pins re-verified) are replayed instead of re-run —
+     * with results bit-identical to an uninterrupted campaign.
+     * Trace-capturing jobs are exempt: they always re-run so the
+     * capture file is regenerated.
+     */
+    std::string journalPath;
 };
 
 class BatchRunner

@@ -1,0 +1,533 @@
+#include "runner/journal.hh"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <type_traits>
+
+#include "common/faultinject.hh"
+#include "common/logging.hh"
+#include "trace/trace.hh"
+
+#include <csignal>
+
+namespace darco::runner {
+
+namespace {
+
+uint64_t
+hashString(const std::string &s)
+{
+    return trace::fnv1a64(
+        reinterpret_cast<const uint8_t *>(s.data()), s.size());
+}
+
+/** Minimal JSON string escaping: backslash, quote, control bytes. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '\\' || c == '"') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += strprintf("\\u%04x", c);
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void
+appendHex(std::string &out, const uint8_t *data, size_t len)
+{
+    for (size_t i = 0; i < len; ++i) {
+        out += kHexDigits[data[i] >> 4];
+        out += kHexDigits[data[i] & 0xf];
+    }
+}
+
+int
+hexVal(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    return -1;
+}
+
+bool
+decodeHex(const std::string &hex, uint8_t *out, size_t len)
+{
+    if (hex.size() != len * 2)
+        return false;
+    for (size_t i = 0; i < len; ++i) {
+        const int hi = hexVal(hex[2 * i]);
+        const int lo = hexVal(hex[2 * i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out[i] = static_cast<uint8_t>((hi << 4) | lo);
+    }
+    return true;
+}
+
+// PipeStats is all counters and fixed-size arrays; the journal
+// round-trips it as raw bytes. Guarded so a future non-POD member
+// breaks the build here instead of corrupting journals.
+static_assert(std::is_trivially_copyable_v<timing::PipeStats>,
+              "journal serializes PipeStats as raw bytes");
+
+std::string
+pipeStatsHex(const timing::PipeStats &ps)
+{
+    std::string out;
+    out.reserve(sizeof(ps) * 2);
+    uint8_t bytes[sizeof(ps)];
+    std::memcpy(bytes, &ps, sizeof(ps));
+    appendHex(out, bytes, sizeof(ps));
+    return out;
+}
+
+bool
+pipeStatsFromHex(const std::string &hex, timing::PipeStats &ps)
+{
+    uint8_t bytes[sizeof(ps)];
+    if (!decodeHex(hex, bytes, sizeof(ps)))
+        return false;
+    std::memcpy(&ps, bytes, sizeof(ps));
+    return true;
+}
+
+/**
+ * Whole-line key lookup. Safe despite values being on the same line:
+ * every serialized value is either escaped (so the raw byte sequence
+ * `"key":` cannot appear inside it) or hex/decimal (no quotes at
+ * all), and the key set is unique by construction.
+ */
+size_t
+findKey(const std::string &line, const char *key)
+{
+    const std::string pat = strprintf("\"%s\":", key);
+    const size_t pos = line.find(pat);
+    return pos == std::string::npos ? std::string::npos
+                                    : pos + pat.size();
+}
+
+std::optional<uint64_t>
+getU64(const std::string &line, const char *key)
+{
+    const size_t pos = findKey(line, key);
+    if (pos == std::string::npos || pos >= line.size())
+        return std::nullopt;
+    if (line[pos] < '0' || line[pos] > '9')
+        return std::nullopt;
+    return std::strtoull(line.c_str() + pos, nullptr, 10);
+}
+
+std::optional<std::string>
+getStr(const std::string &line, const char *key)
+{
+    size_t pos = findKey(line, key);
+    if (pos == std::string::npos || pos >= line.size() ||
+        line[pos] != '"') {
+        return std::nullopt;
+    }
+    std::string out;
+    for (++pos; pos < line.size(); ++pos) {
+        const char c = line[pos];
+        if (c == '"')
+            return out;
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (++pos >= line.size())
+            return std::nullopt;
+        const char e = line[pos];
+        if (e == '\\' || e == '"') {
+            out += e;
+        } else if (e == 'u' && pos + 4 < line.size()) {
+            const int h1 = hexVal(line[pos + 3]);
+            const int h2 = hexVal(line[pos + 4]);
+            if (h1 < 0 || h2 < 0)
+                return std::nullopt;
+            out += static_cast<char>((h1 << 4) | h2);
+            pos += 4;
+        } else {
+            return std::nullopt;
+        }
+    }
+    return std::nullopt;  // unterminated string
+}
+
+std::optional<uint64_t>
+getHex64(const std::string &line, const char *key)
+{
+    const std::optional<std::string> s = getStr(line, key);
+    if (!s || s->size() != 16)
+        return std::nullopt;
+    uint64_t v = 0;
+    for (const char c : *s) {
+        const int d = hexVal(c);
+        if (d < 0)
+            return std::nullopt;
+        v = (v << 4) | static_cast<uint64_t>(d);
+    }
+    return v;
+}
+
+/** TolStats counters in serialization order (diffTolStats' set). */
+struct TolField
+{
+    const char *key;
+    uint64_t tol::TolStats::*member;
+};
+
+constexpr TolField kTolFields[] = {
+    {"dynIm", &tol::TolStats::dynIm},
+    {"dynBbm", &tol::TolStats::dynBbm},
+    {"dynSbm", &tol::TolStats::dynSbm},
+    {"bbsTranslated", &tol::TolStats::bbsTranslated},
+    {"sbsCreated", &tol::TolStats::sbsCreated},
+    {"guestInstsTranslatedBb", &tol::TolStats::guestInstsTranslatedBb},
+    {"guestInstsTranslatedSb", &tol::TolStats::guestInstsTranslatedSb},
+    {"hostInstsEmittedBb", &tol::TolStats::hostInstsEmittedBb},
+    {"hostInstsEmittedSb", &tol::TolStats::hostInstsEmittedSb},
+    {"dispatchLoops", &tol::TolStats::dispatchLoops},
+    {"mapLookups", &tol::TolStats::mapLookups},
+    {"mapHits", &tol::TolStats::mapHits},
+    {"chainsPatched", &tol::TolStats::chainsPatched},
+    {"entryForwards", &tol::TolStats::entryForwards},
+    {"ibtcMisses", &tol::TolStats::ibtcMisses},
+    {"ibtcFills", &tol::TolStats::ibtcFills},
+    {"promotions", &tol::TolStats::promotions},
+    {"codeCacheFlushes", &tol::TolStats::codeCacheFlushes},
+    {"contextFills", &tol::TolStats::contextFills},
+    {"contextSpills", &tol::TolStats::contextSpills},
+    {"guestIndirectBranches", &tol::TolStats::guestIndirectBranches},
+};
+
+/** Static mode map as sorted (eip, mode) pairs, 10 hex chars each. */
+std::string
+staticModesHex(const tol::TolStats &ts)
+{
+    std::vector<std::pair<uint32_t, uint8_t>> pairs(
+        ts.staticMode.begin(), ts.staticMode.end());
+    std::sort(pairs.begin(), pairs.end());
+    std::string out;
+    out.reserve(pairs.size() * 10);
+    for (const auto &[eip, mode] : pairs)
+        out += strprintf("%08x%02x", eip, mode);
+    return out;
+}
+
+bool
+staticModesFromHex(const std::string &hex, tol::TolStats &ts)
+{
+    if (hex.size() % 10 != 0)
+        return false;
+    for (size_t i = 0; i < hex.size(); i += 10) {
+        uint8_t bytes[5];
+        if (!decodeHex(hex.substr(i, 10), bytes, 5))
+            return false;
+        const uint32_t eip = (uint32_t{bytes[0]} << 24) |
+                             (uint32_t{bytes[1]} << 16) |
+                             (uint32_t{bytes[2]} << 8) |
+                             uint32_t{bytes[3]};
+        ts.staticMode[eip] = bytes[4];
+    }
+    return true;
+}
+
+std::string
+serializeEntry(const JournalEntry &e)
+{
+    const sim::RunSnapshot &snap = e.snapshot;
+    std::string body = strprintf(
+        "{\"job\":%llu,\"workload\":\"%s\",\"fp\":\"%016llx\","
+        "\"name\":\"%s\",\"suite\":\"%s\",\"uri\":\"%s\","
+        "\"guest_retired\":%llu,\"halted\":%u,\"cycles\":%llu,"
+        "\"timing_core\":\"%s\"",
+        static_cast<unsigned long long>(e.jobIndex),
+        escape(e.workload).c_str(),
+        static_cast<unsigned long long>(e.fingerprint),
+        escape(e.name).c_str(), escape(e.suite).c_str(),
+        escape(e.uri).c_str(),
+        static_cast<unsigned long long>(snap.result.guestRetired),
+        snap.result.halted ? 1u : 0u,
+        static_cast<unsigned long long>(snap.result.cycles),
+        escape(snap.timingCore).c_str());
+    body += ",\"stats\":\"" + pipeStatsHex(snap.stats) + "\"";
+    if (snap.tolOnly)
+        body += ",\"tol_only\":\"" + pipeStatsHex(*snap.tolOnly) + "\"";
+    if (snap.appOnly)
+        body += ",\"app_only\":\"" + pipeStatsHex(*snap.appOnly) + "\"";
+    if (snap.tolModule) {
+        body += ",\"tol_module\":\"" + pipeStatsHex(*snap.tolModule) +
+                "\"";
+    }
+    for (const TolField &f : kTolFields) {
+        body += strprintf(
+            ",\"%s\":%llu", f.key,
+            static_cast<unsigned long long>(snap.tolStats.*f.member));
+    }
+    body += ",\"static_modes\":\"" + staticModesHex(snap.tolStats) +
+            "\"";
+    return body + strprintf(",\"csum\":\"%016llx\"}",
+                            static_cast<unsigned long long>(
+                                hashString(body)));
+}
+
+std::optional<JournalEntry>
+parseEntry(const std::string &line)
+{
+    // Authenticate before parsing: the checksum covers every byte of
+    // the body, so a torn or bit-damaged line cannot half-parse.
+    const size_t csum_at = line.rfind(",\"csum\":\"");
+    if (csum_at == std::string::npos)
+        return std::nullopt;
+    const std::string tail = line.substr(csum_at);
+    const std::optional<uint64_t> csum = getHex64(tail, "csum");
+    if (!csum || *csum != hashString(line.substr(0, csum_at)))
+        return std::nullopt;
+
+    JournalEntry e;
+    const auto job = getU64(line, "job");
+    const auto workload = getStr(line, "workload");
+    const auto fp = getHex64(line, "fp");
+    const auto name = getStr(line, "name");
+    const auto suite = getStr(line, "suite");
+    const auto uri = getStr(line, "uri");
+    const auto retired = getU64(line, "guest_retired");
+    const auto halted = getU64(line, "halted");
+    const auto cycles = getU64(line, "cycles");
+    const auto core = getStr(line, "timing_core");
+    const auto stats = getStr(line, "stats");
+    const auto statics = getStr(line, "static_modes");
+    if (!job || !workload || !fp || !name || !suite || !uri ||
+        !retired || !halted || !cycles || !core || !stats ||
+        !statics) {
+        return std::nullopt;
+    }
+    e.jobIndex = *job;
+    e.workload = *workload;
+    e.fingerprint = *fp;
+    e.name = *name;
+    e.suite = *suite;
+    e.uri = *uri;
+    e.snapshot.result.guestRetired = *retired;
+    e.snapshot.result.halted = *halted != 0;
+    e.snapshot.result.cycles = *cycles;
+    e.snapshot.timingCore = *core;
+    if (!pipeStatsFromHex(*stats, e.snapshot.stats))
+        return std::nullopt;
+    const auto blob = [&](const char *key,
+                          std::optional<timing::PipeStats> &dst) {
+        const auto hex = getStr(line, key);
+        if (!hex)
+            return true;  // absent is fine
+        timing::PipeStats ps;
+        if (!pipeStatsFromHex(*hex, ps))
+            return false;
+        dst = ps;
+        return true;
+    };
+    if (!blob("tol_only", e.snapshot.tolOnly) ||
+        !blob("app_only", e.snapshot.appOnly) ||
+        !blob("tol_module", e.snapshot.tolModule)) {
+        return std::nullopt;
+    }
+    for (const TolField &f : kTolFields) {
+        const auto v = getU64(line, f.key);
+        if (!v)
+            return std::nullopt;
+        e.snapshot.tolStats.*f.member = *v;
+    }
+    if (!staticModesFromHex(*statics, e.snapshot.tolStats))
+        return std::nullopt;
+    return e;
+}
+
+} // namespace
+
+uint64_t
+configFingerprint(const sim::MetricsOptions &effective,
+                  const std::string &workload, bool requireHalt)
+{
+    const tol::TolConfig &t = effective.tolConfig;
+    const timing::TimingConfig &h = effective.timingConfig;
+    std::string dump;
+    dump.reserve(1024);
+    const auto field = [&dump](const char *key, uint64_t v) {
+        dump += strprintf("%s=%llu;", key,
+                          static_cast<unsigned long long>(v));
+    };
+    // The workload string first (length-prefixed so a crafted
+    // workload cannot alias into the field dump).
+    dump += strprintf("workload[%zu]=", workload.size());
+    dump += workload;
+    dump += ';';
+    field("requireHalt", requireHalt);
+    field("guestBudget", effective.guestBudget);
+    field("tolOnlyPipe", effective.tolOnlyPipe);
+    field("appOnlyPipe", effective.appOnlyPipe);
+    field("tolModulePipe", effective.tolModulePipe);
+    // TolConfig, declaration order.
+    field("imToBbThreshold", t.imToBbThreshold);
+    field("bbToSbThreshold", t.bbToSbThreshold);
+    field("maxBbGuestInsts", t.maxBbGuestInsts);
+    field("maxSbGuestInsts", t.maxSbGuestInsts);
+    dump += strprintf("sbBranchBias=%.17g;", t.sbBranchBias);
+    field("sbMinEdgeSamples", t.sbMinEdgeSamples);
+    field("sbFollowCalls", t.sbFollowCalls);
+    field("enableChaining", t.enableChaining);
+    field("enableIbtc", t.enableIbtc);
+    field("enableBbmOpts", t.enableBbmOpts);
+    field("enableSbmOpts", t.enableSbmOpts);
+    field("enableScheduling", t.enableScheduling);
+    field("ibtcEntries", t.ibtcEntries);
+    field("ibtcWays", t.ibtcWays);
+    field("transMapBuckets", t.transMapBuckets);
+    field("codeCacheBytes", t.codeCacheBytes);
+    field("sbPartitionPercent", t.sbPartitionPercent);
+    field("imDecodeAlus", t.imDecodeAlus);
+    field("imDispatchOverheadAlus", t.imDispatchOverheadAlus);
+    field("bbmDecodeAlus", t.bbmDecodeAlus);
+    field("bbmIrGenAlusPerInst", t.bbmIrGenAlusPerInst);
+    field("passVisitAlus", t.passVisitAlus);
+    field("cseHashAlus", t.cseHashAlus);
+    field("regallocAlusPerInterval", t.regallocAlusPerInterval);
+    field("schedAlusPerEdge", t.schedAlusPerEdge);
+    field("emitAlusPerInst", t.emitAlusPerInst);
+    field("lookupHashAlus", t.lookupHashAlus);
+    field("chainPatchAlus", t.chainPatchAlus);
+    field("ibtcFillAlus", t.ibtcFillAlus);
+    // TimingConfig, declaration order.
+    field("issueWidth", h.issueWidth);
+    field("iqSize", h.iqSize);
+    field("eventCore", h.eventCore);
+    field("bpHistoryBits", h.bpHistoryBits);
+    field("btbEntries", h.btbEntries);
+    field("btbWays", h.btbWays);
+    field("mispredictPenalty", h.mispredictPenalty);
+    const auto cache = [&](const char *key,
+                           const timing::CacheGeometry &g) {
+        dump += strprintf("%s=%u/%u/%u/%u;", key, g.sizeBytes,
+                          g.lineBytes, g.ways, g.hitLatency);
+    };
+    cache("l1i", h.l1i);
+    cache("l1d", h.l1d);
+    cache("l2", h.l2);
+    field("memLatency", h.memLatency);
+    field("prefetcherEntries", h.prefetcherEntries);
+    field("prefetcherEnabled", h.prefetcherEnabled);
+    field("tlbL1Entries", h.tlbL1Entries);
+    field("tlbL1Ways", h.tlbL1Ways);
+    field("tlbL1Latency", h.tlbL1Latency);
+    field("tlbL2Entries", h.tlbL2Entries);
+    field("tlbL2Ways", h.tlbL2Ways);
+    field("tlbL2Latency", h.tlbL2Latency);
+    field("tlbWalkLatency", h.tlbWalkLatency);
+    field("pageBits", h.pageBits);
+    field("intSimpleLatency", h.intSimpleLatency);
+    field("intComplexLatency", h.intComplexLatency);
+    field("fpSimpleLatency", h.fpSimpleLatency);
+    field("fpComplexLatency", h.fpComplexLatency);
+    return hashString(dump);
+}
+
+Journal::Journal(const std::string &path) : path(path)
+{
+    struct stat st{};
+    const bool fresh = ::stat(path.c_str(), &st) != 0 ||
+                       st.st_size == 0;
+    file = std::fopen(path.c_str(), "ab");
+    if (!file) {
+        fatal_kind(ErrKind::Io, "journal: cannot open '%s' for append",
+                   path.c_str());
+    }
+    if (fresh) {
+        std::fprintf(file, "{\"darco_journal\":1,\"engine\":\"%s\"}\n",
+                     kJournalEngineVersion);
+        std::fflush(file);
+    }
+}
+
+Journal::~Journal()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+Journal::append(const JournalEntry &entry)
+{
+    const std::string line = serializeEntry(entry);
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fputc('\n', file);
+    // Flush before reporting the job done: after fflush the bytes
+    // are the kernel's problem and survive a SIGKILL of this
+    // process. (fsync would also survive a host crash; a campaign
+    // journal does not need that durability class.)
+    std::fflush(file);
+    // Kill-after-Nth-append fault point (the kill-and-resume gate):
+    // fires `count` times, dies on the last one — i.e. after the Nth
+    // append has been made durable.
+    if (faultinject::fire(faultinject::Point::JournalKill) &&
+        !faultinject::pending(faultinject::Point::JournalKill)) {
+        std::raise(SIGKILL);
+    }
+}
+
+JournalLoad
+loadJournal(const std::string &path)
+{
+    JournalLoad load;
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return load;
+    std::string data;
+    char buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        data.append(buf, got);
+    std::fclose(f);
+
+    size_t pos = 0;
+    bool first = true;
+    while (pos < data.size()) {
+        // A file with no trailing newline ends in a torn line; it is
+        // parsed like any other and fails its checksum.
+        size_t end = data.find('\n', pos);
+        if (end == std::string::npos)
+            end = data.size();
+        const std::string line = data.substr(pos, end - pos);
+        pos = end + 1;
+        if (line.empty())
+            continue;
+        if (first) {
+            first = false;
+            if (line.find("\"darco_journal\":") != std::string::npos) {
+                if (const auto engine = getStr(line, "engine"))
+                    load.engine = *engine;
+                continue;
+            }
+            // No header: fall through and try it as an entry.
+        }
+        if (std::optional<JournalEntry> e = parseEntry(line))
+            load.entries.push_back(std::move(*e));
+        else
+            ++load.skippedLines;
+    }
+    return load;
+}
+
+} // namespace darco::runner

@@ -1,0 +1,82 @@
+#include "runner/watchdog.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace darco::runner {
+
+Watchdog::Watchdog() : monitor([this] { monitorLoop(); }) {}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        panic_if(!entries.empty(),
+                 "Watchdog destroyed with %zu armed entries",
+                 entries.size());
+        shuttingDown = true;
+    }
+    cv.notify_all();
+    monitor.join();
+}
+
+uint64_t
+Watchdog::arm(common::CancelToken *token, uint64_t timeout_ms)
+{
+    panic_if(!token, "Watchdog::arm without a cancel token");
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    uint64_t ticket;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ticket = nextTicket++;
+        entries.push_back({ticket, token, deadline});
+    }
+    // The new deadline may be earlier than whatever the monitor is
+    // currently sleeping towards.
+    cv.notify_all();
+    return ticket;
+}
+
+bool
+Watchdog::disarm(uint64_t ticket)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = std::find_if(
+        entries.begin(), entries.end(),
+        [ticket](const Entry &e) { return e.ticket == ticket; });
+    if (it == entries.end())
+        return true;  // already fired and removed by the monitor
+    entries.erase(it);
+    return false;
+}
+
+void
+Watchdog::monitorLoop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    while (!shuttingDown) {
+        if (entries.empty()) {
+            cv.wait(lock);
+            continue;
+        }
+        const auto next = std::min_element(
+            entries.begin(), entries.end(),
+            [](const Entry &a, const Entry &b) {
+                return a.deadline < b.deadline;
+            })->deadline;
+        cv.wait_until(lock, next);
+        // Fire (and drop) every entry whose deadline has passed;
+        // notifies and spurious wakeups just re-evaluate.
+        const auto now = std::chrono::steady_clock::now();
+        std::erase_if(entries, [now](const Entry &e) {
+            if (e.deadline > now)
+                return false;
+            e.token->request();
+            return true;
+        });
+    }
+}
+
+} // namespace darco::runner

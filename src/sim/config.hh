@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/cancel.hh"
 #include "timing/config.hh"
 #include "tol/config.hh"
 
@@ -41,6 +42,15 @@ struct SimConfig
      * bit-identically through `source://trace/<file>`.
      */
     std::string captureTracePath;
+
+    /**
+     * Cooperative cancellation (nullptr = never cancelled; the
+     * default, and the only legal value for perf-baseline runs —
+     * see bench/check_perf.py). Not part of the determinism key: it
+     * changes when a run stops, never what the completed work
+     * measured. The token must outlive System::run().
+     */
+    const common::CancelToken *cancel = nullptr;
 
     /** TOL-software-stream isolated pipeline (Figures 10/11). */
     bool tolOnlyPipe = false;

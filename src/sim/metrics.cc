@@ -16,6 +16,7 @@ configFromOptions(const MetricsOptions &options)
     cfg.appOnlyPipe = options.appOnlyPipe;
     cfg.tolModulePipe = options.tolModulePipe;
     cfg.captureTracePath = options.captureTracePath;
+    cfg.cancel = options.cancel;
     return cfg;
 }
 
@@ -30,6 +31,7 @@ optionsFromConfig(const SimConfig &cfg)
     options.appOnlyPipe = cfg.appOnlyPipe;
     options.tolModulePipe = cfg.tolModulePipe;
     options.captureTracePath = cfg.captureTracePath;
+    options.cancel = cfg.cancel;
     return options;
 }
 
@@ -45,18 +47,37 @@ runWorkload(const workloads::Workload &workload,
     return collectMetrics(sys, res, workload.name, workload.suite);
 }
 
+RunSnapshot
+snapshotFromSystem(const System &sys, const SystemResult &res)
+{
+    RunSnapshot snap;
+    snap.result = res;
+    snap.stats = sys.combinedStats();
+    snap.tolStats = sys.tolStats();
+    if (const timing::PipeStats *tp = sys.tolOnlyStats())
+        snap.tolOnly = *tp;
+    if (const timing::PipeStats *ap = sys.appOnlyStats())
+        snap.appOnly = *ap;
+    if (const timing::PipeStats *tm = sys.tolModuleStats())
+        snap.tolModule = *tm;
+    snap.timingCore =
+        sys.timingEngine() == timing::Pipeline::Engine::EventDriven
+            ? "event" : "reference";
+    return snap;
+}
+
 BenchMetrics
-collectMetrics(const System &sys, const SystemResult &res,
-               const std::string &name, const std::string &suite)
+collectMetrics(const RunSnapshot &snap, const std::string &name,
+               const std::string &suite)
 {
     BenchMetrics m;
     m.name = name;
     m.suite = suite;
-    m.guestRetired = res.guestRetired;
-    m.halted = res.halted;
-    m.cycles = res.cycles;
+    m.guestRetired = snap.result.guestRetired;
+    m.halted = snap.result.halted;
+    m.cycles = snap.result.cycles;
 
-    const tol::TolStats &ts = sys.tolStats();
+    const tol::TolStats &ts = snap.tolStats;
     ts.staticCounts(m.staticIm, m.staticBbm, m.staticSbm);
     m.dynIm = ts.dynIm;
     m.dynBbm = ts.dynBbm;
@@ -68,7 +89,7 @@ collectMetrics(const System &sys, const SystemResult &res,
           static_cast<double>(m.staticTotal())
         : 0;
 
-    const timing::PipeStats &ps = sys.combinedStats();
+    const timing::PipeStats &ps = snap.stats;
     m.tolCycles = ps.tolCycles();
     m.appCycles = ps.appCycles();
     for (unsigned mod = 0; mod < timing::kNumModules; ++mod) {
@@ -94,35 +115,43 @@ collectMetrics(const System &sys, const SystemResult &res,
         m.bucketSrc[b][1] = ps.bucketSrc[b][1];
     }
 
-    if (const timing::PipeStats *tp = sys.tolOnlyStats()) {
+    if (snap.tolOnly) {
         m.haveTolOnly = true;
-        m.tolOnlyCycles = tp->cycles;
+        m.tolOnlyCycles = snap.tolOnly->cycles;
         for (unsigned b = 0; b < timing::kNumBuckets; ++b) {
-            m.tolOnlyBucket[b] =
-                tp->bucketTotal(static_cast<timing::Bucket>(b));
+            m.tolOnlyBucket[b] = snap.tolOnly->bucketTotal(
+                static_cast<timing::Bucket>(b));
         }
     }
     // Figure 8 characteristics come from the module-filtered TOL
     // instance (includes profiling instrumentation); fall back to the
     // source-split instance when only that one was requested.
-    const timing::PipeStats *tchar = sys.tolModuleStats()
-        ? sys.tolModuleStats() : sys.tolOnlyStats();
+    const timing::PipeStats *tchar = snap.tolModule
+        ? &*snap.tolModule
+        : (snap.tolOnly ? &*snap.tolOnly : nullptr);
     if (tchar) {
         m.tolIpc = tchar->ipc();
         m.tolDmissRate = tchar->l1d.missRate();
         m.tolImissRate = tchar->l1i.missRate();
         m.tolBpMissRate = tchar->bp.mispredictRate();
     }
-    if (const timing::PipeStats *ap = sys.appOnlyStats()) {
-        m.appOnlyCycles = ap->cycles;
+    if (snap.appOnly) {
+        m.appOnlyCycles = snap.appOnly->cycles;
         for (unsigned b = 0; b < timing::kNumBuckets; ++b) {
-            m.appOnlyBucket[b] =
-                ap->bucketTotal(static_cast<timing::Bucket>(b));
+            m.appOnlyBucket[b] = snap.appOnly->bucketTotal(
+                static_cast<timing::Bucket>(b));
         }
         m.haveIsolation = m.haveTolOnly;
     }
 
     return m;
+}
+
+BenchMetrics
+collectMetrics(const System &sys, const SystemResult &res,
+               const std::string &name, const std::string &suite)
+{
+    return collectMetrics(snapshotFromSystem(sys, res), name, suite);
 }
 
 BenchMetrics
@@ -141,14 +170,8 @@ snapshotRun(const workloads::Workload &workload,
 
     System sys(cfg);
     sys.load(workload);
-    RunSnapshot snap;
-    snap.result = sys.run();
-    snap.stats = sys.combinedStats();
-    snap.tolStats = sys.tolStats();
-    snap.timingCore =
-        sys.timingEngine() == timing::Pipeline::Engine::EventDriven
-            ? "event" : "reference";
-    return snap;
+    const SystemResult res = sys.run();
+    return snapshotFromSystem(sys, res);
 }
 
 BenchMetrics

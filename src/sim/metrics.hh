@@ -8,6 +8,7 @@
 #ifndef DARCO_SIM_METRICS_HH
 #define DARCO_SIM_METRICS_HH
 
+#include <optional>
 #include <string>
 
 #include "sim/system.hh"
@@ -165,6 +166,10 @@ struct MetricsOptions
     /** When non-empty, snapshot the run to this binary trace file
      *  (SimConfig::captureTracePath passthrough; docs/traces.md). */
     std::string captureTracePath;
+    /** Cooperative cancellation (SimConfig::cancel passthrough;
+     *  nullptr = never cancelled). Runtime wiring, not a determinism
+     *  input — excluded from campaign-journal fingerprints. */
+    const common::CancelToken *cancel = nullptr;
 };
 
 /**
@@ -254,6 +259,45 @@ BenchMetrics runWorkload(const workloads::Workload &workload,
                          const MetricsOptions &options);
 
 /**
+ * Raw outcome of one run: the result plus full stats snapshots.
+ * This is the round-trip gates' currency (tests/
+ * test_trace_roundtrip.cc, bench/trace_roundtrip.cc): everything
+ * needed to prove two runs bit-identical via timing::diffStats and
+ * tol::diffTolStats — and, since every figure metric is a pure
+ * function of it (collectMetrics below), everything the campaign
+ * journal needs to reconstruct a completed job without re-running it
+ * (runner/journal.hh).
+ */
+struct RunSnapshot
+{
+    SystemResult result;
+    timing::PipeStats stats;
+    tol::TolStats tolStats;
+    /** Isolated/filtered pipeline instances, when enabled (Figures
+     *  8/10/11); absent otherwise. */
+    std::optional<timing::PipeStats> tolOnly;
+    std::optional<timing::PipeStats> appOnly;
+    std::optional<timing::PipeStats> tolModule;
+    /** Core that advanced simulated time ("event" / "reference"),
+     *  same encoding as trace::TracePins::timingCore. */
+    std::string timingCore;
+};
+
+/** Snapshot everything a finished System run measured. */
+RunSnapshot snapshotFromSystem(const System &sys,
+                               const SystemResult &res);
+
+/**
+ * Derive the full figure-metrics record from a run snapshot. A pure
+ * function of the snapshot — no live System required — so a job
+ * replayed from the campaign journal yields bit-identical metrics to
+ * the run that produced the snapshot.
+ */
+BenchMetrics collectMetrics(const RunSnapshot &snap,
+                            const std::string &name,
+                            const std::string &suite);
+
+/**
  * Derive the full figure-metrics record from a finished System run.
  * Shared by runWorkload and the batch runner so one System execution
  * can yield both a BenchMetrics and a RunSnapshot without running
@@ -263,23 +307,6 @@ BenchMetrics collectMetrics(const System &sys,
                             const SystemResult &res,
                             const std::string &name,
                             const std::string &suite);
-
-/**
- * Raw outcome of one run: the result plus full stats snapshots.
- * This is the round-trip gates' currency (tests/
- * test_trace_roundtrip.cc, bench/trace_roundtrip.cc): everything
- * needed to prove two runs bit-identical via timing::diffStats and
- * tol::diffTolStats.
- */
-struct RunSnapshot
-{
-    SystemResult result;
-    timing::PipeStats stats;
-    tol::TolStats tolStats;
-    /** Core that advanced simulated time ("event" / "reference"),
-     *  same encoding as trace::TracePins::timingCore. */
-    std::string timingCore;
-};
 
 /**
  * One System run of @p workload under the default configuration

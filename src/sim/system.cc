@@ -97,7 +97,8 @@ System::run()
     panic_if(ran, "System::run called twice");
     ran = true;
 
-    const tol::Runtime::RunResult rr = runtime->run(cfg.guestBudget);
+    const tol::Runtime::RunResult rr =
+        runtime->run(cfg.guestBudget, cfg.cancel);
 
     // The functional pass above streamed records into the timing
     // instances, which advance time lazily behind a bounded backlog
@@ -115,10 +116,15 @@ System::run()
     SystemResult result;
     result.guestRetired = rr.guestRetired;
     result.halted = rr.halted;
+    result.cancelled = rr.cancelled;
     result.cycles = combined->stats().cycles;
-    if (cfg.cosim)
+    // A cancelled run stopped mid-workload: its end state is not the
+    // workload's end state, so the final memory audit is meaningless
+    // and the pins of a partial run must never be published as a
+    // replayable trace (per-commit cosim checks still ran).
+    if (cfg.cosim && !rr.cancelled)
         result.memoryDiff = compareGuestMemory(authMem, hostMem);
-    if (capture)
+    if (capture && !rr.cancelled)
         writeCapturedTrace(result);
     return result;
 }

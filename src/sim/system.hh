@@ -31,6 +31,9 @@ struct SystemResult
     bool halted = false;            ///< guest reached HALT in budget
     uint64_t cycles = 0;            ///< combined-pipeline cycles
     std::string memoryDiff;         ///< co-simulation memory check
+    /** Stopped early by SimConfig::cancel: every other field still
+     *  exactly accounts the work that completed (partial metrics). */
+    bool cancelled = false;
 };
 
 class System

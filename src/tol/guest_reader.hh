@@ -42,7 +42,7 @@ class GuestCodeReader
   public:
     explicit GuestCodeReader(host::Memory &memory) : mem(memory) {}
 
-    /** Decoded instruction at @p eip (panics on undecodable bytes). */
+    /** Decoded instruction at @p eip (fatal on undecodable bytes). */
     const guest::Inst &
     at(uint32_t eip)
     {
@@ -97,9 +97,15 @@ class GuestCodeReader
         DecodedInst entry;
         const guest::DecodeStatus status =
             guest::decode(buf, sizeof(buf), entry.inst);
-        panic_if(status != guest::DecodeStatus::Ok,
-                 "TOL: undecodable guest instruction at 0x%08x (%d)",
-                 eip, static_cast<int>(status));
+        if (status != guest::DecodeStatus::Ok) {
+            // A guest error, not a simulator bug: a trace file can
+            // carry an arbitrary program image (the CSUM section
+            // authenticates the bytes as written, not as sane), so
+            // undecodable code must fail the run, not the process.
+            fatal_kind(ErrKind::Guest,
+                       "TOL: undecodable guest instruction at 0x%08x "
+                       "(%d)", eip, static_cast<int>(status));
+        }
         entry.info = &guest::opInfo(entry.inst.op);
         return cache.emplace(eip, entry).first->second;
     }

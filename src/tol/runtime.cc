@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "ir/passes.hh"
 #include "ir/scheduler.hh"
@@ -534,13 +535,40 @@ Runtime::interpretBurst(uint64_t &remaining)
 // ---------------------------------------------------------------------
 
 Runtime::RunResult
-Runtime::run(uint64_t guest_budget)
+Runtime::run(uint64_t guest_budget, const common::CancelToken *cancel)
 {
     RunResult result;
     uint64_t remaining = guest_budget;
     uint32_t resume_entry = 0;
 
-    while (remaining > 0 && !guestHalted) {
+    // Cancellation reaches translated code through the executor's
+    // record-batch flush; the dispatch loop itself is the batch
+    // boundary for interpreted execution and runtime services.
+    exec.setCancelToken(cancel);
+
+    // Fault injection: a stalled run re-earns its budget forever, so
+    // only the watchdog's cancellation can end it (livelock model).
+    // Honored only for cancellable runs — an unwatched stall would
+    // hang the process rather than test anything.
+    const bool stall_injected =
+        cancel && faultinject::fire(faultinject::Point::GuestStall);
+
+    // A stalled run stays in the loop even when an executor Budget
+    // stop zeroed `remaining` — the refill below re-arms it, so only
+    // cancellation (or HALT) can end the run.
+    while ((remaining > 0 || stall_injected) && !guestHalted) {
+        if (cancel) {
+            if (cancel->requested()) {
+                result.cancelled = true;
+                break;
+            }
+            if (stall_injected)
+                remaining = guest_budget;
+        }
+        if (faultinject::fire(faultinject::Point::MidRunThrow)) {
+            fatal("fault injection: mid-run failure in the dispatch "
+                  "loop");
+        }
         ++tolStats.dispatchLoops;
         cost.other.alu(2);  // dispatch-loop control flow
 
@@ -658,6 +686,12 @@ Runtime::run(uint64_t guest_budget)
           }
         }
     }
+
+    // A cancellation honored inside the executor exits the loop
+    // through the ordinary Budget stop; detect it here so both stop
+    // paths report the same way.
+    if (cancel && cancel->requested() && !guestHalted)
+        result.cancelled = true;
 
     // Indirect-branch retirements taken through translated code (IBTC
     // hits exit via JALR and never reach the runtime).

@@ -25,6 +25,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cancel.hh"
 #include "guest/assembler.hh"
 #include "guest/emulator.hh"
 #include "host/code_store.hh"
@@ -77,10 +78,20 @@ class Runtime
     {
         uint64_t guestRetired = 0;
         bool halted = false;
+        /** Stopped by @p cancel before HALT/budget: guestRetired and
+         *  every stat reflect exactly the work that completed. */
+        bool cancelled = false;
     };
 
-    /** Run until HALT or (at least) @p guest_budget instructions. */
-    RunResult run(uint64_t guest_budget);
+    /**
+     * Run until HALT or (at least) @p guest_budget instructions.
+     * When @p cancel is non-null it is polled at batch boundaries
+     * (the dispatch loop and the executor's record-batch flush); a
+     * request stops the run at the next clean architectural point
+     * and reports partial results (docs/robustness.md).
+     */
+    RunResult run(uint64_t guest_budget,
+                  const common::CancelToken *cancel = nullptr);
 
     void setObserver(CommitObserver *obs) { observer = obs; }
 

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 
 namespace darco::trace {
@@ -150,6 +151,11 @@ parsePins(ByteReader &r, TracePins &pins)
 std::vector<uint8_t>
 slurp(const std::string &path, std::string &error)
 {
+    if (faultinject::fire(faultinject::Point::TraceIoFail)) {
+        error = strprintf("trace %s: injected transient I/O failure",
+                          path.c_str());
+        return {};
+    }
     FILE *fp = std::fopen(path.c_str(), "rb");
     if (!fp) {
         error = strprintf("trace %s: cannot open for reading",
@@ -176,14 +182,28 @@ ReadResult
 readTrace(const std::string &path)
 {
     ReadResult result;
+    // Everything below the successful slurp is a structural failure:
+    // the bytes were read, they just do not form a valid trace.
     auto fail = [&](std::string msg) {
         result.error = std::move(msg);
+        result.failKind = ReadFail::Corrupt;
         return result;
     };
 
-    const std::vector<uint8_t> bytes = slurp(path, result.error);
-    if (!result.error.empty())
+    std::vector<uint8_t> bytes = slurp(path, result.error);
+    if (!result.error.empty()) {
+        result.failKind = ReadFail::Io;
         return result;
+    }
+    // Post-read corruption injection: a single byte flip anywhere in
+    // the image must be caught by the structural checks or the CSUM
+    // section (tests/test_trace_roundtrip.cc proves the same for
+    // every byte offset).
+    if (!bytes.empty() &&
+        faultinject::fire(faultinject::Point::TraceCorrupt)) {
+        bytes[faultinject::param(faultinject::Point::TraceCorrupt) %
+              bytes.size()] ^= 0xff;
+    }
 
     ByteReader r(bytes.data(), bytes.size());
     const uint32_t magic = r.u32();

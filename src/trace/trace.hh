@@ -110,11 +110,21 @@ struct TraceFile
  */
 void writeTrace(const std::string &path, const TraceFile &file);
 
+/**
+ * How a trace read failed, for callers that need to decide between
+ * retrying and rejecting (runner retry policy, sim/run_error.hh):
+ * Io failures (file unreadable) can be transient on a loaded or
+ * networked filesystem; Corrupt means the bytes were read fine but
+ * failed a structural or checksum test — re-reading cannot help.
+ */
+enum class ReadFail : uint8_t { None, Io, Corrupt };
+
 /** readTrace outcome: `error` empty means success. */
 struct ReadResult
 {
     TraceFile file;
     std::string error;
+    ReadFail failKind = ReadFail::None;
 
     bool ok() const { return error.empty(); }
 };

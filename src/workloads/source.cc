@@ -37,10 +37,13 @@ class SyntheticSource : public WorkloadSource
     resolve(const std::string &spec) const override
     {
         const BenchParams *params = findBenchmark(spec);
-        fatal_if(!params,
-                 "workload source: unknown synthetic benchmark '%s' "
-                 "(see --list or workloads::allBenchmarks())",
-                 spec.c_str());
+        if (!params) {
+            fatal_kind(ErrKind::BadWorkload,
+                       "workload source: unknown synthetic benchmark "
+                       "'%s' (see --list or "
+                       "workloads::allBenchmarks())",
+                       spec.c_str());
+        }
         return syntheticWorkload(*params);
     }
 
@@ -63,8 +66,14 @@ class TraceSource : public WorkloadSource
     resolve(const std::string &spec) const override
     {
         trace::ReadResult read = trace::readTrace(spec);
-        fatal_if(!read.ok(), "workload source: %s",
-                 read.error.c_str());
+        if (!read.ok()) {
+            // Io vs Corrupt drives the runner's retry policy: a
+            // flaky filesystem deserves another attempt, a failed
+            // checksum never does (sim/run_error.hh).
+            fatal_kind(read.failKind == trace::ReadFail::Io
+                           ? ErrKind::Io : ErrKind::Corrupt,
+                       "workload source: %s", read.error.c_str());
+        }
         Workload w;
         w.uri = traceUri(spec);
         w.name = read.file.meta.name;
@@ -157,17 +166,21 @@ resolveWorkload(const std::string &uri_or_name)
     }
     const std::string rest = uri_or_name.substr(kPrefixLen);
     const size_t slash = rest.find('/');
-    fatal_if(slash == std::string::npos || slash == 0 ||
-                 slash + 1 >= rest.size(),
-             "workload source: malformed URI '%s' (expected "
-             "source://<scheme>/<spec>)",
-             uri_or_name.c_str());
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= rest.size()) {
+        fatal_kind(ErrKind::BadWorkload,
+                   "workload source: malformed URI '%s' (expected "
+                   "source://<scheme>/<spec>)",
+                   uri_or_name.c_str());
+    }
     const std::string scheme = rest.substr(0, slash);
     const std::string spec = rest.substr(slash + 1);
     const WorkloadSource *source = findSource(scheme);
-    fatal_if(!source,
-             "workload source: unknown scheme '%s' in '%s'",
-             scheme.c_str(), uri_or_name.c_str());
+    if (!source) {
+        fatal_kind(ErrKind::BadWorkload,
+                   "workload source: unknown scheme '%s' in '%s'",
+                   scheme.c_str(), uri_or_name.c_str());
+    }
     return source->resolve(spec);
 }
 

@@ -53,6 +53,14 @@ readAll(const std::string &path)
 const char *kSuiteReps[] = {"464.h264ref", "436.cactusADM",
                             "104.novis_explosions", "005.h264enc"};
 
+runner::BatchConfig
+withWorkers(unsigned workers)
+{
+    runner::BatchConfig cfg;
+    cfg.workers = workers;
+    return cfg;
+}
+
 sim::MetricsOptions
 smallOptions(uint64_t budget = 120'000)
 {
@@ -117,8 +125,8 @@ TEST(BatchAB, ParallelMatchesSerialOnSyntheticWorkloads)
         batch.push_back(std::move(tweaked));
     }
 
-    const auto serial = runner::BatchRunner({1, nullptr}).run(batch);
-    const auto parallel = runner::BatchRunner({4, nullptr}).run(batch);
+    const auto serial = runner::BatchRunner(withWorkers(1)).run(batch);
+    const auto parallel = runner::BatchRunner(withWorkers(4)).run(batch);
 
     for (const runner::JobResult &r : serial)
         EXPECT_TRUE(r.ok) << r.error;
@@ -161,8 +169,8 @@ TEST(BatchAB, ParallelMatchesSerialOnTraceWorkloads)
                                 sim::MetricsOptions{}));
     }
 
-    const auto serial = runner::BatchRunner({1, nullptr}).run(batch);
-    const auto parallel = runner::BatchRunner({4, nullptr}).run(batch);
+    const auto serial = runner::BatchRunner(withWorkers(1)).run(batch);
+    const auto parallel = runner::BatchRunner(withWorkers(4)).run(batch);
     for (const runner::JobResult &r : parallel)
         EXPECT_TRUE(r.ok) << r.error;  // includes the pin check
     expectIdenticalResults(serial, parallel);
@@ -177,7 +185,7 @@ TEST(BatchRunner, ExpectedPinsEnforced)
     // with a structured report naming the field.
     const runner::BatchJob probe = makeJob(
         workloads::syntheticUri("462.libquantum"), smallOptions());
-    const auto probed = runner::BatchRunner({1, nullptr}).run({probe});
+    const auto probed = runner::BatchRunner(withWorkers(1)).run({probe});
     ASSERT_TRUE(probed[0].ok) << probed[0].error;
 
     trace::TracePins pins;
@@ -199,7 +207,7 @@ TEST(BatchRunner, ExpectedPinsEnforced)
     broken.expectedPins->simCycles += 1;
 
     const auto results =
-        runner::BatchRunner({2, nullptr}).run({pinned, broken});
+        runner::BatchRunner(withWorkers(2)).run({pinned, broken});
     EXPECT_TRUE(results[0].ok) << results[0].error;
     EXPECT_FALSE(results[1].ok);
     EXPECT_NE(results[1].error.find("sim_cycles"), std::string::npos)
@@ -223,7 +231,7 @@ TEST(BatchRunner, OverridesWinOverCaptureRecipe)
     shortened.checkCapturedPins = false;
     shortened.guestBudgetOverride = 40'000;
     const auto results =
-        runner::BatchRunner({1, nullptr}).run({shortened});
+        runner::BatchRunner(withWorkers(1)).run({shortened});
     ASSERT_TRUE(results[0].ok) << results[0].error;
     EXPECT_LT(results[0].snapshot.result.guestRetired, 50'000u);
 
@@ -232,7 +240,7 @@ TEST(BatchRunner, OverridesWinOverCaptureRecipe)
     runner::BatchJob conflicted = shortened;
     conflicted.checkCapturedPins = true;
     const auto conflicted_results =
-        runner::BatchRunner({1, nullptr}).run({conflicted});
+        runner::BatchRunner(withWorkers(1)).run({conflicted});
     EXPECT_FALSE(conflicted_results[0].ok);
     EXPECT_NE(conflicted_results[0].error.find("pin mismatch"),
               std::string::npos) << conflicted_results[0].error;
@@ -244,7 +252,7 @@ TEST(BatchRunner, OverridesWinOverCaptureRecipe)
         makeJob(workloads::traceUri(path), sim::MetricsOptions{});
     refcore.options.timingConfig.eventCore = false;
     const auto refcore_results =
-        runner::BatchRunner({1, nullptr}).run({refcore});
+        runner::BatchRunner(withWorkers(1)).run({refcore});
     EXPECT_FALSE(refcore_results[0].ok);
     EXPECT_NE(refcore_results[0].error.find("timing_core"),
               std::string::npos) << refcore_results[0].error;
@@ -270,7 +278,7 @@ TEST(BatchRunner, ResultsLandInJobIndexOrder)
                                 smallOptions(budgets[i])));
         expect_names.push_back(name);
     }
-    const auto results = runner::BatchRunner({3, nullptr}).run(batch);
+    const auto results = runner::BatchRunner(withWorkers(3)).run(batch);
     ASSERT_EQ(results.size(), batch.size());
     for (size_t i = 0; i < results.size(); ++i) {
         EXPECT_TRUE(results[i].ok) << results[i].error;
@@ -296,7 +304,7 @@ TEST(BatchRunner, FailingJobsReportWithoutAbortingTheBatch)
     batch.push_back(makeJob(workloads::syntheticUri("429.mcf"),
                             smallOptions()));
 
-    const auto results = runner::BatchRunner({4, nullptr}).run(batch);
+    const auto results = runner::BatchRunner(withWorkers(4)).run(batch);
     ASSERT_EQ(results.size(), 5u);
     EXPECT_TRUE(results[0].ok) << results[0].error;
     EXPECT_FALSE(results[1].ok);
@@ -309,7 +317,7 @@ TEST(BatchRunner, FailingJobsReportWithoutAbortingTheBatch)
     EXPECT_TRUE(results[4].ok) << results[4].error;
 
     // The healthy slots equal a clean serial run of the same jobs.
-    const auto clean = runner::BatchRunner({1, nullptr})
+    const auto clean = runner::BatchRunner(withWorkers(1))
                            .run({batch[0], batch[4]});
     EXPECT_EQ(timing::diffStats(results[0].snapshot.stats,
                                 clean[0].snapshot.stats), "");
@@ -329,8 +337,8 @@ TEST(BatchRunner, OversubscriptionJobsFarExceedWorkers)
         }
     }
     ASSERT_EQ(batch.size(), 24u);
-    const auto parallel = runner::BatchRunner({3, nullptr}).run(batch);
-    const auto serial = runner::BatchRunner({1, nullptr}).run(batch);
+    const auto parallel = runner::BatchRunner(withWorkers(3)).run(batch);
+    const auto serial = runner::BatchRunner(withWorkers(1)).run(batch);
     expectIdenticalResults(serial, parallel);
     // Repeats of one workload are the same deterministic simulation.
     EXPECT_EQ(timing::diffStats(parallel[0].snapshot.stats,
@@ -347,7 +355,7 @@ TEST(BatchRunner, DuplicateCapturePathsRejected)
         batch.push_back(std::move(job));
     }
     ScopedFatalThrow fatal_throws;
-    EXPECT_THROW(runner::BatchRunner({2, nullptr}).run(batch),
+    EXPECT_THROW(runner::BatchRunner(withWorkers(2)).run(batch),
                  FatalError);
 }
 

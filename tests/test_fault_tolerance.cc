@@ -1,0 +1,783 @@
+/**
+ * @file
+ * Fault-tolerance gates (docs/robustness.md): every RunError class
+ * must be producible and classified without message matching, the
+ * retry policy must re-run exactly the transient classes with the
+ * deterministic backoff schedule, a watchdog-cancelled job must
+ * report Timeout with partial metrics while its batch completes, and
+ * a SIGKILLed campaign must resume from its journal bit-identically
+ * to an uninterrupted run.
+ *
+ * This binary has a custom main: it arms fault-injection points from
+ * DARCO_FAULTINJECT (so child processes can be armed through the
+ * environment) and, when DARCO_FT_CAMPAIGN_CHILD is set, runs the
+ * kill-and-resume campaign instead of the test suite. The parent
+ * test re-execs itself (/proc/self/exe) in that mode with
+ * journal-kill armed, so the process really dies mid-campaign with
+ * SIGKILL — no in-process simulation of a crash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/faultinject.hh"
+#include "common/logging.hh"
+#include "guest/assembler.hh"
+#include "runner/batch_runner.hh"
+#include "runner/journal.hh"
+#include "sim/metrics.hh"
+#include "sim/run_error.hh"
+#include "timing/pipeline.hh"
+#include "tol/stats.hh"
+#include "trace/trace.hh"
+#include "workloads/params.hh"
+#include "workloads/source.hh"
+
+using namespace darco;
+namespace g = darco::guest;
+
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+/** Disarm every injection point on entry and exit, so a failing
+ *  EXPECT cannot leak an armed point into the next test. */
+struct FaultClear
+{
+    FaultClear() { faultinject::disarmAll(); }
+    ~FaultClear() { faultinject::disarmAll(); }
+};
+
+sim::MetricsOptions
+smallOptions(uint64_t budget)
+{
+    sim::MetricsOptions options;
+    options.guestBudget = budget;
+    options.tolConfig.bbToSbThreshold = sim::scaledSbThreshold(budget);
+    return options;
+}
+
+runner::BatchJob
+makeJob(std::string uri, sim::MetricsOptions options)
+{
+    runner::BatchJob job;
+    job.workload = std::move(uri);
+    job.options = std::move(options);
+    return job;
+}
+
+/** A small guest that reaches HALT well inside its budget. */
+trace::TraceFile
+haltingTraceFile()
+{
+    g::Assembler as;
+    as.mov(g::EAX, 0);
+    as.mov(g::ECX, 400);
+    auto loop = as.newLabel();
+    as.bind(loop);
+    as.add(g::EAX, g::ECX);
+    as.dec(g::ECX);
+    as.jcc(g::Cond::NE, loop);
+    as.halt();
+
+    trace::TraceFile file;
+    file.meta.name = "ft-halting";
+    file.meta.suite = "FT";
+    file.meta.guestBudget = 20'000;
+    file.meta.imToBbThreshold = 5;
+    file.meta.bbToSbThreshold = 300;
+    file.program.code = as.finalize(file.program.codeBase);
+    file.program.entry = file.program.codeBase;
+    return file;
+}
+
+/** A structurally valid trace whose code bytes are not decodable
+ *  guest instructions (every opcode byte past Op::NumOps). */
+trace::TraceFile
+badOpcodeTraceFile()
+{
+    trace::TraceFile file;
+    file.meta.name = "ft-badop";
+    file.meta.suite = "FT";
+    file.meta.guestBudget = 1000;
+    file.meta.imToBbThreshold = 5;
+    file.meta.bbToSbThreshold = 300;
+    file.program.code.assign(64, 0xFF);
+    file.program.entry = file.program.codeBase;
+    return file;
+}
+
+std::string
+writeTempTrace(const std::string &name, const trace::TraceFile &file)
+{
+    const std::string path = tempPath(name);
+    trace::writeTrace(path, file);
+    return path;
+}
+
+/**
+ * The kill-and-resume campaign: 8 benchmarks x 3 budgets = 24 jobs.
+ * Parent, child and the serial reference all build the batch through
+ * this one function, so the fingerprints line up by construction.
+ */
+std::vector<runner::BatchJob>
+campaignJobs()
+{
+    const auto &all = workloads::allBenchmarks();
+    std::vector<runner::BatchJob> jobs;
+    for (size_t i = 0; i < 8 && i < all.size(); ++i) {
+        for (const uint64_t budget : {40'000u, 60'000u, 80'000u}) {
+            jobs.push_back(makeJob(workloads::syntheticUri(all[i].name),
+                                   smallOptions(budget)));
+        }
+    }
+    return jobs;
+}
+
+/** Per-slot bit-identity: the journal/replay acceptance currency. */
+void
+expectIdenticalSlots(const std::vector<runner::JobResult> &got,
+                     const std::vector<runner::JobResult> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        SCOPED_TRACE(want[i].uri + strprintf(" (job %zu)", i));
+        EXPECT_TRUE(got[i].ok);
+        EXPECT_TRUE(want[i].ok);
+        EXPECT_EQ(got[i].name, want[i].name);
+        EXPECT_EQ(got[i].suite, want[i].suite);
+        EXPECT_EQ(got[i].snapshot.result.guestRetired,
+                  want[i].snapshot.result.guestRetired);
+        EXPECT_EQ(got[i].snapshot.result.cycles,
+                  want[i].snapshot.result.cycles);
+        EXPECT_EQ(got[i].snapshot.result.halted,
+                  want[i].snapshot.result.halted);
+        EXPECT_EQ(got[i].snapshot.timingCore,
+                  want[i].snapshot.timingCore);
+        EXPECT_EQ(timing::diffStats(got[i].snapshot.stats,
+                                    want[i].snapshot.stats), "");
+        EXPECT_EQ(tol::diffTolStats(got[i].snapshot.tolStats,
+                                    want[i].snapshot.tolStats), "");
+        // Figure metrics are pure functions of the snapshot
+        // (sim::collectMetrics); spot-check the headline fields.
+        EXPECT_EQ(got[i].metrics.dynSbm, want[i].metrics.dynSbm);
+        EXPECT_EQ(got[i].metrics.cycles, want[i].metrics.cycles);
+        EXPECT_DOUBLE_EQ(got[i].metrics.tolCycles,
+                         want[i].metrics.tolCycles);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Taxonomy basics.
+// ---------------------------------------------------------------------
+
+TEST(RunErrorTaxonomy, ClassNamesRoundTrip)
+{
+    using sim::RunErrorClass;
+    for (const RunErrorClass cls : {
+             RunErrorClass::None, RunErrorClass::BadWorkload,
+             RunErrorClass::TraceCorrupt, RunErrorClass::GuestFault,
+             RunErrorClass::BudgetExhausted, RunErrorClass::Timeout,
+             RunErrorClass::IoTransient, RunErrorClass::Internal}) {
+        EXPECT_EQ(sim::runErrorClassFromName(
+                      sim::runErrorClassName(cls)), cls);
+    }
+    EXPECT_EQ(sim::runErrorClassFromName("NoSuchClass"),
+              RunErrorClass::None);
+}
+
+TEST(RunErrorTaxonomy, TransiencePolicy)
+{
+    using sim::RunErrorClass;
+    const auto transient = [](RunErrorClass cls) {
+        return sim::RunError{cls, "u", "c"}.transient();
+    };
+    EXPECT_TRUE(transient(RunErrorClass::Timeout));
+    EXPECT_TRUE(transient(RunErrorClass::IoTransient));
+    EXPECT_FALSE(transient(RunErrorClass::BadWorkload));
+    EXPECT_FALSE(transient(RunErrorClass::TraceCorrupt));
+    EXPECT_FALSE(transient(RunErrorClass::GuestFault));
+    EXPECT_FALSE(transient(RunErrorClass::BudgetExhausted));
+    EXPECT_FALSE(transient(RunErrorClass::Internal));
+
+    const sim::RunError e{RunErrorClass::TraceCorrupt, "source://x",
+                          "CSUM mismatch"};
+    EXPECT_EQ(e.describe(), "TraceCorrupt (permanent): CSUM mismatch");
+    const sim::RunError t{RunErrorClass::Timeout, "source://x",
+                          "deadline"};
+    EXPECT_EQ(t.describe(), "Timeout (transient): deadline");
+}
+
+TEST(RunErrorTaxonomy, BackoffIsDeterministicAndBounded)
+{
+    EXPECT_EQ(runner::backoffDelayMs(100, 0), 100u);
+    EXPECT_EQ(runner::backoffDelayMs(100, 1), 200u);
+    EXPECT_EQ(runner::backoffDelayMs(100, 5), 3200u);
+    EXPECT_EQ(runner::backoffDelayMs(100, 6), 6400u);
+    // Saturates: attempt 7, 20, ... all cap at base * 64.
+    EXPECT_EQ(runner::backoffDelayMs(100, 7), 6400u);
+    EXPECT_EQ(runner::backoffDelayMs(100, 20), 6400u);
+}
+
+TEST(FaultInject, ArmedCountSemantics)
+{
+    FaultClear clear;
+    EXPECT_FALSE(faultinject::anyArmed());
+    EXPECT_FALSE(faultinject::fire(faultinject::Point::TraceIoFail));
+
+    faultinject::arm(faultinject::Point::TraceIoFail, 2, 7);
+    EXPECT_TRUE(faultinject::anyArmed());
+    EXPECT_EQ(faultinject::pending(faultinject::Point::TraceIoFail), 2u);
+    EXPECT_EQ(faultinject::param(faultinject::Point::TraceIoFail), 7u);
+    EXPECT_TRUE(faultinject::fire(faultinject::Point::TraceIoFail));
+    EXPECT_TRUE(faultinject::fire(faultinject::Point::TraceIoFail));
+    // Exhausted after `count` firings; other points never armed.
+    EXPECT_FALSE(faultinject::fire(faultinject::Point::TraceIoFail));
+    EXPECT_FALSE(faultinject::fire(faultinject::Point::MidRunThrow));
+    EXPECT_FALSE(faultinject::anyArmed());
+}
+
+// ---------------------------------------------------------------------
+// Classification: every class producible, correct retry behaviour.
+// ---------------------------------------------------------------------
+
+TEST(Classify, UnknownWorkloadIsBadWorkloadNeverRetried)
+{
+    runner::BatchConfig cfg;
+    cfg.workers = 1;
+    cfg.retries = 3;      // permanent => must not be used
+    cfg.backoffBaseMs = 1;
+    const auto results = runner::BatchRunner(cfg).run(
+        {makeJob(workloads::syntheticUri("no-such-benchmark"),
+                 smallOptions(50'000))});
+    ASSERT_EQ(results.size(), 1u);
+    const runner::JobResult &r = results[0];
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.runError.cls, sim::RunErrorClass::BadWorkload);
+    EXPECT_FALSE(r.runError.transient());
+    EXPECT_EQ(r.attempts, 1u);
+    EXPECT_EQ(r.backoffMsApplied, 0u);
+}
+
+TEST(Classify, CorruptTraceIsTraceCorruptNeverRetried)
+{
+    const std::string path =
+        writeTempTrace("ft_corrupt.dtrc", haltingTraceFile());
+    // Flip one byte in the middle: CSUM catches it, and the reader
+    // reports Corrupt — re-reading the same bytes cannot help.
+    FILE *fp = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(fp, nullptr);
+    std::fseek(fp, 0, SEEK_END);
+    const long size = std::ftell(fp);
+    std::fseek(fp, size / 2, SEEK_SET);
+    const int byte = std::fgetc(fp);
+    std::fseek(fp, size / 2, SEEK_SET);
+    std::fputc(byte ^ 0xFF, fp);
+    std::fclose(fp);
+
+    runner::BatchConfig cfg;
+    cfg.workers = 1;
+    cfg.retries = 2;
+    cfg.backoffBaseMs = 1;
+    const auto results = runner::BatchRunner(cfg).run(
+        {makeJob(workloads::traceUri(path), smallOptions(50'000))});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].runError.cls,
+              sim::RunErrorClass::TraceCorrupt);
+    EXPECT_EQ(results[0].attempts, 1u);
+}
+
+TEST(Classify, UndecodableGuestProgramIsGuestFault)
+{
+    const std::string path =
+        writeTempTrace("ft_badop.dtrc", badOpcodeTraceFile());
+    runner::BatchConfig cfg;
+    cfg.workers = 1;
+    cfg.retries = 2;
+    cfg.backoffBaseMs = 1;
+    const auto results = runner::BatchRunner(cfg).run(
+        {makeJob(workloads::traceUri(path), smallOptions(50'000))});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].runError.cls, sim::RunErrorClass::GuestFault);
+    EXPECT_EQ(results[0].attempts, 1u);
+}
+
+TEST(Classify, BudgetExhaustedWhenHaltRequired)
+{
+    // The paper benchmarks are budget-bound at 60k instructions, so
+    // requiring HALT fails — permanently: a bigger budget would be a
+    // different experiment, not a retry.
+    runner::BatchJob job = makeJob(workloads::syntheticUri("464.h264ref"),
+                                   smallOptions(60'000));
+    job.requireHalt = true;
+    runner::BatchConfig cfg;
+    cfg.workers = 1;
+    cfg.retries = 2;
+    cfg.backoffBaseMs = 1;
+    const auto results = runner::BatchRunner(cfg).run({job});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].runError.cls,
+              sim::RunErrorClass::BudgetExhausted);
+    EXPECT_FALSE(results[0].runError.transient());
+    EXPECT_EQ(results[0].attempts, 1u);
+    // The run itself completed: partial metrics are real.
+    EXPECT_GT(results[0].snapshot.result.guestRetired, 0u);
+
+    // A guest that does halt satisfies the same requirement.
+    const std::string path =
+        writeTempTrace("ft_halting.dtrc", haltingTraceFile());
+    runner::BatchJob halting =
+        makeJob(workloads::traceUri(path), smallOptions(50'000));
+    halting.requireHalt = true;
+    const auto ok = runner::BatchRunner(cfg).run({halting});
+    ASSERT_EQ(ok.size(), 1u);
+    EXPECT_TRUE(ok[0].ok) << ok[0].error;
+    EXPECT_TRUE(ok[0].snapshot.result.halted);
+}
+
+TEST(Classify, MidRunFatalIsInternalNeverRetried)
+{
+    FaultClear clear;
+    faultinject::arm(faultinject::Point::MidRunThrow, 1);
+    runner::BatchConfig cfg;
+    cfg.workers = 1;
+    cfg.retries = 3;      // Internal is permanent => unused
+    cfg.backoffBaseMs = 1;
+    const auto results = runner::BatchRunner(cfg).run(
+        {makeJob(workloads::syntheticUri("464.h264ref"),
+                 smallOptions(50'000))});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].runError.cls, sim::RunErrorClass::Internal);
+    EXPECT_EQ(results[0].attempts, 1u);
+}
+
+TEST(Classify, FailingJobNeverTakesTheBatchDown)
+{
+    // One of each failure mixed with successes: every slot reports
+    // independently, the good jobs finish untouched.
+    const std::string corrupt =
+        writeTempTrace("ft_mixed_corrupt.dtrc", haltingTraceFile());
+    FILE *fp = std::fopen(corrupt.c_str(), "rb+");
+    ASSERT_NE(fp, nullptr);
+    std::fseek(fp, 16, SEEK_SET);
+    std::fputc(0xEE, fp);
+    std::fclose(fp);
+
+    std::vector<runner::BatchJob> jobs;
+    jobs.push_back(makeJob(workloads::syntheticUri("464.h264ref"),
+                           smallOptions(50'000)));
+    jobs.push_back(makeJob(workloads::syntheticUri("no-such"),
+                           smallOptions(50'000)));
+    jobs.push_back(makeJob(workloads::traceUri(corrupt),
+                           smallOptions(50'000)));
+    jobs.push_back(makeJob(workloads::syntheticUri("436.cactusADM"),
+                           smallOptions(50'000)));
+
+    runner::BatchConfig cfg;
+    cfg.workers = 4;
+    const auto results = runner::BatchRunner(cfg).run(jobs);
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_EQ(results[1].runError.cls,
+              sim::RunErrorClass::BadWorkload);
+    EXPECT_EQ(results[2].runError.cls,
+              sim::RunErrorClass::TraceCorrupt);
+    EXPECT_TRUE(results[3].ok) << results[3].error;
+}
+
+// ---------------------------------------------------------------------
+// Retry: transient failures re-run from scratch with backoff.
+// ---------------------------------------------------------------------
+
+TEST(Retry, TransientIoFailureSucceedsOnSecondAttempt)
+{
+    FaultClear clear;
+    const std::string path =
+        writeTempTrace("ft_transient.dtrc", haltingTraceFile());
+    faultinject::arm(faultinject::Point::TraceIoFail, 1);
+
+    runner::BatchConfig cfg;
+    cfg.workers = 1;
+    cfg.retries = 2;
+    cfg.backoffBaseMs = 1;
+    const auto results = runner::BatchRunner(cfg).run(
+        {makeJob(workloads::traceUri(path), smallOptions(50'000))});
+    ASSERT_EQ(results.size(), 1u);
+    const runner::JobResult &r = results[0];
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.runError.cls, sim::RunErrorClass::None);
+    EXPECT_EQ(r.attempts, 2u);
+    EXPECT_EQ(r.backoffMsApplied, runner::backoffDelayMs(1, 0));
+    EXPECT_TRUE(r.snapshot.result.halted);
+}
+
+TEST(Retry, TransientFailureWithoutRetryBudgetFails)
+{
+    FaultClear clear;
+    const std::string path =
+        writeTempTrace("ft_transient_noretry.dtrc", haltingTraceFile());
+    faultinject::arm(faultinject::Point::TraceIoFail, 1);
+
+    runner::BatchConfig cfg;
+    cfg.workers = 1;      // retries defaults to 0
+    const auto results = runner::BatchRunner(cfg).run(
+        {makeJob(workloads::traceUri(path), smallOptions(50'000))});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].runError.cls,
+              sim::RunErrorClass::IoTransient);
+    EXPECT_TRUE(results[0].runError.transient());
+    EXPECT_EQ(results[0].attempts, 1u);
+}
+
+TEST(Retry, RetriedSuccessIsBitIdenticalToFirstTrySuccess)
+{
+    FaultClear clear;
+    const std::string path =
+        writeTempTrace("ft_retry_identity.dtrc", haltingTraceFile());
+    const auto job = makeJob(workloads::traceUri(path),
+                             smallOptions(50'000));
+
+    runner::BatchConfig plain;
+    plain.workers = 1;
+    const auto first = runner::BatchRunner(plain).run({job});
+
+    faultinject::arm(faultinject::Point::TraceIoFail, 1);
+    runner::BatchConfig retrying;
+    retrying.workers = 1;
+    retrying.retries = 2;
+    retrying.backoffBaseMs = 1;
+    const auto retried = runner::BatchRunner(retrying).run({job});
+
+    ASSERT_EQ(retried.size(), 1u);
+    EXPECT_EQ(retried[0].attempts, 2u);
+    expectIdenticalSlots(retried, first);
+}
+
+// ---------------------------------------------------------------------
+// Watchdog: a stalled job is cancelled; the rest of the batch lives.
+// ---------------------------------------------------------------------
+
+TEST(Watchdog, StalledJobTimesOutWhileOthersComplete)
+{
+    FaultClear clear;
+    // Exactly one job consumes the stall injection (atomic count 1)
+    // and livelocks; which one is scheduling-dependent, so assert on
+    // the count, not the index.
+    faultinject::arm(faultinject::Point::GuestStall, 1);
+
+    constexpr uint64_t kTimeoutMs = 600;
+    runner::BatchConfig cfg;
+    cfg.workers = 4;
+    cfg.timeoutMs = kTimeoutMs;
+    std::vector<runner::BatchJob> jobs;
+    for (int i = 0; i < 4; ++i) {
+        jobs.push_back(makeJob(workloads::syntheticUri("464.h264ref"),
+                               smallOptions(60'000)));
+    }
+    const auto results = runner::BatchRunner(cfg).run(jobs);
+    ASSERT_EQ(results.size(), 4u);
+
+    unsigned timeouts = 0;
+    for (const runner::JobResult &r : results) {
+        if (r.runError.cls == sim::RunErrorClass::Timeout) {
+            ++timeouts;
+            EXPECT_FALSE(r.ok);
+            EXPECT_TRUE(r.runError.transient());
+            EXPECT_TRUE(r.snapshot.result.cancelled);
+            // Partial metrics: the work done before cancellation is
+            // exactly accounted.
+            EXPECT_GT(r.snapshot.result.guestRetired, 0u);
+            EXPECT_GT(r.metrics.cycles, 0u);
+            // The acceptance bound: cancellation is cooperative but
+            // must land within 2x the configured deadline.
+            EXPECT_LT(r.durationMs, 2 * kTimeoutMs);
+        } else {
+            EXPECT_TRUE(r.ok) << r.error;
+            EXPECT_FALSE(r.snapshot.result.cancelled);
+        }
+    }
+    EXPECT_EQ(timeouts, 1u);
+}
+
+TEST(Watchdog, NormalJobsUnaffectedByEnabledWatchdog)
+{
+    // Same batch with and without a (generous) watchdog: the numbers
+    // must be bit-identical — the deadline is wiring, not physics.
+    const auto job = makeJob(workloads::syntheticUri("436.cactusADM"),
+                             smallOptions(60'000));
+    runner::BatchConfig plain;
+    plain.workers = 1;
+    runner::BatchConfig watched;
+    watched.workers = 1;
+    watched.timeoutMs = 60'000;
+    const auto a = runner::BatchRunner(plain).run({job});
+    const auto b = runner::BatchRunner(watched).run({job});
+    expectIdenticalSlots(b, a);
+}
+
+// ---------------------------------------------------------------------
+// Journal: fingerprints, replay, damage tolerance, resume.
+// ---------------------------------------------------------------------
+
+TEST(Journal, FingerprintKeysTheEffectiveExperiment)
+{
+    const sim::MetricsOptions base = smallOptions(50'000);
+    const uint64_t fp = runner::configFingerprint(base, "w", false);
+    EXPECT_EQ(runner::configFingerprint(base, "w", false), fp);
+
+    sim::MetricsOptions budget = base;
+    budget.guestBudget = 50'001;
+    EXPECT_NE(runner::configFingerprint(budget, "w", false), fp);
+
+    sim::MetricsOptions geometry = base;
+    geometry.timingConfig.l1d.sizeBytes *= 2;
+    EXPECT_NE(runner::configFingerprint(geometry, "w", false), fp);
+
+    EXPECT_NE(runner::configFingerprint(base, "w2", false), fp);
+    EXPECT_NE(runner::configFingerprint(base, "w", true), fp);
+
+    // The cancel token is runtime wiring, not experiment identity.
+    common::CancelToken token;
+    sim::MetricsOptions wired = base;
+    wired.cancel = &token;
+    EXPECT_EQ(runner::configFingerprint(wired, "w", false), fp);
+}
+
+TEST(Journal, MissingFileIsAnEmptyLoad)
+{
+    const auto load =
+        runner::loadJournal(tempPath("ft_never_written.journal"));
+    EXPECT_TRUE(load.entries.empty());
+    EXPECT_EQ(load.skippedLines, 0u);
+    EXPECT_EQ(load.engine, "");
+}
+
+TEST(Journal, ReplayIsBitIdenticalAndSkipsExecution)
+{
+    const std::string journal = tempPath("ft_replay.journal");
+    std::remove(journal.c_str());
+
+    std::vector<runner::BatchJob> jobs;
+    for (const char *name : {"464.h264ref", "436.cactusADM"}) {
+        jobs.push_back(makeJob(workloads::syntheticUri(name),
+                               smallOptions(50'000)));
+        jobs.push_back(makeJob(workloads::syntheticUri(name),
+                               smallOptions(70'000)));
+    }
+
+    runner::BatchConfig serial;
+    serial.workers = 1;
+    const auto reference = runner::BatchRunner(serial).run(jobs);
+
+    runner::BatchConfig journaled;
+    journaled.workers = 2;
+    journaled.journalPath = journal;
+    const auto first = runner::BatchRunner(journaled).run(jobs);
+    for (const runner::JobResult &r : first) {
+        EXPECT_TRUE(r.ok) << r.error;
+        EXPECT_FALSE(r.fromJournal);
+        EXPECT_EQ(r.attempts, 1u);
+    }
+    expectIdenticalSlots(first, reference);
+
+    const auto second = runner::BatchRunner(journaled).run(jobs);
+    for (const runner::JobResult &r : second) {
+        EXPECT_TRUE(r.ok) << r.error;
+        EXPECT_TRUE(r.fromJournal);
+        EXPECT_EQ(r.attempts, 0u);
+    }
+    expectIdenticalSlots(second, reference);
+}
+
+TEST(Journal, DamagedLinesAreSkippedNotFatal)
+{
+    const std::string journal = tempPath("ft_damaged.journal");
+    std::remove(journal.c_str());
+    const std::vector<runner::BatchJob> jobs = {
+        makeJob(workloads::syntheticUri("464.h264ref"),
+                smallOptions(50'000)),
+        makeJob(workloads::syntheticUri("436.cactusADM"),
+                smallOptions(50'000)),
+    };
+    runner::BatchConfig cfg;
+    cfg.workers = 1;
+    cfg.journalPath = journal;
+    const auto first = runner::BatchRunner(cfg).run(jobs);
+    ASSERT_TRUE(first[0].ok && first[1].ok);
+
+    // Damage the file the way a crash or a stray writer would: a
+    // garbage line, a bit-flipped copy of a valid entry, and a torn
+    // (truncated, no-newline) tail.
+    const auto intact = runner::loadJournal(journal);
+    ASSERT_EQ(intact.entries.size(), 2u);
+    FILE *fp = std::fopen(journal.c_str(), "ab");
+    ASSERT_NE(fp, nullptr);
+    std::fputs("this is not json\n", fp);
+    std::fputs("{\"job\":0,\"workload\":\"x\",\"csum\":"
+               "\"0000000000000000\"}\n", fp);
+    std::fputs("{\"job\":1,\"workload\":\"tor", fp);  // torn tail
+    std::fclose(fp);
+
+    const auto load = runner::loadJournal(journal);
+    EXPECT_EQ(load.entries.size(), 2u);
+    EXPECT_EQ(load.skippedLines, 3u);
+
+    // Resume over the damaged journal still replays the intact work.
+    const auto resumed = runner::BatchRunner(cfg).run(jobs);
+    EXPECT_TRUE(resumed[0].fromJournal);
+    EXPECT_TRUE(resumed[1].fromJournal);
+}
+
+TEST(Journal, ConfigChangeInvalidatesEntries)
+{
+    const std::string journal = tempPath("ft_fpchange.journal");
+    std::remove(journal.c_str());
+    runner::BatchConfig cfg;
+    cfg.workers = 1;
+    cfg.journalPath = journal;
+
+    const auto first = runner::BatchRunner(cfg).run(
+        {makeJob(workloads::syntheticUri("464.h264ref"),
+                 smallOptions(50'000))});
+    ASSERT_TRUE(first[0].ok);
+
+    // Same job index + workload, different budget: the fingerprint
+    // mismatch must force a re-run, not a stale replay.
+    const auto changed = runner::BatchRunner(cfg).run(
+        {makeJob(workloads::syntheticUri("464.h264ref"),
+                 smallOptions(55'000))});
+    ASSERT_TRUE(changed[0].ok) << changed[0].error;
+    EXPECT_FALSE(changed[0].fromJournal);
+    EXPECT_EQ(changed[0].attempts, 1u);
+}
+
+TEST(Journal, CaptureJobsAlwaysReRun)
+{
+    const std::string journal = tempPath("ft_capture.journal");
+    const std::string capture = tempPath("ft_capture.dtrc");
+    std::remove(journal.c_str());
+
+    runner::BatchJob job = makeJob(workloads::syntheticUri("464.h264ref"),
+                                   smallOptions(50'000));
+    job.options.captureTracePath = capture;
+    runner::BatchConfig cfg;
+    cfg.workers = 1;
+    cfg.journalPath = journal;
+    const auto first = runner::BatchRunner(cfg).run({job});
+    ASSERT_TRUE(first[0].ok) << first[0].error;
+
+    // The journal must not have recorded the capture job: its product
+    // is the capture file, which only a re-run can regenerate.
+    std::remove(capture.c_str());
+    const auto second = runner::BatchRunner(cfg).run({job});
+    ASSERT_TRUE(second[0].ok) << second[0].error;
+    EXPECT_FALSE(second[0].fromJournal);
+    EXPECT_TRUE(trace::readTrace(capture).ok());
+}
+
+// ---------------------------------------------------------------------
+// Kill-and-resume e2e: the process really dies, the campaign lives.
+// ---------------------------------------------------------------------
+
+TEST(KillAndResume, SigkilledCampaignResumesBitIdentically)
+{
+    const std::string journal = tempPath("ft_kill_resume.journal");
+    std::remove(journal.c_str());
+
+    // Re-exec this binary in campaign-child mode with journal-kill
+    // armed through the environment: the 8th journal append raises
+    // SIGKILL, so the child dies for real, mid-campaign, with workers
+    // in flight. The link must be resolved HERE: inside system()'s
+    // shell, /proc/self/exe names the shell, not this binary.
+    char self[4096];
+    const ssize_t len =
+        ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+    ASSERT_GT(len, 0);
+    self[len] = '\0';
+    const std::string cmd =
+        "DARCO_FT_CAMPAIGN_CHILD='" + journal +
+        "' DARCO_FAULTINJECT=journal-kill:8 "
+        "exec '" + std::string(self) + "' >/dev/null 2>&1";
+    const int rc = std::system(cmd.c_str());
+    ASSERT_NE(rc, -1);
+    // With `exec` the shell IS the child and dies by signal; some
+    // shells fork anyway and report 128+SIGKILL as an exit status.
+    const bool killed =
+        (WIFSIGNALED(rc) && WTERMSIG(rc) == SIGKILL) ||
+        (WIFEXITED(rc) && WEXITSTATUS(rc) == 128 + SIGKILL);
+    ASSERT_TRUE(killed) << "child status " << rc;
+
+    // Exactly the appends that were flushed before the kill survive.
+    const auto load = runner::loadJournal(journal);
+    EXPECT_EQ(load.engine, runner::kJournalEngineVersion);
+    ASSERT_EQ(load.entries.size(), 8u);
+    EXPECT_EQ(load.skippedLines, 0u);
+
+    // Resume the identical campaign over the journal: the 8 completed
+    // jobs replay, the rest run, and every slot is bit-identical to
+    // an uninterrupted serial execution.
+    const std::vector<runner::BatchJob> jobs = campaignJobs();
+    runner::BatchConfig resume;
+    resume.workers = 3;
+    resume.journalPath = journal;
+    const auto resumed = runner::BatchRunner(resume).run(jobs);
+    unsigned replayed = 0;
+    for (const runner::JobResult &r : resumed) {
+        EXPECT_TRUE(r.ok) << r.uri << ": " << r.error;
+        replayed += r.fromJournal ? 1 : 0;
+    }
+    EXPECT_EQ(replayed, 8u);
+
+    runner::BatchConfig serial;
+    serial.workers = 1;
+    const auto reference = runner::BatchRunner(serial).run(jobs);
+    expectIdenticalSlots(resumed, reference);
+}
+
+/** Campaign-child body (DARCO_FT_CAMPAIGN_CHILD): run the standard
+ *  campaign against the given journal and report plain pass/fail —
+ *  the parent expects this process to die by SIGKILL instead. */
+int
+runCampaignChild(const char *journal_path)
+{
+    runner::BatchConfig cfg;
+    cfg.workers = 2;
+    cfg.journalPath = journal_path;
+    const auto results = runner::BatchRunner(cfg).run(campaignJobs());
+    for (const runner::JobResult &r : results) {
+        if (!r.ok)
+            return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Environment-driven arming first: child processes (and manual
+    // fault drills) configure injection before any code can run.
+    darco::faultinject::armFromEnv();
+    if (const char *journal = std::getenv("DARCO_FT_CAMPAIGN_CHILD"))
+        return runCampaignChild(journal);
+    testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
