@@ -319,6 +319,15 @@ struct ThroughputSample
      * engine_speed scenario — see the rationale there.
      */
     std::string execution = "serial";
+    /**
+     * Whether characterization profiling (MetricsOptions::profile)
+     * was live during the timed run: "off" or "on". Profiling adds a
+     * stack-distance update per memory access, so a committed perf
+     * baseline with profiling on would not be comparable to any
+     * other; bench/check_perf.py requires "off" on every committed
+     * and fresh engine_speed scenario.
+     */
+    std::string profile = "off";
 
     /** Guest MIPS achieved (forward progress per host second). */
     double
@@ -413,6 +422,10 @@ class ThroughputReporter
             if (!s.execution.empty()) {
                 std::fprintf(out, ",\n      \"execution\": \"%s\"",
                              s.execution.c_str());
+            }
+            if (!s.profile.empty()) {
+                std::fprintf(out, ",\n      \"profile\": \"%s\"",
+                             s.profile.c_str());
             }
             if (s.steppedSeconds > 0) {
                 std::fprintf(out,

@@ -64,6 +64,25 @@ SERIAL_ONLY_EXPLANATION = (
     "off the BatchRunner path (it asserts --jobs <= 1) and "
     "regenerate the JSON serially.")
 
+# Why every scenario must report "profile": "off": characterization
+# profiling (MetricsOptions::profile) adds an exact stack-distance
+# update per memory access plus a branch-predictor replica per
+# branch. That is fine for the fig_reuse characterization bench, but
+# an engine_speed sample taken with profiling live measures the
+# profiler, not the engine, so its seconds/guest_mips are not
+# comparable with any unprofiled baseline. The harness records the
+# field from the live System (not the requested config), and this
+# gate pins it on both sides so profiling cannot leak into the
+# committed trajectory quietly.
+PROFILE_OFF_EXPLANATION = (
+    "engine_speed scenarios must run with characterization profiling "
+    "off: a profiled run times the stack-distance engine and the "
+    "branch-profile replica on top of the engine, so its "
+    "seconds/guest_mips numbers are not comparable with any committed "
+    "baseline. Keep MetricsOptions::profile off in the engine_speed "
+    "harness (fig_reuse is the profiling bench) and regenerate the "
+    "JSON unprofiled.")
+
 UPDATE_HINT = (
     "If this change is intentional, regenerate the committed "
     "baseline in place:\n"
@@ -114,6 +133,10 @@ def main(argv):
             failures.append(f"{name}: committed scenario reports "
                             f"execution={base.get('execution')!r}. "
                             + SERIAL_ONLY_EXPLANATION)
+        if base.get("profile") != "off":
+            failures.append(f"{name}: committed scenario reports "
+                            f"profile={base.get('profile')!r}. "
+                            + PROFILE_OFF_EXPLANATION)
         cur = fresh.get(name)
         if cur is None:
             failures.append(f"{name}: scenario disappeared from the "
@@ -124,6 +147,10 @@ def main(argv):
             failures.append(f"{name}: fresh scenario reports "
                             f"execution={cur.get('execution')!r}. "
                             + SERIAL_ONLY_EXPLANATION)
+        if cur.get("profile") != "off":
+            failures.append(f"{name}: fresh scenario reports "
+                            f"profile={cur.get('profile')!r}. "
+                            + PROFILE_OFF_EXPLANATION)
 
         for field in DETERMINISM_FIELDS:
             if cur.get(field) != base.get(field):

@@ -62,6 +62,10 @@ struct RunOutcome
     timing::Pipeline::Engine engine =
         timing::Pipeline::Engine::CycleStepped;
     double seconds = 0;
+    /** Whether a characterization profiler was live in the timed
+     *  System (recorded from the instance, not the requested config,
+     *  so a silent re-route shows up in the committed JSON). */
+    bool profiled = false;
 };
 
 RunOutcome
@@ -90,6 +94,7 @@ runScenario(const Scenario &sc, bool event_core)
     out.seconds = timer.seconds();
     out.stats = sys.combinedStats();
     out.engine = sys.timingEngine();
+    out.profiled = sys.profileCollector() != nullptr;
 
     if (workload.capturedPins) {
         // A replayed trace must reproduce the capture run's pinned
@@ -263,6 +268,11 @@ main(int argc, char **argv)
             event.engine == timing::Pipeline::Engine::EventDriven
                 ? "event" : "reference";
         sample.steppedSeconds = stepped.seconds;
+        // Perf baselines time the bare engine: characterization
+        // profiling must stay off (check_perf.py pins this in the
+        // committed JSON).
+        sample.profile =
+            (event.profiled || stepped.profiled) ? "on" : "off";
         reporter.add(sample);
         if (sc.baselineGuestMips > 0) {
             reporter.addBaseline(sc.name, sc.baselineGuestMips,

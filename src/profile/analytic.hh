@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Analytic LRU cache model derived from a reuse-distance histogram
+ * (the characterization layer's cross-check axis).
+ *
+ * Mattson's inclusion property: a fully-associative LRU cache with L
+ * lines hits exactly the accesses whose stack distance is < L, so the
+ * histogram alone yields *exact* expected hit/miss counts for every
+ * capacity at once — no simulation. The timing model's simulated
+ * fully-associative LRU cache must reproduce these counts bit-exactly
+ * on the same stream (enforced by tests/test_profile.cc), which makes
+ * every profiled workload a self-validating characterization point.
+ */
+
+#ifndef DARCO_PROFILE_ANALYTIC_HH
+#define DARCO_PROFILE_ANALYTIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "profile/reuse.hh"
+
+namespace darco::profile::analytic {
+
+/**
+ * Exact expected miss count of a fully-associative LRU cache with
+ * @p lines lines over the profiled stream: every cold access plus
+ * every re-access whose stack distance is >= the capacity.
+ */
+inline uint64_t
+expectedLruMisses(const ReuseHistogram &hist, uint64_t lines)
+{
+    uint64_t misses = hist.coldAccesses;
+    for (auto it = hist.counts.lower_bound(lines);
+         it != hist.counts.end(); ++it) {
+        misses += it->second;
+    }
+    return misses;
+}
+
+/** Exact expected hit count (complement of expectedLruMisses). */
+inline uint64_t
+expectedLruHits(const ReuseHistogram &hist, uint64_t lines)
+{
+    return hist.totalAccesses() - expectedLruMisses(hist, lines);
+}
+
+/** One point of the analytic miss-ratio curve. */
+struct MissCurvePoint
+{
+    uint64_t lines = 0;    ///< LRU capacity in cache lines
+    uint64_t misses = 0;   ///< exact expected misses at that capacity
+    double missRatio = 0;  ///< misses / total accesses
+};
+
+/**
+ * Analytic LRU miss-ratio curve at power-of-two capacities from 1 up
+ * to the first capacity that holds the whole footprint (where only
+ * cold misses remain). This is fig_reuse's derived curve: the
+ * characterization figure the simulated caches are validated against.
+ */
+inline std::vector<MissCurvePoint>
+missRatioCurve(const ReuseHistogram &hist)
+{
+    std::vector<MissCurvePoint> curve;
+    const uint64_t total = hist.totalAccesses();
+    if (!total)
+        return curve;
+    for (uint64_t lines = 1;; lines *= 2) {
+        MissCurvePoint pt;
+        pt.lines = lines;
+        pt.misses = expectedLruMisses(hist, lines);
+        pt.missRatio = static_cast<double>(pt.misses) /
+                       static_cast<double>(total);
+        curve.push_back(pt);
+        if (pt.misses == hist.coldAccesses)
+            break;
+    }
+    return curve;
+}
+
+} // namespace darco::profile::analytic
+
+#endif // DARCO_PROFILE_ANALYTIC_HH

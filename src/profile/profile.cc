@@ -1,0 +1,115 @@
+#include "profile/profile.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace darco::profile {
+
+namespace {
+
+/** log2 of a power-of-two line size (mirrors cache.cc's derivation). */
+uint32_t
+lineShiftOf(uint32_t line_bytes)
+{
+    uint32_t shift = 0;
+    while ((1u << shift) < line_bytes)
+        ++shift;
+    return shift;
+}
+
+} // namespace
+
+Collector::Collector(const timing::TimingConfig &config)
+    : branchCollector(config),
+      lineBytesUsed(config.l1d.lineBytes),
+      lineShift(lineShiftOf(config.l1d.lineBytes))
+{}
+
+void
+Collector::consume(const timing::Record &rec)
+{
+    if (rec.isLoad || rec.isStore)
+        dataStack.access(rec.memAddr >> lineShift);
+    if (rec.isBranch)
+        branchCollector.branch(rec);
+}
+
+void
+Collector::consumeBatch(const timing::Record *recs, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        consume(recs[i]);
+}
+
+RunProfile
+Collector::profile() const
+{
+    RunProfile prof;
+    prof.lineBytes = lineBytesUsed;
+    prof.dataReuse = dataStack.histogram();
+    prof.branches = branchCollector.profile();
+    return prof;
+}
+
+std::string
+diffProfiles(const RunProfile &a, const RunProfile &b)
+{
+    std::string diff;
+    char line[192];
+    auto mismatch = [&](const char *what, uint64_t va, uint64_t vb) {
+        if (va != vb) {
+            std::snprintf(line, sizeof(line),
+                          "%s: %" PRIu64 " vs %" PRIu64 "\n", what,
+                          va, vb);
+            diff += line;
+        }
+    };
+
+    mismatch("profile.lineBytes", a.lineBytes, b.lineBytes);
+    mismatch("profile.dataReuse.coldAccesses",
+             a.dataReuse.coldAccesses, b.dataReuse.coldAccesses);
+    if (a.dataReuse.counts != b.dataReuse.counts) {
+        // Name the first differing distance so the gate's failure
+        // output localizes the divergence, not just detects it.
+        auto ia = a.dataReuse.counts.begin();
+        auto ib = b.dataReuse.counts.begin();
+        while (ia != a.dataReuse.counts.end() &&
+               ib != b.dataReuse.counts.end() && *ia == *ib) {
+            ++ia;
+            ++ib;
+        }
+        const uint64_t dist = ia != a.dataReuse.counts.end()
+            ? ia->first
+            : ib->first;
+        std::snprintf(line, sizeof(line),
+                      "profile.dataReuse.counts: first mismatch at "
+                      "distance %" PRIu64 "\n", dist);
+        diff += line;
+    }
+
+    mismatch("profile.branches.dynBranches", a.branches.dynBranches,
+             b.branches.dynBranches);
+    mismatch("profile.branches.dynCondBranches",
+             a.branches.dynCondBranches, b.branches.dynCondBranches);
+    mismatch("profile.branches.mispredicts", a.branches.mispredicts,
+             b.branches.mispredicts);
+    mismatch("profile.branches.sites", a.branches.sites.size(),
+             b.branches.sites.size());
+    if (a.branches.sites.size() == b.branches.sites.size() &&
+        a.branches.sites != b.branches.sites) {
+        auto ia = a.branches.sites.begin();
+        auto ib = b.branches.sites.begin();
+        while (ia != a.branches.sites.end() && *ia == *ib) {
+            ++ia;
+            ++ib;
+        }
+        std::snprintf(line, sizeof(line),
+                      "profile.branches.sites: first mismatch at "
+                      "pc 0x%" PRIx32 " vs 0x%" PRIx32 "\n",
+                      ia->first, ib->first);
+        diff += line;
+    }
+    return diff;
+}
+
+} // namespace darco::profile

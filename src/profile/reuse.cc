@@ -1,0 +1,101 @@
+#include "profile/reuse.hh"
+
+#include <algorithm>
+
+namespace darco::profile {
+
+namespace {
+
+/** Smallest tree worth allocating; grows by doubling. */
+constexpr uint64_t kInitialCapacity = 1024;
+
+} // namespace
+
+ReuseStack::ReuseStack() : capacity(kInitialCapacity)
+{
+    fenwick.assign(capacity + 1, 0);
+}
+
+uint64_t
+ReuseStack::prefix(uint64_t i) const
+{
+    uint64_t sum = 0;
+    for (; i > 0; i -= i & (~i + 1))
+        sum += fenwick[i];
+    return sum;
+}
+
+void
+ReuseStack::update(uint64_t i, int64_t delta)
+{
+    for (; i <= capacity; i += i & (~i + 1))
+        fenwick[i] = static_cast<uint64_t>(
+            static_cast<int64_t>(fenwick[i]) + delta);
+}
+
+void
+ReuseStack::compact()
+{
+    // Collect the live (time, line) marks, oldest first, and hand
+    // out fresh consecutive time slots in the same relative order —
+    // relative recency is all the distance query ever reads, so the
+    // histogram is unaffected (the brute-force A/B tests cross this
+    // path deliberately).
+    std::vector<std::pair<uint64_t, uint64_t>> live;
+    live.reserve(lastAccess.size());
+    for (const auto &[line, time] : lastAccess)
+        live.emplace_back(time, line);
+    std::sort(live.begin(), live.end());
+
+    // Capacity never shrinks: every line ever touched keeps one live
+    // mark, so live.size() is monotone and a capacity that doubled
+    // (live > capacity/4 at the time) can never fall back below the
+    // threshold that grew it.
+    fenwick.assign(capacity + 1, 0);
+    clock = 0;
+    for (const auto &[time, line] : live) {
+        lastAccess[line] = ++clock;
+        update(clock, +1);
+    }
+}
+
+void
+ReuseStack::access(uint64_t line)
+{
+    const auto it = lastAccess.find(line);
+    if (it != lastAccess.end()) {
+        // Marked times newer than this line's own mark are exactly
+        // the distinct lines touched since: each line holds one mark,
+        // at its most recent access.
+        const uint64_t distance = prefix(clock) - prefix(it->second);
+        ++hist.counts[distance];
+        update(it->second, -1);
+        // Out of the map before a possible compact(): the line's old
+        // mark is dead and must not be resurrected by the rebuild.
+        lastAccess.erase(it);
+    } else {
+        ++hist.coldAccesses;
+    }
+
+    if (clock == capacity) {
+        // Out of time slots. If most marks are dead (re-accessed
+        // lines moved forward), renumber in place; otherwise the
+        // live set genuinely needs more room.
+        if (lastAccess.size() + 1 <= capacity / 2) {
+            compact();
+        } else {
+            // Doubling a Fenwick tree in place: new index 2C is the
+            // one new node whose range (0, 2C] covers existing data —
+            // its value is the whole current sum; every other new
+            // index covers a still-empty subrange of (C, 2C].
+            const uint64_t total = prefix(capacity);
+            capacity *= 2;
+            fenwick.resize(capacity + 1, 0);
+            fenwick[capacity] = total;
+        }
+    }
+    lastAccess[line] = ++clock;
+    update(clock, +1);
+}
+
+} // namespace darco::profile

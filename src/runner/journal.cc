@@ -184,6 +184,115 @@ getHex64(const std::string &line, const char *key)
     return v;
 }
 
+void
+appendU64Hex(std::string &out, uint64_t v)
+{
+    for (int shift = 60; shift >= 0; shift -= 4)
+        out += kHexDigits[(v >> shift) & 0xf];
+}
+
+std::optional<uint64_t>
+takeU64Hex(const std::string &s, size_t &pos)
+{
+    if (pos + 16 > s.size())
+        return std::nullopt;
+    uint64_t v = 0;
+    for (size_t i = 0; i < 16; ++i) {
+        const int d = hexVal(s[pos + i]);
+        if (d < 0)
+            return std::nullopt;
+        v = (v << 4) | static_cast<uint64_t>(d);
+    }
+    pos += 16;
+    return v;
+}
+
+/**
+ * RunProfile as a flat hex stream of u64 fields (maps are
+ * length-prefixed; std::map iteration order is the sort order, so
+ * serialization is canonical and two equal profiles serialize to the
+ * same bytes).
+ */
+std::string
+profileHex(const profile::RunProfile &p)
+{
+    std::string out;
+    out.reserve((8 + 2 * p.dataReuse.counts.size() +
+                 6 * p.branches.sites.size()) * 16);
+    appendU64Hex(out, p.lineBytes);
+    appendU64Hex(out, p.dataReuse.coldAccesses);
+    appendU64Hex(out, p.dataReuse.counts.size());
+    for (const auto &[dist, cnt] : p.dataReuse.counts) {
+        appendU64Hex(out, dist);
+        appendU64Hex(out, cnt);
+    }
+    appendU64Hex(out, p.branches.dynBranches);
+    appendU64Hex(out, p.branches.dynCondBranches);
+    appendU64Hex(out, p.branches.mispredicts);
+    appendU64Hex(out, p.branches.sites.size());
+    for (const auto &[pc, site] : p.branches.sites) {
+        appendU64Hex(out, pc);
+        appendU64Hex(out, site.taken);
+        appendU64Hex(out, site.notTaken);
+        appendU64Hex(out, site.transitions);
+        appendU64Hex(out, site.mispredicts);
+        appendU64Hex(out, (site.isCond ? 1u : 0u) |
+                          (site.isIndirect ? 2u : 0u));
+    }
+    return out;
+}
+
+bool
+profileFromHex(const std::string &hex, profile::RunProfile &p)
+{
+    size_t pos = 0;
+    const auto take = [&]() { return takeU64Hex(hex, pos); };
+    const auto line_bytes = take();
+    const auto cold = take();
+    const auto ncounts = take();
+    if (!line_bytes || !cold || !ncounts)
+        return false;
+    p.lineBytes = static_cast<uint32_t>(*line_bytes);
+    p.dataReuse.coldAccesses = *cold;
+    for (uint64_t i = 0; i < *ncounts; ++i) {
+        const auto dist = take();
+        const auto cnt = take();
+        if (!dist || !cnt)
+            return false;
+        p.dataReuse.counts[*dist] = *cnt;
+    }
+    const auto dyn = take();
+    const auto dyn_cond = take();
+    const auto mispred = take();
+    const auto nsites = take();
+    if (!dyn || !dyn_cond || !mispred || !nsites)
+        return false;
+    p.branches.dynBranches = *dyn;
+    p.branches.dynCondBranches = *dyn_cond;
+    p.branches.mispredicts = *mispred;
+    for (uint64_t i = 0; i < *nsites; ++i) {
+        const auto pc = take();
+        const auto taken = take();
+        const auto not_taken = take();
+        const auto transitions = take();
+        const auto site_mispred = take();
+        const auto flags = take();
+        if (!pc || !taken || !not_taken || !transitions ||
+            !site_mispred || !flags) {
+            return false;
+        }
+        profile::BranchSite site;
+        site.taken = *taken;
+        site.notTaken = *not_taken;
+        site.transitions = *transitions;
+        site.mispredicts = *site_mispred;
+        site.isCond = (*flags & 1) != 0;
+        site.isIndirect = (*flags & 2) != 0;
+        p.branches.sites[static_cast<uint32_t>(*pc)] = site;
+    }
+    return pos == hex.size();
+}
+
 /** TolStats counters in serialization order (diffTolStats' set). */
 struct TolField
 {
@@ -274,6 +383,8 @@ serializeEntry(const JournalEntry &e)
         body += ",\"tol_module\":\"" + pipeStatsHex(*snap.tolModule) +
                 "\"";
     }
+    if (snap.profile)
+        body += ",\"profile\":\"" + profileHex(*snap.profile) + "\"";
     for (const TolField &f : kTolFields) {
         body += strprintf(
             ",\"%s\":%llu", f.key,
@@ -345,6 +456,12 @@ parseEntry(const std::string &line)
         !blob("tol_module", e.snapshot.tolModule)) {
         return std::nullopt;
     }
+    if (const auto prof_hex = getStr(line, "profile")) {
+        profile::RunProfile rp;
+        if (!profileFromHex(*prof_hex, rp))
+            return std::nullopt;
+        e.snapshot.profile = std::move(rp);
+    }
     for (const TolField &f : kTolFields) {
         const auto v = getU64(line, f.key);
         if (!v)
@@ -380,6 +497,7 @@ configFingerprint(const sim::MetricsOptions &effective,
     field("tolOnlyPipe", effective.tolOnlyPipe);
     field("appOnlyPipe", effective.appOnlyPipe);
     field("tolModulePipe", effective.tolModulePipe);
+    field("profile", effective.profile);
     // TolConfig, declaration order.
     field("imToBbThreshold", t.imToBbThreshold);
     field("bbToSbThreshold", t.bbToSbThreshold);
@@ -420,8 +538,9 @@ configFingerprint(const sim::MetricsOptions &effective,
     field("mispredictPenalty", h.mispredictPenalty);
     const auto cache = [&](const char *key,
                            const timing::CacheGeometry &g) {
-        dump += strprintf("%s=%u/%u/%u/%u;", key, g.sizeBytes,
-                          g.lineBytes, g.ways, g.hitLatency);
+        dump += strprintf("%s=%u/%u/%u/%u/%u;", key, g.sizeBytes,
+                          g.lineBytes, g.ways, g.hitLatency,
+                          g.trueLru ? 1u : 0u);
     };
     cache("l1i", h.l1i);
     cache("l1d", h.l1d);

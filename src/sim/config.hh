@@ -52,6 +52,15 @@ struct SimConfig
      */
     const common::CancelToken *cancel = nullptr;
 
+    /**
+     * Collect characterization profiles (reuse-distance histogram +
+     * branch profile; src/profile/) from the record stream. Off by
+     * default: no collector sink is registered, so the hot path is
+     * byte-for-byte the unprofiled one — perf baselines must keep it
+     * off (bench/check_perf.py asserts `"profile":"off"`).
+     */
+    bool profile = false;
+
     /** TOL-software-stream isolated pipeline (Figures 10/11). */
     bool tolOnlyPipe = false;
     /** Application-stream isolated pipeline (Figures 10/11). */

@@ -15,6 +15,7 @@ configFromOptions(const MetricsOptions &options)
     cfg.tolOnlyPipe = options.tolOnlyPipe;
     cfg.appOnlyPipe = options.appOnlyPipe;
     cfg.tolModulePipe = options.tolModulePipe;
+    cfg.profile = options.profile;
     cfg.captureTracePath = options.captureTracePath;
     cfg.cancel = options.cancel;
     return cfg;
@@ -30,6 +31,7 @@ optionsFromConfig(const SimConfig &cfg)
     options.tolOnlyPipe = cfg.tolOnlyPipe;
     options.appOnlyPipe = cfg.appOnlyPipe;
     options.tolModulePipe = cfg.tolModulePipe;
+    options.profile = cfg.profile;
     options.captureTracePath = cfg.captureTracePath;
     options.cancel = cfg.cancel;
     return options;
@@ -60,6 +62,8 @@ snapshotFromSystem(const System &sys, const SystemResult &res)
         snap.appOnly = *ap;
     if (const timing::PipeStats *tm = sys.tolModuleStats())
         snap.tolModule = *tm;
+    if (const profile::Collector *pc = sys.profileCollector())
+        snap.profile = pc->profile();
     snap.timingCore =
         sys.timingEngine() == timing::Pipeline::Engine::EventDriven
             ? "event" : "reference";
@@ -143,6 +147,31 @@ collectMetrics(const RunSnapshot &snap, const std::string &name,
         }
         m.haveIsolation = m.haveTolOnly;
     }
+    if (snap.profile) {
+        const profile::RunProfile &rp = *snap.profile;
+        m.haveProfile = true;
+        m.profDataAccesses = rp.dataReuse.totalAccesses();
+        m.profDistinctLines = rp.dataReuse.distinctLines();
+        // Median finite reuse distance: the midpoint access of the
+        // finite-distance population, walked over the sparse
+        // histogram (cold accesses have no distance and are
+        // excluded).
+        const uint64_t finite =
+            m.profDataAccesses - rp.dataReuse.coldAccesses;
+        if (finite) {
+            uint64_t seen = 0;
+            for (const auto &[dist, cnt] : rp.dataReuse.counts) {
+                seen += cnt;
+                if (seen * 2 >= finite) {
+                    m.profMedianReuse = static_cast<double>(dist);
+                    break;
+                }
+            }
+        }
+        m.profBranchEntropy = rp.branches.weightedEntropy();
+        m.profTransitionRate = rp.branches.transitionRate();
+        m.profMispredictRate = rp.branches.mispredictRate();
+    }
 
     return m;
 }
@@ -213,6 +242,13 @@ averageMetrics(const std::vector<BenchMetrics> &all,
         avg.tolBpMissRate += m.tolBpMissRate / n;
         avg.haveTolOnly = avg.haveTolOnly || m.haveTolOnly;
         avg.haveIsolation = avg.haveIsolation || m.haveIsolation;
+        avg.haveProfile = avg.haveProfile || m.haveProfile;
+        avg.profDataAccesses += m.profDataAccesses;
+        avg.profDistinctLines += m.profDistinctLines;
+        avg.profMedianReuse += m.profMedianReuse / n;
+        avg.profBranchEntropy += m.profBranchEntropy / n;
+        avg.profTransitionRate += m.profTransitionRate / n;
+        avg.profMispredictRate += m.profMispredictRate / n;
         avg.tolOnlyCycles += m.tolOnlyCycles;
         avg.appOnlyCycles += m.appOnlyCycles;
         for (unsigned b = 0; b < timing::kNumBuckets; ++b) {
@@ -243,6 +279,8 @@ averageMetrics(const std::vector<BenchMetrics> &all,
         avg.moduleCycles[mod] /= n;
     avg.tolOnlyCycles = mean(avg.tolOnlyCycles);
     avg.appOnlyCycles = mean(avg.appOnlyCycles);
+    avg.profDataAccesses = mean(avg.profDataAccesses);
+    avg.profDistinctLines = mean(avg.profDistinctLines);
     for (unsigned b = 0; b < timing::kNumBuckets; ++b) {
         avg.tolOnlyBucket[b] /= n;
         avg.appOnlyBucket[b] /= n;

@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 
+#include "profile/profile.hh"
 #include "sim/system.hh"
 #include "workloads/params.hh"
 #include "workloads/source.hh"
@@ -64,6 +65,16 @@ struct BenchMetrics
     /** Per-bucket cycles in the isolated runs. */
     double tolOnlyBucket[timing::kNumBuckets] = {};
     double appOnlyBucket[timing::kNumBuckets] = {};
+
+    // ----- Characterization profiles (MetricsOptions::profile) -----------
+    /** Summary scalars of the RunSnapshot's full RunProfile. */
+    bool haveProfile = false;
+    uint64_t profDataAccesses = 0;    ///< profiled LD/ST accesses
+    uint64_t profDistinctLines = 0;   ///< data footprint in lines
+    double profMedianReuse = 0;       ///< median finite reuse distance
+    double profBranchEntropy = 0;     ///< weighted bits/branch
+    double profTransitionRate = 0;    ///< conditional direction churn
+    double profMispredictRate = 0;    ///< replica-predictor rate
 
     // Derived helpers --------------------------------------------------
     double tolOverheadFrac() const
@@ -160,6 +171,9 @@ struct MetricsOptions
     bool appOnlyPipe = false;
     /** Module-filtered TOL pipeline for Figure 8 characteristics. */
     bool tolModulePipe = false;
+    /** Collect characterization profiles (SimConfig::profile
+     *  passthrough; docs/metrics.md §6). Off in perf baselines. */
+    bool profile = false;
     /** Optional overrides applied to the default TolConfig. */
     tol::TolConfig tolConfig;
     timing::TimingConfig timingConfig;
@@ -278,6 +292,9 @@ struct RunSnapshot
     std::optional<timing::PipeStats> tolOnly;
     std::optional<timing::PipeStats> appOnly;
     std::optional<timing::PipeStats> tolModule;
+    /** Characterization profile, when MetricsOptions::profile was on
+     *  (docs/metrics.md §6); compared with profile::diffProfiles. */
+    std::optional<profile::RunProfile> profile;
     /** Core that advanced simulated time ("event" / "reference"),
      *  same encoding as trace::TracePins::timingCore. */
     std::string timingCore;

@@ -24,6 +24,10 @@ System::System(const SimConfig &config) : cfg(config)
             cfg.timing, timing::Pipeline::Filter::TolModule);
         fanout.add(tolModule.get());
     }
+    if (cfg.profile) {
+        profiler = std::make_unique<profile::Collector>(cfg.timing);
+        fanout.add(profiler.get());
+    }
 
     runtime = std::make_unique<tol::Runtime>(cfg.tol, hostMem, fanout);
     authEmu = std::make_unique<guest::Emulator>(authMem);

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "guest/emulator.hh"
+#include "profile/profile.hh"
 #include "sim/config.hh"
 #include "sim/state_checker.hh"
 #include "timing/pipeline.hh"
@@ -85,6 +86,11 @@ class System
     {
         return tolModule ? &tolModule->stats() : nullptr;
     }
+    /** Characterization collector, if enabled (SimConfig::profile). */
+    const profile::Collector *profileCollector() const
+    {
+        return profiler.get();
+    }
     /** Co-simulation state checker (nullptr when cosim is off). */
     const StateChecker *checker() const { return stateChecker.get(); }
     /** Architectural guest state of the co-design component. */
@@ -120,6 +126,7 @@ class System
     std::unique_ptr<timing::Pipeline> tolOnly;
     std::unique_ptr<timing::Pipeline> appOnly;
     std::unique_ptr<timing::Pipeline> tolModule;
+    std::unique_ptr<profile::Collector> profiler;
 
     std::unique_ptr<tol::Runtime> runtime;
     std::unique_ptr<StateChecker> stateChecker;

@@ -19,6 +19,8 @@ Cache::Cache(const CacheGeometry &geometry, Cache *next,
     setShift = floorLog2(numSets);
     ways.assign(static_cast<size_t>(numSets) * geom.ways, Way());
     plruBits.assign(static_cast<size_t>(numSets) * (geom.ways - 1), 0);
+    if (geom.trueLru)
+        lruStamp.assign(static_cast<size_t>(numSets) * geom.ways, 0);
     lastInSet.assign(numSets, LastAccess());
 }
 
@@ -29,6 +31,9 @@ Cache::reset()
         w = Way();
     for (uint8_t &b : plruBits)
         b = 0;
+    for (uint64_t &s : lruStamp)
+        s = 0;
+    lruClock = 0;
     lastInSet.assign(numSets, LastAccess());
     stat = CacheStats();
 }
@@ -74,6 +79,30 @@ Cache::plruTouch(uint32_t set, uint32_t way)
 }
 
 uint32_t
+Cache::victimWay(uint32_t set) const
+{
+    if (!geom.trueLru)
+        return plruVictim(set);
+    const size_t base = static_cast<size_t>(set) * geom.ways;
+    uint32_t victim = 0;
+    for (uint32_t w = 1; w < geom.ways; ++w) {
+        if (lruStamp[base + w] < lruStamp[base + victim])
+            victim = w;
+    }
+    return victim;
+}
+
+void
+Cache::touchWay(uint32_t set, uint32_t way)
+{
+    if (!geom.trueLru) {
+        plruTouch(set, way);
+        return;
+    }
+    lruStamp[static_cast<size_t>(set) * geom.ways + way] = ++lruClock;
+}
+
+uint32_t
 Cache::fillLine(uint32_t addr, bool dirty, bool charge_fill)
 {
     const uint32_t set = setIndex(addr);
@@ -90,7 +119,7 @@ Cache::fillLine(uint32_t addr, bool dirty, bool charge_fill)
             }
         }
         if (way < 0) {
-            way = static_cast<int>(plruVictim(set));
+            way = static_cast<int>(victimWay(set));
             Way &victim = ways[base + way];
             if (victim.valid && victim.dirty) {
                 ++stat.writebacks;
@@ -112,7 +141,7 @@ Cache::fillLine(uint32_t addr, bool dirty, bool charge_fill)
     }
     if (dirty)
         ways[base + way].dirty = true;
-    plruTouch(set, static_cast<uint32_t>(way));
+    touchWay(set, static_cast<uint32_t>(way));
     return static_cast<uint32_t>(way);
 }
 
@@ -141,7 +170,7 @@ Cache::access(uint32_t addr, bool write, bool &miss_out)
     const int way = findWay(set, tag);
     if (way >= 0) {
         miss_out = false;
-        plruTouch(set, static_cast<uint32_t>(way));
+        touchWay(set, static_cast<uint32_t>(way));
         if (write)
             ways[static_cast<size_t>(set) * geom.ways + way].dirty = true;
         last.line = line;

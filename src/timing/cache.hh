@@ -91,6 +91,9 @@ class Cache
     int findWay(uint32_t set, uint32_t tag) const;
     uint32_t plruVictim(uint32_t set) const;
     void plruTouch(uint32_t set, uint32_t way);
+    /** Replacement dispatch: tree-PLRU or exact LRU (geom.trueLru). */
+    uint32_t victimWay(uint32_t set) const;
+    void touchWay(uint32_t set, uint32_t way);
     /** Insert a line, handling victim writeback. Returns way used. */
     uint32_t fillLine(uint32_t addr, bool dirty, bool charge_fill);
 
@@ -102,6 +105,17 @@ class Cache
     uint32_t setShift = 0;         ///< log2(numSets)
     std::vector<Way> ways;         ///< numSets * geom.ways
     std::vector<uint8_t> plruBits; ///< numSets * (ways - 1) tree bits
+
+    /**
+     * Exact-LRU state (geom.trueLru only): per-way recency stamps
+     * from a monotone counter; the victim is the valid way with the
+     * smallest stamp. The same-line fast path's skipped re-touch
+     * stays correct — a fast-path hit means the most recent touch of
+     * the set was this very way, so it already holds the set's
+     * largest stamp.
+     */
+    std::vector<uint64_t> lruStamp; ///< numSets * geom.ways
+    uint64_t lruClock = 0;
 
     /**
      * Per-set same-line fast path: the line and way of the most

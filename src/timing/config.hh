@@ -48,6 +48,14 @@ struct CacheGeometry
     uint32_t lineBytes;
     uint32_t ways;
     uint32_t hitLatency;
+    /**
+     * Replace with exact (stamp-based) LRU instead of tree-PLRU.
+     * Off for every Table I cache; the profile layer's analytic
+     * cross-check (profile/analytic.hh) turns it on for a
+     * fully-associative instance, because Mattson's stack model is
+     * exact only for true LRU.
+     */
+    bool trueLru = false;
 };
 
 /** Host microarchitecture parameters (Table I + DESIGN.md §4.5). */

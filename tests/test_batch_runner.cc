@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "profile/profile.hh"
 #include "runner/batch_runner.hh"
 #include "sim/metrics.hh"
 #include "timing/pipeline.hh"
@@ -103,6 +104,15 @@ expectIdenticalResults(const std::vector<runner::JobResult> &a,
         // but spot-check the headline fields anyway.
         EXPECT_EQ(a[i].metrics.dynSbm, b[i].metrics.dynSbm);
         EXPECT_DOUBLE_EQ(a[i].metrics.tolCycles, b[i].metrics.tolCycles);
+        // Characterization profiles ride the same contract: both
+        // absent, or both present and bit-identical.
+        ASSERT_EQ(a[i].snapshot.profile.has_value(),
+                  b[i].snapshot.profile.has_value());
+        if (a[i].snapshot.profile) {
+            EXPECT_EQ(profile::diffProfiles(*a[i].snapshot.profile,
+                                            *b[i].snapshot.profile),
+                      "");
+        }
     }
 }
 
@@ -146,6 +156,32 @@ TEST(BatchAB, ParallelMatchesSerialOnSyntheticWorkloads)
         EXPECT_EQ(tol::diffTolStats(ref.tolStats,
                                     serial[i].snapshot.tolStats), "");
     }
+}
+
+TEST(BatchAB, ParallelMatchesSerialProfiles)
+{
+    // Profiled sweeps (MetricsOptions::profile) must keep the
+    // bit-identity contract: every worker count yields the same
+    // reuse histograms and branch profiles in every slot.
+    std::vector<runner::BatchJob> batch;
+    for (const char *name : kSuiteReps) {
+        sim::MetricsOptions options = smallOptions(90'000);
+        options.profile = true;
+        batch.push_back(makeJob(workloads::syntheticUri(name),
+                                options));
+    }
+
+    const auto serial = runner::BatchRunner(withWorkers(1)).run(batch);
+    const auto parallel = runner::BatchRunner(withWorkers(4)).run(batch);
+
+    for (const runner::JobResult &r : serial) {
+        EXPECT_TRUE(r.ok) << r.error;
+        ASSERT_TRUE(r.snapshot.profile.has_value()) << r.uri;
+        EXPECT_GT(r.snapshot.profile->dataReuse.totalAccesses(), 0u)
+            << r.uri;
+        EXPECT_TRUE(r.metrics.haveProfile);
+    }
+    expectIdenticalResults(serial, parallel);
 }
 
 TEST(BatchAB, ParallelMatchesSerialOnTraceWorkloads)

@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "guest/assembler.hh"
+#include "profile/profile.hh"
 #include "sim/metrics.hh"
 #include "sim/system.hh"
 #include "trace/trace.hh"
@@ -482,6 +483,43 @@ INSTANTIATE_TEST_SUITE_P(
         }
         return name;
     });
+
+TEST_P(TraceRoundTrip, ReplayProfilesAreBitIdentical)
+{
+    // Characterization profiles ride the same determinism contract:
+    // capture a profiled run, replay the trace with profiling on, and
+    // require the reuse histogram and branch profile to match
+    // bit-for-bit (profile::diffProfiles empty).
+    constexpr uint64_t kBudget = 100'000;
+    const std::string path =
+        tempPath(std::string("rtp_") + GetParam() + ".dtrc");
+
+    const workloads::Workload live_workload =
+        workloads::resolveWorkload(workloads::syntheticUri(GetParam()));
+    sim::MetricsOptions options;
+    options.guestBudget = kBudget;
+    options.profile = true;
+    options.captureTracePath = path;
+    const sim::RunSnapshot live =
+        sim::snapshotRun(live_workload, options);
+    ASSERT_TRUE(live.profile.has_value());
+
+    const workloads::Workload replayed =
+        workloads::resolveWorkload(workloads::traceUri(path));
+    sim::MetricsOptions replay_options;
+    replay_options.profile = true;
+    const sim::RunSnapshot replay =
+        sim::snapshotRun(replayed, replay_options);
+    ASSERT_TRUE(replay.profile.has_value());
+
+    EXPECT_EQ(profile::diffProfiles(*live.profile, *replay.profile),
+              "");
+    EXPECT_TRUE(*live.profile == *replay.profile);
+    // Profiling must not perturb the replay determinism fields.
+    EXPECT_EQ(live.result.cycles, replay.result.cycles);
+    EXPECT_EQ(timing::diffStats(live.stats, replay.stats), "");
+    std::remove(path.c_str());
+}
 
 TEST(TraceCapture, MetricsOptionsPassthrough)
 {
