@@ -328,6 +328,16 @@ struct ThroughputSample
      * and fresh engine_speed scenario.
      */
     std::string profile = "off";
+    /**
+     * Whether the IR/regalloc verifier (TolConfig::verifyIr) was live
+     * during the timed run: "off" or "on". Verification is a pure
+     * observer (determinism fields cannot change), but it re-derives
+     * dataflow for every translation, so a committed perf baseline
+     * with it on times the verifier on top of the engine;
+     * bench/check_perf.py requires "off" on every committed and fresh
+     * engine_speed scenario.
+     */
+    std::string verify = "off";
 
     /** Guest MIPS achieved (forward progress per host second). */
     double
@@ -426,6 +436,10 @@ class ThroughputReporter
             if (!s.profile.empty()) {
                 std::fprintf(out, ",\n      \"profile\": \"%s\"",
                              s.profile.c_str());
+            }
+            if (!s.verify.empty()) {
+                std::fprintf(out, ",\n      \"verify\": \"%s\"",
+                             s.verify.c_str());
             }
             if (s.steppedSeconds > 0) {
                 std::fprintf(out,

@@ -83,6 +83,26 @@ PROFILE_OFF_EXPLANATION = (
     "harness (fig_reuse is the profiling bench) and regenerate the "
     "JSON unprofiled.")
 
+# Why every scenario must report "verify": "off": the IR/regalloc
+# verifier (TolConfig::verifyIr) is a pure observer — it cannot change
+# any determinism field — but it re-derives reaching definitions,
+# dependence edges and live intervals for every translation, which is
+# real translation-path work. An engine_speed sample taken with it
+# live times the verifier on top of the engine, so its
+# seconds/guest_mips numbers are not comparable with any unverified
+# baseline. The harness records the field from the live runtime (not
+# the requested config), and this gate pins it on both sides;
+# engine_speed's verify:on overhead A/B stays informational (stderr
+# only, never committed).
+VERIFY_OFF_EXPLANATION = (
+    "engine_speed scenarios must run with IR verification off: a "
+    "verified run times the IR/regalloc verifier's dataflow "
+    "re-derivation on top of the engine, so its seconds/guest_mips "
+    "numbers are not comparable with any committed baseline. Keep "
+    "TolConfig::verifyIr off on timed engine_speed scenarios (ctest "
+    "and fig_cfg are the verification gates) and regenerate the JSON "
+    "unverified.")
+
 UPDATE_HINT = (
     "If this change is intentional, regenerate the committed "
     "baseline in place:\n"
@@ -137,6 +157,10 @@ def main(argv):
             failures.append(f"{name}: committed scenario reports "
                             f"profile={base.get('profile')!r}. "
                             + PROFILE_OFF_EXPLANATION)
+        if base.get("verify") != "off":
+            failures.append(f"{name}: committed scenario reports "
+                            f"verify={base.get('verify')!r}. "
+                            + VERIFY_OFF_EXPLANATION)
         cur = fresh.get(name)
         if cur is None:
             failures.append(f"{name}: scenario disappeared from the "
@@ -151,6 +175,10 @@ def main(argv):
             failures.append(f"{name}: fresh scenario reports "
                             f"profile={cur.get('profile')!r}. "
                             + PROFILE_OFF_EXPLANATION)
+        if cur.get("verify") != "off":
+            failures.append(f"{name}: fresh scenario reports "
+                            f"verify={cur.get('verify')!r}. "
+                            + VERIFY_OFF_EXPLANATION)
 
         for field in DETERMINISM_FIELDS:
             if cur.get(field) != base.get(field):

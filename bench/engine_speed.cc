@@ -66,10 +66,13 @@ struct RunOutcome
      *  System (recorded from the instance, not the requested config,
      *  so a silent re-route shows up in the committed JSON). */
     bool profiled = false;
+    /** Whether the IR/regalloc verifier was live in the timed System
+     *  (same discipline: read back from the live runtime). */
+    bool verified = false;
 };
 
 RunOutcome
-runScenario(const Scenario &sc, bool event_core)
+runScenario(const Scenario &sc, bool event_core, bool verify_ir = false)
 {
     const workloads::Workload workload =
         workloads::resolveWorkload(sc.workload);
@@ -77,6 +80,14 @@ runScenario(const Scenario &sc, bool event_core)
     sim::SimConfig cfg;
     cfg.guestBudget = sc.budget;
     cfg.tol.bbToSbThreshold = sc.sbThreshold;
+    // Perf baselines time the bare engine: the IR/regalloc verifier
+    // (default-on under ctest) re-derives dataflow for every
+    // translation, which is translation-path work a throughput
+    // trajectory must not include. check_perf.py pins "verify": "off"
+    // on every committed scenario; the verify_ir override exists for
+    // the informational overhead A/B below, which never reaches the
+    // reporter.
+    cfg.tol.verifyIr = verify_ir;
     cfg.timing.eventCore = event_core;
     cfg.timing.issueWidth = sc.issueWidth;
     if (sc.interpretOnly)
@@ -95,6 +106,7 @@ runScenario(const Scenario &sc, bool event_core)
     out.stats = sys.combinedStats();
     out.engine = sys.timingEngine();
     out.profiled = sys.profileCollector() != nullptr;
+    out.verified = sys.tolRuntime().config().verifyIr;
 
     if (workload.capturedPins) {
         // A replayed trace must reproduce the capture run's pinned
@@ -273,6 +285,8 @@ main(int argc, char **argv)
         // committed JSON).
         sample.profile =
             (event.profiled || stepped.profiled) ? "on" : "off";
+        sample.verify =
+            (event.verified || stepped.verified) ? "on" : "off";
         reporter.add(sample);
         if (sc.baselineGuestMips > 0) {
             reporter.addBaseline(sc.name, sc.baselineGuestMips,
@@ -299,6 +313,50 @@ main(int argc, char **argv)
                      sc.name, stepped.seconds, event.seconds,
                      stepped.seconds / event.seconds,
                      sample.cyclesPerRecord());
+    }
+
+    // Informational verify:on A/B (never committed): re-run the
+    // mixed scenario with the IR/regalloc verifier live and report
+    // its overhead. The verifier is a pure observer, so the run must
+    // reproduce the unverified run's determinism fields bit-exactly —
+    // hard-enforced here, since any drift would mean verification
+    // changed engine semantics and the "verification is free to turn
+    // on" contract (docs/analysis.md) is broken.
+    {
+        const Scenario &sc = scenarios[2];  // mixed_464.h264ref
+        std::fprintf(stderr,
+                     "  running %-20s (verify:on, informational) "
+                     "...\n",
+                     sc.name);
+        const RunOutcome plain = runScenario(sc, true);
+        const RunOutcome verified = runScenario(sc, true, true);
+        fatal_if(!verified.verified || plain.verified,
+                 "verify A/B wiring broken: verified run reports "
+                 "verifyIr=%d, plain run %d",
+                 verified.verified ? 1 : 0, plain.verified ? 1 : 0);
+        fatal_if(verified.result.guestRetired !=
+                         plain.result.guestRetired ||
+                     verified.result.cycles != plain.result.cycles ||
+                     verified.stats.records != plain.stats.records,
+                 "IR verification changed determinism fields on %s: "
+                 "guest %llu/%llu cycles %llu/%llu records %llu/%llu "
+                 "(the verifier must be a pure observer)",
+                 sc.name,
+                 static_cast<unsigned long long>(
+                     verified.result.guestRetired),
+                 static_cast<unsigned long long>(
+                     plain.result.guestRetired),
+                 static_cast<unsigned long long>(
+                     verified.result.cycles),
+                 static_cast<unsigned long long>(plain.result.cycles),
+                 static_cast<unsigned long long>(
+                     verified.stats.records),
+                 static_cast<unsigned long long>(plain.stats.records));
+        std::fprintf(stderr,
+                     "  verify overhead %s: off=%.3fs on=%.3fs "
+                     "(%.1f%%; determinism fields bit-identical)\n",
+                     sc.name, plain.seconds, verified.seconds,
+                     100.0 * (verified.seconds / plain.seconds - 1.0));
     }
 
     reporter.write();

@@ -1,0 +1,657 @@
+#include "analysis/verify.hh"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "host/address_map.hh"
+
+namespace darco::analysis {
+
+namespace {
+
+using ir::IrInst;
+using ir::IrOp;
+using ir::IrOpInfo;
+using ir::RegClass;
+using ir::Trace;
+using ir::Vreg;
+
+/** Field-wise instruction equality (IrInst has no operator==). */
+bool
+sameInst(const IrInst &a, const IrInst &b)
+{
+    return a.op == b.op && a.cc == b.cc && a.dst == b.dst &&
+           a.src1 == b.src1 && a.src2 == b.src2 &&
+           a.useImm == b.useImm && a.size == b.size &&
+           a.exitId == b.exitId && a.guestIndex == b.guestIndex &&
+           a.imm == b.imm;
+}
+
+/** Does @p inst read vreg operands at all (src1 rule from ir::validate:
+ *  every op except LDI and JEXIT has a src1). */
+bool
+hasSrc1(const IrInst &inst)
+{
+    return inst.op != IrOp::LDI && inst.op != IrOp::JEXIT;
+}
+
+bool
+hasSrc2(const IrInst &inst)
+{
+    return !inst.useImm && inst.src2 != ir::kNoVreg;
+}
+
+void
+checkVregTable(const Trace &trace, Findings &out)
+{
+    if (trace.vregClass.size() < ir::kNumBoundVregs) {
+        out.push_back(strprintf("vreg class table has %zu entries, "
+                                "fewer than the %u bound vregs",
+                                trace.vregClass.size(),
+                                ir::kNumBoundVregs));
+        return;
+    }
+    for (unsigned v = 0; v < 12; ++v) {
+        if (trace.vregClass[v] != RegClass::Int)
+            out.push_back(strprintf("bound vreg v%u (GPR/flag) has "
+                                    "non-int class", v));
+    }
+    for (unsigned v = 12; v < ir::kNumBoundVregs; ++v) {
+        if (trace.vregClass[v] != RegClass::Fp)
+            out.push_back(strprintf("bound vreg v%u (guest FP) has "
+                                    "non-fp class", v));
+    }
+}
+
+/** Operand-kind + width checks for one instruction. */
+void
+checkOperands(const Trace &trace, size_t i, Findings &out)
+{
+    const IrInst &inst = trace.insts[i];
+    if (inst.op >= IrOp::NumOps) {
+        out.push_back(strprintf("inst %zu: invalid opcode %d", i,
+                                static_cast<int>(inst.op)));
+        return;
+    }
+    const IrOpInfo &info = ir::irOpInfo(inst.op);
+
+    auto check_reg = [&](Vreg v, bool fp, const char *what) {
+        if (v == ir::kNoVreg) {
+            out.push_back(strprintf("inst %zu (%s): missing %s", i,
+                                    ir::irOpName(inst.op), what));
+            return;
+        }
+        if (v >= trace.numVregs()) {
+            out.push_back(strprintf("inst %zu (%s): %s vreg v%u out of "
+                                    "range (%u vregs)", i,
+                                    ir::irOpName(inst.op), what, v,
+                                    trace.numVregs()));
+            return;
+        }
+        const RegClass want = fp ? RegClass::Fp : RegClass::Int;
+        if (trace.vregClass[v] != want) {
+            out.push_back(strprintf("inst %zu (%s): %s vreg v%u has the "
+                                    "wrong register class (operand kind "
+                                    "mismatch)", i, ir::irOpName(inst.op),
+                                    what, v));
+        }
+    };
+
+    if (hasSrc1(inst))
+        check_reg(inst.src1, info.fpSrc1, "src1");
+    if (hasSrc2(inst))
+        check_reg(inst.src2, info.fpSrc2, "src2");
+
+    if (info.hasDst) {
+        check_reg(inst.dst, info.fpDst, "dst");
+    } else if (inst.dst != ir::kNoVreg) {
+        out.push_back(strprintf("inst %zu (%s): op has no destination "
+                                "but dst v%u is set", i,
+                                ir::irOpName(inst.op), inst.dst));
+    }
+
+    // Width consistency: the translator only ever emits 1- or 4-byte
+    // integer accesses (MOVB vs everything else) and 8-byte FP
+    // accesses; no pass may change an access width.
+    if (inst.op == IrOp::LD || inst.op == IrOp::ST) {
+        if (inst.size != 1 && inst.size != 4) {
+            out.push_back(strprintf("inst %zu (%s): width mismatch — "
+                                    "integer memory access of %u bytes "
+                                    "(must be 1 or 4)", i,
+                                    ir::irOpName(inst.op), inst.size));
+        }
+    } else if (inst.op == IrOp::FLD || inst.op == IrOp::FST) {
+        if (inst.size != 8) {
+            out.push_back(strprintf("inst %zu (%s): width mismatch — FP "
+                                    "memory access of %u bytes (must "
+                                    "be 8)", i, ir::irOpName(inst.op),
+                                    inst.size));
+        }
+    }
+
+    // Memory ops need a store value: ST reads src2, FST reads src2.
+    if ((inst.op == IrOp::ST || inst.op == IrOp::FST) &&
+        inst.src2 == ir::kNoVreg) {
+        out.push_back(strprintf("inst %zu (%s): store without a value "
+                                "operand", i, ir::irOpName(inst.op)));
+    }
+
+    if (inst.op == IrOp::BR &&
+        static_cast<uint8_t>(inst.cc) >
+            static_cast<uint8_t>(ir::BrCc::GEU)) {
+        out.push_back(strprintf("inst %zu: BR with invalid condition %d",
+                                i, static_cast<int>(inst.cc)));
+    }
+
+    // Guest-index provenance: every instruction must map into the
+    // trace's guest EIP table.
+    if (inst.guestIndex >= trace.numGuestInsts()) {
+        out.push_back(strprintf("inst %zu (%s): guest index %u outside "
+                                "the trace's %u guest instructions", i,
+                                ir::irOpName(inst.op), inst.guestIndex,
+                                trace.numGuestInsts()));
+    }
+}
+
+/** Exit-table and exit-instruction consistency. */
+void
+checkExits(const Trace &trace, Findings &out)
+{
+    for (size_t e = 0; e < trace.exits.size(); ++e) {
+        const ir::IrExit &exit = trace.exits[e];
+        if (exit.guestInstsRetired > trace.numGuestInsts()) {
+            out.push_back(strprintf("exit %zu: retires %u guest insts "
+                                    "but the trace only covers %u", e,
+                                    exit.guestInstsRetired,
+                                    trace.numGuestInsts()));
+        }
+        if (exit.indirect && exit.guestTarget != 0) {
+            out.push_back(strprintf("exit %zu: indirect exit with a "
+                                    "static guest target 0x%08x", e,
+                                    exit.guestTarget));
+        }
+    }
+
+    bool terminated = false;
+    for (size_t i = 0; i < trace.insts.size(); ++i) {
+        const IrInst &inst = trace.insts[i];
+        if (terminated) {
+            out.push_back(strprintf("inst %zu (%s): code after the "
+                                    "terminal exit (resurrected dead "
+                                    "code)", i, ir::irOpName(inst.op)));
+            continue;
+        }
+        if (!inst.isExit())
+            continue;
+        if (inst.exitId >= trace.exits.size()) {
+            out.push_back(strprintf("inst %zu: exit id %u out of range "
+                                    "(%zu exits)", i, inst.exitId,
+                                    trace.exits.size()));
+            continue;
+        }
+        const ir::IrExit &exit = trace.exits[inst.exitId];
+        if ((inst.op == IrOp::JINDIRECT) != exit.indirect) {
+            out.push_back(strprintf("inst %zu: %s targets exit %u whose "
+                                    "indirect flag is %d", i,
+                                    ir::irOpName(inst.op), inst.exitId,
+                                    exit.indirect));
+        }
+        if (inst.op != IrOp::BR)
+            terminated = true;
+    }
+    if (trace.insts.empty()) {
+        out.push_back("empty trace");
+    } else if (!terminated) {
+        out.push_back("trace does not end with an unconditional exit");
+    }
+}
+
+/**
+ * Reaching-definitions dataflow over the linear trace: for each
+ * temporary, the position of its (unique) definition. A use whose
+ * position precedes (or equals) the definition is use-before-def; a
+ * second definition breaks the SSA discipline. Bound vregs are
+ * live-in and multiply-assigned by design, so only temporaries are
+ * checked.
+ */
+void
+checkReachingDefs(const Trace &trace, Findings &out)
+{
+    constexpr int64_t kUndefined = -1;
+    std::vector<int64_t> def_pos(trace.numVregs(), kUndefined);
+
+    for (size_t i = 0; i < trace.insts.size(); ++i) {
+        const IrInst &inst = trace.insts[i];
+        if (inst.op >= IrOp::NumOps)
+            continue;  // reported by checkOperands
+        const IrOpInfo &info = ir::irOpInfo(inst.op);
+
+        auto use = [&](Vreg v, const char *what) {
+            if (v == ir::kNoVreg || v >= trace.numVregs() ||
+                ir::isBoundVreg(v)) {
+                return;
+            }
+            if (def_pos[v] == kUndefined ||
+                def_pos[v] >= static_cast<int64_t>(i)) {
+                out.push_back(strprintf("inst %zu (%s): %s temp v%u "
+                                        "used before def (no reaching "
+                                        "definition)", i,
+                                        ir::irOpName(inst.op), what, v));
+            }
+        };
+        if (hasSrc1(inst))
+            use(inst.src1, "src1");
+        if (hasSrc2(inst))
+            use(inst.src2, "src2");
+
+        if (info.hasDst && inst.dst != ir::kNoVreg &&
+            inst.dst < trace.numVregs() && !ir::isBoundVreg(inst.dst)) {
+            if (def_pos[inst.dst] != kUndefined) {
+                out.push_back(strprintf("inst %zu: temp v%u assigned "
+                                        "twice (SSA violation)", i,
+                                        inst.dst));
+            }
+            def_pos[inst.dst] = static_cast<int64_t>(i);
+        }
+    }
+}
+
+/**
+ * Side-effect ordering: in an unscheduled trace the translator emits
+ * guest instructions in path order, and no pass reorders — so the
+ * guest indices of memory operations and exits must be non-decreasing,
+ * and successive exit instructions must retire non-decreasing guest
+ * counts. (After scheduling this is legitimately violated inside
+ * segments; verifySchedule() proves those reorders dependence-safe.)
+ */
+void
+checkSideEffectOrder(const Trace &trace, Findings &out)
+{
+    int64_t last_effect_gi = -1;
+    int64_t last_retired = -1;
+    for (size_t i = 0; i < trace.insts.size(); ++i) {
+        const IrInst &inst = trace.insts[i];
+        if (inst.op >= IrOp::NumOps)
+            continue;
+        const IrOpInfo &info = ir::irOpInfo(inst.op);
+        if (info.isLoad || info.isStore || info.isExit) {
+            if (static_cast<int64_t>(inst.guestIndex) < last_effect_gi) {
+                out.push_back(strprintf(
+                    "inst %zu (%s): memory/branch side effect for guest "
+                    "inst %u ordered after one for guest inst %lld "
+                    "(reordered dependent memory operations)", i,
+                    ir::irOpName(inst.op), inst.guestIndex,
+                    static_cast<long long>(last_effect_gi)));
+            }
+            last_effect_gi = std::max(
+                last_effect_gi, static_cast<int64_t>(inst.guestIndex));
+        }
+        if (info.isExit && inst.exitId < trace.exits.size()) {
+            const int64_t retired = static_cast<int64_t>(
+                trace.exits[inst.exitId].guestInstsRetired);
+            if (retired < last_retired) {
+                out.push_back(strprintf(
+                    "inst %zu: exit retires %lld guest insts after an "
+                    "earlier exit already retired %lld", i,
+                    static_cast<long long>(retired),
+                    static_cast<long long>(last_retired)));
+            }
+            last_retired = std::max(last_retired, retired);
+        }
+    }
+}
+
+/** Dependence edges of one segment, in original order: every (from,
+ *  to) pair with from < to that no legal schedule may invert.
+ *  Mirrors the rules the scheduler builds its DAG from — recomputed
+ *  here so the check is independent of the scheduler's own code. */
+std::vector<std::pair<uint32_t, uint32_t>>
+dependenceEdges(const std::vector<IrInst> &insts, size_t first,
+                size_t last, uint16_t num_vregs)
+{
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    const size_t n = last - first;
+
+    std::vector<int64_t> last_def(num_vregs, -1);
+    std::vector<std::vector<uint32_t>> uses_since(num_vregs);
+    int64_t last_store = -1;
+    std::vector<uint32_t> loads_since_store;
+
+    auto add_edge = [&](int64_t from, size_t to) {
+        edges.emplace_back(static_cast<uint32_t>(from),
+                           static_cast<uint32_t>(to));
+    };
+
+    for (size_t li = 0; li < n; ++li) {
+        const IrInst &inst = insts[first + li];
+        if (inst.op >= IrOp::NumOps)
+            continue;
+        const IrOpInfo &info = ir::irOpInfo(inst.op);
+
+        auto use = [&](Vreg v) {
+            if (v == ir::kNoVreg || v >= num_vregs)
+                return;
+            if (last_def[v] >= 0)
+                add_edge(last_def[v], li);                      // RAW
+            uses_since[v].push_back(static_cast<uint32_t>(li));
+        };
+        use(inst.src1);
+        if (!inst.useImm)
+            use(inst.src2);
+
+        if (info.hasDst && inst.dst != ir::kNoVreg &&
+            inst.dst < num_vregs) {
+            for (uint32_t u : uses_since[inst.dst]) {
+                if (u != li)
+                    add_edge(u, li);                            // WAR
+            }
+            if (last_def[inst.dst] >= 0)
+                add_edge(last_def[inst.dst], li);               // WAW
+            uses_since[inst.dst].clear();
+            last_def[inst.dst] = static_cast<int64_t>(li);
+        }
+
+        if (info.isLoad) {
+            if (last_store >= 0)
+                add_edge(last_store, li);        // load after store
+            loads_since_store.push_back(static_cast<uint32_t>(li));
+        } else if (info.isStore) {
+            if (last_store >= 0)
+                add_edge(last_store, li);        // store after store
+            for (uint32_t l : loads_since_store)
+                add_edge(l, li);                 // store after loads
+            loads_since_store.clear();
+            last_store = static_cast<int64_t>(li);
+        }
+    }
+    return edges;
+}
+
+} // namespace
+
+Findings
+verifyTrace(const Trace &trace, bool scheduled)
+{
+    Findings out;
+    checkVregTable(trace, out);
+    for (size_t i = 0; i < trace.insts.size(); ++i)
+        checkOperands(trace, i, out);
+    checkExits(trace, out);
+    checkReachingDefs(trace, out);
+    if (!scheduled)
+        checkSideEffectOrder(trace, out);
+    return out;
+}
+
+Findings
+verifySchedule(const Trace &before, const Trace &after)
+{
+    Findings out;
+
+    if (before.insts.size() != after.insts.size()) {
+        out.push_back(strprintf("schedule changed instruction count "
+                                "(%zu -> %zu)", before.insts.size(),
+                                after.insts.size()));
+        return out;
+    }
+    if (before.exits.size() != after.exits.size() ||
+        before.guestEips != after.guestEips ||
+        before.guestEntry != after.guestEntry) {
+        out.push_back("schedule changed the trace's exits or guest "
+                      "EIP table");
+        return out;
+    }
+
+    // Walk segment by segment; exit instructions delimit segments and
+    // must be byte-identical in place.
+    size_t seg_start = 0;
+    for (size_t i = 0; i <= before.insts.size(); ++i) {
+        const bool at_end = i == before.insts.size();
+        if (!at_end && !before.insts[i].isExit()) {
+            if (after.insts[i].isExit()) {
+                out.push_back(strprintf("inst %zu: schedule moved an "
+                                        "exit across a segment "
+                                        "boundary", i));
+                return out;
+            }
+            continue;
+        }
+        if (!at_end && !sameInst(before.insts[i], after.insts[i])) {
+            out.push_back(strprintf("inst %zu: control instruction "
+                                    "changed by the scheduler", i));
+            return out;
+        }
+
+        // Match each scheduled instruction in [seg_start, i) back to
+        // an original position (first unmatched identical inst:
+        // order-preserving among equal instructions, so the edge
+        // check below is exact).
+        const size_t n = i - seg_start;
+        std::vector<int64_t> pos_after(n, -1);   // orig local -> new local
+        std::vector<bool> used(n, false);
+        bool matched = true;
+        for (size_t aj = 0; aj < n && matched; ++aj) {
+            const IrInst &ai = after.insts[seg_start + aj];
+            matched = false;
+            for (size_t bj = 0; bj < n; ++bj) {
+                if (used[bj])
+                    continue;
+                if (sameInst(before.insts[seg_start + bj], ai)) {
+                    used[bj] = true;
+                    pos_after[bj] = static_cast<int64_t>(aj);
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched) {
+                out.push_back(strprintf(
+                    "inst %zu: scheduled segment is not a permutation "
+                    "of the original (unmatched %s)", seg_start + aj,
+                    ir::irOpName(ai.op)));
+            }
+        }
+        if (!matched)
+            return out;
+
+        for (const auto &[from, to] :
+             dependenceEdges(before.insts, seg_start, i,
+                             before.numVregs())) {
+            if (pos_after[from] > pos_after[to]) {
+                out.push_back(strprintf(
+                    "segment at inst %zu: dependence edge violated — "
+                    "%s (orig pos %u) must precede %s (orig pos %u) "
+                    "but the schedule swapped them (reordered "
+                    "dependent operations)", seg_start,
+                    ir::irOpName(before.insts[seg_start + from].op),
+                    from,
+                    ir::irOpName(before.insts[seg_start + to].op), to));
+            }
+        }
+        seg_start = i + 1;
+    }
+    return out;
+}
+
+Findings
+verifyAllocation(const Trace &trace, const ir::Allocation &alloc,
+                 const ir::AllocPools &pools)
+{
+    Findings out;
+
+    if (alloc.locs.size() != trace.numVregs()) {
+        out.push_back(strprintf("allocation covers %zu vregs, trace "
+                                "has %u", alloc.locs.size(),
+                                trace.numVregs()));
+        return out;
+    }
+
+    // Bound vregs must keep their architectural pre-coloring.
+    for (unsigned r = 0; r < 8; ++r) {
+        const ir::VregLoc &loc = alloc.of(ir::vGpr(r));
+        if (loc.spilled || loc.reg != host::hreg::guestGpr(r)) {
+            out.push_back(strprintf("bound vreg v%u lost its pre-"
+                                    "colored guest GPR register", r));
+        }
+    }
+    for (unsigned b = 0; b < 4; ++b) {
+        const ir::VregLoc &loc = alloc.of(ir::flagVreg(b));
+        if (loc.spilled || loc.reg != host::hreg::FlagZ + b) {
+            out.push_back(strprintf("bound flag vreg v%u lost its pre-"
+                                    "colored register", ir::vFlagZ + b));
+        }
+    }
+    for (unsigned r = 0; r < 8; ++r) {
+        const ir::VregLoc &loc = alloc.of(ir::vFpr(r));
+        if (loc.spilled || loc.reg != host::hreg::guestFpr(r)) {
+            out.push_back(strprintf("bound vreg v%u lost its pre-"
+                                    "colored guest FP register",
+                                    ir::vFpr(r)));
+        }
+    }
+
+    // Recompute every temporary's live interval, exactly as the
+    // allocator defines them: [first def .. last use].
+    struct Live
+    {
+        Vreg vreg;
+        uint32_t start;
+        uint32_t end;
+        RegClass cls;
+    };
+    std::vector<int64_t> def_pos(trace.numVregs(), -1);
+    std::vector<int64_t> last_use(trace.numVregs(), -1);
+    for (size_t i = 0; i < trace.insts.size(); ++i) {
+        const IrInst &inst = trace.insts[i];
+        if (inst.op >= IrOp::NumOps)
+            continue;
+        const IrOpInfo &info = ir::irOpInfo(inst.op);
+        auto use = [&](Vreg v) {
+            if (v != ir::kNoVreg && v < trace.numVregs() &&
+                !ir::isBoundVreg(v)) {
+                last_use[v] = static_cast<int64_t>(i);
+            }
+        };
+        use(inst.src1);
+        if (!inst.useImm)
+            use(inst.src2);
+        if (info.hasDst && inst.dst != ir::kNoVreg &&
+            inst.dst < trace.numVregs() && !ir::isBoundVreg(inst.dst) &&
+            def_pos[inst.dst] < 0) {
+            def_pos[inst.dst] = static_cast<int64_t>(i);
+        }
+    }
+
+    std::vector<Live> live;
+    for (Vreg v = ir::kFirstTemp; v < trace.numVregs(); ++v) {
+        if (def_pos[v] < 0)
+            continue;  // dead temp: no location required
+        const ir::VregLoc &loc = alloc.of(v);
+        if (!loc.used) {
+            out.push_back(strprintf("temp v%u is live in the trace but "
+                                    "the allocation marks it unused "
+                                    "(no location)", v));
+            continue;
+        }
+        const RegClass cls = trace.vregClass[v];
+        if (loc.spilled) {
+            if (loc.slot >= alloc.numSpillSlots) {
+                out.push_back(strprintf("temp v%u spilled to slot %u "
+                                        "beyond the %u allocated slots "
+                                        "(dropped spill)", v, loc.slot,
+                                        alloc.numSpillSlots));
+            }
+        } else {
+            const uint8_t pool_first = cls == RegClass::Int
+                ? pools.intPoolFirst : pools.fpPoolFirst;
+            const uint8_t pool_count = cls == RegClass::Int
+                ? pools.intPoolCount : pools.fpPoolCount;
+            if (loc.reg < pool_first ||
+                loc.reg >= pool_first + pool_count) {
+                out.push_back(strprintf("temp v%u assigned register %u "
+                                        "outside its class pool "
+                                        "[%u, %u)", v, loc.reg,
+                                        pool_first,
+                                        pool_first + pool_count));
+            }
+        }
+        live.push_back(Live{v, static_cast<uint32_t>(def_pos[v]),
+                            static_cast<uint32_t>(
+                                std::max(def_pos[v], last_use[v])),
+                            cls});
+    }
+
+    // Pairwise conflict check. Two intervals conflict when they
+    // overlap in more than a single boundary position (a def reading
+    // the dying value at the same instruction is write-after-read
+    // safe). Quadratic in live temps — traces are small, and this
+    // runs only under verifyIr.
+    for (size_t a = 0; a < live.size(); ++a) {
+        for (size_t b = a + 1; b < live.size(); ++b) {
+            const Live &x = live[a];
+            const Live &y = live[b];
+            if (std::max(x.start, y.start) >= std::min(x.end, y.end))
+                continue;  // disjoint or boundary-only
+            const ir::VregLoc &lx = alloc.of(x.vreg);
+            const ir::VregLoc &ly = alloc.of(y.vreg);
+            if (!lx.spilled && !ly.spilled && x.cls == y.cls &&
+                lx.reg == ly.reg) {
+                out.push_back(strprintf(
+                    "host register %u double-assigned: temps v%u "
+                    "[%u,%u] and v%u [%u,%u] overlap", lx.reg, x.vreg,
+                    x.start, x.end, y.vreg, y.start, y.end));
+            }
+            if (lx.spilled && ly.spilled && lx.slot == ly.slot) {
+                out.push_back(strprintf(
+                    "spill slot %u double-assigned: temps v%u [%u,%u] "
+                    "and v%u [%u,%u] overlap (dropped spill)", lx.slot,
+                    x.vreg, x.start, x.end, y.vreg, y.start, y.end));
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+[[noreturn]] void
+raiseFindings(const char *what, const char *stage, const Findings &fs)
+{
+    std::string msg = strprintf("%s found %zu violation(s) after %s:",
+                                what, fs.size(), stage);
+    const size_t shown = std::min<size_t>(fs.size(), 8);
+    for (size_t i = 0; i < shown; ++i)
+        msg += "\n  " + fs[i];
+    if (shown < fs.size())
+        msg += strprintf("\n  ... and %zu more", fs.size() - shown);
+    fatal_kind(ErrKind::Internal, "%s", msg.c_str());
+}
+
+} // namespace
+
+void
+checkTrace(const Trace &trace, const char *stage, bool scheduled)
+{
+    const Findings fs = verifyTrace(trace, scheduled);
+    if (!fs.empty())
+        raiseFindings("IR verifier", stage, fs);
+}
+
+void
+checkSchedule(const Trace &before, const Trace &after, const char *stage)
+{
+    const Findings fs = verifySchedule(before, after);
+    if (!fs.empty())
+        raiseFindings("schedule verifier", stage, fs);
+}
+
+void
+checkAllocation(const Trace &trace, const ir::Allocation &alloc,
+                const char *stage)
+{
+    const Findings fs = verifyAllocation(trace, alloc);
+    if (!fs.empty())
+        raiseFindings("register-allocation verifier", stage, fs);
+}
+
+} // namespace darco::analysis

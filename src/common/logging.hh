@@ -52,6 +52,11 @@ enum class ErrKind : uint8_t {
     Io,             ///< host I/O failure (possibly transient)
     Corrupt,        ///< input failed a structural/integrity check
     Guest,          ///< the guest program itself is invalid
+    /** An engine invariant failed (e.g. the static IR verifier found a
+     *  miscompile, src/analysis/). Permanent and never retried, like
+     *  Unclassified, but deliberately classified: the site *knows* it
+     *  is reporting a simulator bug, not an unknown failure. */
+    Internal,
 };
 
 /**

@@ -68,9 +68,12 @@ Emulator::step()
     if (inst.op == Op::POP || inst.op == Op::RET)
         ++stats.memReads;
 
+    const uint32_t pc = archState.eip;
     const ExecResult result = execInst(archState, mem, inst);
     if (result.taken)
         ++stats.takenBranches;
+    if (branchObs && info.isBranch)
+        branchObs->onBranch(pc, archState.eip, result.taken, info);
     if (result.halted) {
         halted = true;
         return false;

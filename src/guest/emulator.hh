@@ -36,6 +36,31 @@ struct EmulatorStats
     uint64_t fpOps = 0;
 };
 
+/**
+ * Observer of executed guest control transfers. The emulator is the
+ * authoritative oracle of the whole simulator (co-simulation replays
+ * every retired instruction through it), so an observer attached here
+ * sees the exact dynamic branch stream of the run — the
+ * characterization layer's guest-level branch profile
+ * (profile/guest_branch.hh) and the static-CFG cross-checks
+ * (src/analysis/cfg.hh) are built on it.
+ */
+class BranchObserver
+{
+  public:
+    virtual ~BranchObserver() = default;
+
+    /**
+     * One executed control-transfer instruction.
+     * @param pc    EIP of the branch
+     * @param next  EIP execution actually landed on
+     * @param taken direction (false only for a not-taken JCC)
+     * @param info  static properties of the opcode
+     */
+    virtual void onBranch(uint32_t pc, uint32_t next, bool taken,
+                          const OpInfo &info) = 0;
+};
+
 class Emulator
 {
   public:
@@ -81,11 +106,16 @@ class Emulator
     /** Decode (with caching) the instruction at @p addr. */
     const Inst &decodeAt(uint32_t addr);
 
+    /** Attach (or clear, with nullptr) the branch observer. Off the
+     *  default path: no observer means no extra work per step. */
+    void setBranchObserver(BranchObserver *obs) { branchObs = obs; }
+
   private:
     Memory &mem;
     State archState;
     bool halted = false;
     EmulatorStats stats;
+    BranchObserver *branchObs = nullptr;
     std::unordered_map<uint32_t, Inst> decodeCache;
 };
 

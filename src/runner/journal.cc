@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <optional>
 #include <type_traits>
@@ -511,6 +512,7 @@ configFingerprint(const sim::MetricsOptions &effective,
     field("enableBbmOpts", t.enableBbmOpts);
     field("enableSbmOpts", t.enableSbmOpts);
     field("enableScheduling", t.enableScheduling);
+    field("verifyIr", t.verifyIr);
     field("ibtcEntries", t.ibtcEntries);
     field("ibtcWays", t.ibtcWays);
     field("transMapBuckets", t.transMapBuckets);
@@ -574,9 +576,14 @@ Journal::Journal(const std::string &path) : path(path)
                    path.c_str());
     }
     if (fresh) {
-        std::fprintf(file, "{\"darco_journal\":1,\"engine\":\"%s\"}\n",
-                     kJournalEngineVersion);
-        std::fflush(file);
+        if (std::fprintf(file,
+                         "{\"darco_journal\":1,\"engine\":\"%s\"}\n",
+                         kJournalEngineVersion) < 0 ||
+            std::fflush(file) != 0) {
+            fatal_kind(ErrKind::Io,
+                       "journal: cannot write header to '%s': %s",
+                       path.c_str(), std::strerror(errno));
+        }
     }
 }
 
@@ -590,13 +597,25 @@ void
 Journal::append(const JournalEntry &entry)
 {
     const std::string line = serializeEntry(entry);
-    std::fwrite(line.data(), 1, line.size(), file);
-    std::fputc('\n', file);
     // Flush before reporting the job done: after fflush the bytes
     // are the kernel's problem and survive a SIGKILL of this
     // process. (fsync would also survive a host crash; a campaign
-    // journal does not need that durability class.)
-    std::fflush(file);
+    // journal does not need that durability class.) Every result is
+    // checked: a short write or failed flush (ENOSPC, quota, pulled
+    // NFS mount) means the entry is NOT durable, and returning
+    // normally would let the runner report the job done on the
+    // strength of an entry that does not exist — the durability
+    // contract this class exists to provide. The failure classifies
+    // as Io like every other journal I/O error.
+    if (std::fwrite(line.data(), 1, line.size(), file) !=
+            line.size() ||
+        std::fputc('\n', file) == EOF || std::fflush(file) != 0) {
+        fatal_kind(ErrKind::Io,
+                   "journal: append to '%s' failed (%s) — entry for "
+                   "job %llu is not durable",
+                   path.c_str(), std::strerror(errno),
+                   static_cast<unsigned long long>(entry.jobIndex));
+    }
     // Kill-after-Nth-append fault point (the kill-and-resume gate):
     // fires `count` times, dies on the last one — i.e. after the Nth
     // append has been made durable.

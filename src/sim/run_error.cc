@@ -73,6 +73,7 @@ runErrorFromFatal(const FatalError &e, const std::string &uri)
         err.cls = RunErrorClass::GuestFault;
         break;
       case ErrKind::Unclassified:
+      case ErrKind::Internal:
         err.cls = RunErrorClass::Internal;
         break;
     }

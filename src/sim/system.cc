@@ -59,6 +59,14 @@ System::loadIdentified(const guest::Program &program,
         stateChecker = std::make_unique<StateChecker>(*authEmu,
                                                       cfg.cosimStrict);
         runtime->setObserver(stateChecker.get());
+        if (cfg.profile) {
+            // The checker replays every retired guest instruction
+            // through the emulator, so its branch stream is the exact
+            // dynamic guest branch trace — collect it.
+            guestBranches =
+                std::make_unique<profile::GuestBranchCollector>();
+            authEmu->setBranchObserver(guestBranches.get());
+        }
     }
     if (!cfg.captureTracePath.empty()) {
         capture = std::make_unique<trace::TraceFile>();

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "guest/emulator.hh"
+#include "profile/guest_branch.hh"
 #include "profile/profile.hh"
 #include "sim/config.hh"
 #include "sim/state_checker.hh"
@@ -91,6 +92,18 @@ class System
     {
         return profiler.get();
     }
+    /**
+     * Guest-level dynamic branch profile, collected from the
+     * authoritative emulator's branch stream. Needs both
+     * SimConfig::profile and SimConfig::cosim (the emulator only
+     * replays the full instruction stream under co-simulation);
+     * nullptr otherwise. Input to the static-CFG cross-checks
+     * (src/analysis/cfg.hh).
+     */
+    const profile::GuestBranchProfile *guestBranchProfile() const
+    {
+        return guestBranches ? &guestBranches->profile() : nullptr;
+    }
     /** Co-simulation state checker (nullptr when cosim is off). */
     const StateChecker *checker() const { return stateChecker.get(); }
     /** Architectural guest state of the co-design component. */
@@ -130,6 +143,7 @@ class System
 
     std::unique_ptr<tol::Runtime> runtime;
     std::unique_ptr<StateChecker> stateChecker;
+    std::unique_ptr<profile::GuestBranchCollector> guestBranches;
 
     bool loaded = false;
     bool ran = false;

@@ -41,6 +41,16 @@ struct TolConfig
     bool enableSbmOpts = true;
     /** Run the instruction scheduler in SBM. */
     bool enableScheduling = true;
+    /**
+     * Run the static IR/regalloc verifier (src/analysis/verify.hh)
+     * after every translation pass. Pure observation: no cost-model
+     * charge, no records, so determinism fields are unaffected — only
+     * host wall-clock. Default-on so every ctest run verifies every
+     * translation; perf harnesses turn it off for timed scenarios
+     * (bench/check_perf.py requires verification off on committed
+     * baselines).
+     */
+    bool verifyIr = true;
 
     // ----- structure sizes ------------------------------------------------
     /** IBTC entries (power of two, 8 bytes each). */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/verify.hh"
 #include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "ir/passes.hh"
@@ -342,19 +343,27 @@ Runtime::translateBb(uint32_t eip)
 
     ir::Trace trace = translator.translate(path);
     applyFlagMasks(trace);
+    if (cfg.verifyIr)
+        analysis::checkTrace(trace, "bbm/translate");
 
     ir::PassStats ps;
     if (cfg.enableBbmOpts) {
         // The paper's BBM "simple optimizations": constant propagation
         // and dead code elimination (§III-A).
         ir::constantPropagation(trace, &ps);
+        if (cfg.verifyIr)
+            analysis::checkTrace(trace, "bbm/const_prop");
         ir::deadCodeElimination(trace, &ps);
+        if (cfg.verifyIr)
+            analysis::checkTrace(trace, "bbm/dce");
         chargePassWork(cost.bbm, ps, false);
     }
 
     const ir::Allocation alloc = ir::allocateRegisters(trace);
     cost.bbm.alu(cfg.regallocAlusPerInterval *
                  static_cast<uint32_t>(trace.numVregs()));
+    if (cfg.verifyIr)
+        analysis::checkAllocation(trace, alloc, "bbm/regalloc");
 
     const bool cond_term = path.back().inst.op == g::Op::JCC;
     EmitOptions opts;
@@ -408,29 +417,55 @@ Runtime::promoteToSuperblock(uint32_t bb_eip)
 
     ir::Trace trace = translator.translate(path);
     applyFlagMasks(trace);
+    if (cfg.verifyIr)
+        analysis::checkTrace(trace, "sbm/translate");
 
     if (cfg.enableSbmOpts) {
         ir::PassStats ps;
         ir::copyPropagation(trace, &ps);
+        if (cfg.verifyIr)
+            analysis::checkTrace(trace, "sbm/copy_prop");
         ir::constantPropagation(trace, &ps);
+        if (cfg.verifyIr)
+            analysis::checkTrace(trace, "sbm/const_prop");
         chargePassWork(cost.sbm, ps, false);
         ir::PassStats cse;
         ir::commonSubexpressionElimination(trace, &cse);
+        if (cfg.verifyIr)
+            analysis::checkTrace(trace, "sbm/cse");
         chargePassWork(cost.sbm, cse, true);
         ir::PassStats post;
         ir::copyPropagation(trace, &post);
+        if (cfg.verifyIr)
+            analysis::checkTrace(trace, "sbm/copy_prop2");
         ir::deadCodeElimination(trace, &post);
+        if (cfg.verifyIr)
+            analysis::checkTrace(trace, "sbm/dce");
         chargePassWork(cost.sbm, post, false);
     }
     if (cfg.enableScheduling) {
+        // The verifier needs the pre-schedule order to re-derive the
+        // dependence edges the schedule must respect; the copy exists
+        // only under verifyIr (translation is off the hot path, but
+        // perf baselines still run with verification off).
+        ir::Trace preSchedule;
+        if (cfg.verifyIr)
+            preSchedule = trace;
         ir::ScheduleStats ss;
         ir::scheduleTrace(trace, &ss);
         cost.sbm.alu(cfg.schedAlusPerEdge * ss.edgesBuilt);
+        if (cfg.verifyIr) {
+            analysis::checkSchedule(preSchedule, trace, "sbm/scheduler");
+            analysis::checkTrace(trace, "sbm/scheduler",
+                                 /*scheduled=*/true);
+        }
     }
 
     const ir::Allocation alloc = ir::allocateRegisters(trace);
     cost.sbm.alu(cfg.regallocAlusPerInterval *
                  static_cast<uint32_t>(trace.numVregs()));
+    if (cfg.verifyIr)
+        analysis::checkAllocation(trace, alloc, "sbm/regalloc");
 
     EmitOptions opts;
     opts.kind = host::RegionKind::Superblock;
@@ -566,6 +601,8 @@ Runtime::run(uint64_t guest_budget, const common::CancelToken *cancel)
                 remaining = guest_budget;
         }
         if (faultinject::fire(faultinject::Point::MidRunThrow)) {
+            // det-lint: allow(models an unclassified engine fatal —
+            // the taxonomy must map it to Internal/never-retried)
             fatal("fault injection: mid-run failure in the dispatch "
                   "loop");
         }

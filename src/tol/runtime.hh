@@ -96,6 +96,10 @@ class Runtime
     void setObserver(CommitObserver *obs) { observer = obs; }
 
     const TolStats &stats() const { return tolStats; }
+    /** The effective config this runtime was built with, so
+     *  harnesses can record what actually ran (e.g. whether the IR
+     *  verifier was live) rather than what was requested. */
+    const TolConfig &config() const { return cfg; }
     const guest::State &guestState() const { return gstate; }
     uint8_t knownFlags() const { return knownFlagsMask; }
     bool halted() const { return guestHalted; }

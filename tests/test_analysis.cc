@@ -1,0 +1,678 @@
+/**
+ * @file
+ * Static-analysis layer tests (src/analysis/).
+ *
+ * Two halves:
+ *
+ *  1. Mutation tests — each class of miscompile the verifier exists
+ *     to catch is injected deliberately (into a hand-built trace, a
+ *     tampered allocation, or a tampered CFG) and must be reported
+ *     with the right diagnostic: use-before-def, SSA double
+ *     assignment, width mismatch, reordered dependent memory
+ *     operations, scheduler dependence-edge violation, double-assigned
+ *     host register, dropped/shared spill slot, resurrected dead code,
+ *     orphaned branch target, and a broken dominator edge.
+ *
+ *  2. Cross-validation — the static CFG analyzer against real runs'
+ *     guest-level dynamic branch profiles: clean programs and all 48
+ *     paper workloads must produce zero findings (branch-site
+ *     agreement and exact per-block flow conservation), and tampered
+ *     profiles must be rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/verify.hh"
+#include "guest/assembler.hh"
+#include "ir/regalloc.hh"
+#include "sim/system.hh"
+#include "workloads/params.hh"
+
+namespace an = darco::analysis;
+namespace dg = darco::guest;
+namespace ir = darco::ir;
+namespace wl = darco::workloads;
+using darco::sim::SimConfig;
+using darco::sim::System;
+using darco::sim::SystemResult;
+using dg::Assembler;
+
+namespace {
+
+bool
+hasFinding(const an::Findings &findings, const std::string &needle)
+{
+    for (const std::string &f : findings)
+        if (f.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+std::string
+joined(const an::Findings &findings)
+{
+    std::string out;
+    for (const std::string &f : findings)
+        out += f + "\n";
+    return out;
+}
+
+ir::IrInst
+mk(ir::IrOp op, uint16_t guest_index = 0)
+{
+    ir::IrInst inst;
+    inst.op = op;
+    inst.guestIndex = guest_index;
+    return inst;
+}
+
+/** A clean little trace: t0 = [v0]; [v1] = t0; jexit. */
+ir::Trace
+loadStoreTrace()
+{
+    ir::Trace t;
+    t.guestEntry = 0x1000;
+    t.guestEips = {0x1000, 0x1003, 0x1006};
+
+    const ir::Vreg tmp = t.newTemp(ir::RegClass::Int);
+    ir::IrInst ld = mk(ir::IrOp::LD, 0);
+    ld.dst = tmp;
+    ld.src1 = ir::vGpr(0);
+    ld.size = 4;
+    t.append(ld);
+
+    ir::IrInst st = mk(ir::IrOp::ST, 1);
+    st.src1 = ir::vGpr(1);
+    st.src2 = tmp;
+    st.size = 4;
+    t.append(st);
+
+    ir::IrInst exit = mk(ir::IrOp::JEXIT, 2);
+    exit.exitId = 0;
+    t.append(exit);
+
+    ir::IrExit ex;
+    ex.guestTarget = 0x2000;
+    ex.guestInstsRetired = 3;
+    t.exits.push_back(ex);
+    return t;
+}
+
+dg::Program
+finish(Assembler &as)
+{
+    dg::Program prog;
+    prog.code = as.finalize(prog.codeBase);
+    prog.entry = prog.codeBase;
+    return prog;
+}
+
+SimConfig
+profiledConfig(uint64_t budget)
+{
+    SimConfig cfg;
+    cfg.cosim = true;
+    cfg.cosimStrict = true;
+    cfg.profile = true;
+    cfg.guestBudget = budget;
+    cfg.tol.imToBbThreshold = 3;
+    cfg.tol.bbToSbThreshold = 50;
+    return cfg;
+}
+
+} // namespace
+
+// ===================================================================
+// IR verifier mutation classes
+// ===================================================================
+
+TEST(VerifyTrace, CleanTraceHasNoFindings)
+{
+    const an::Findings f = an::verifyTrace(loadStoreTrace());
+    EXPECT_TRUE(f.empty()) << joined(f);
+}
+
+TEST(VerifyTrace, CatchesUseBeforeDef)
+{
+    ir::Trace t;
+    t.guestEntry = 0x1000;
+    t.guestEips = {0x1000, 0x1002};
+    const ir::Vreg tmp = t.newTemp(ir::RegClass::Int);
+
+    ir::IrInst use = mk(ir::IrOp::MOV, 0);   // v1 = tmp, tmp undefined
+    use.dst = ir::vGpr(1);
+    use.src1 = tmp;
+    t.append(use);
+
+    ir::IrInst def = mk(ir::IrOp::LDI, 1);   // too late
+    def.dst = tmp;
+    def.imm = 5;
+    t.append(def);
+
+    ir::IrInst exit = mk(ir::IrOp::JEXIT, 1);
+    t.append(exit);
+    ir::IrExit ex;
+    ex.guestTarget = 0x2000;
+    ex.guestInstsRetired = 2;
+    t.exits.push_back(ex);
+
+    const an::Findings f = an::verifyTrace(t);
+    EXPECT_TRUE(hasFinding(f, "used before def")) << joined(f);
+}
+
+TEST(VerifyTrace, CatchesDoubleAssignmentSsaViolation)
+{
+    ir::Trace t;
+    t.guestEntry = 0x1000;
+    t.guestEips = {0x1000};
+    const ir::Vreg tmp = t.newTemp(ir::RegClass::Int);
+    for (int i = 0; i < 2; ++i) {
+        ir::IrInst def = mk(ir::IrOp::LDI, 0);
+        def.dst = tmp;
+        def.imm = i;
+        t.append(def);
+    }
+    ir::IrInst use = mk(ir::IrOp::MOV, 0);
+    use.dst = ir::vGpr(1);
+    use.src1 = tmp;
+    t.append(use);
+    ir::IrInst exit = mk(ir::IrOp::JEXIT, 0);
+    t.append(exit);
+    ir::IrExit ex;
+    ex.guestTarget = 0x2000;
+    ex.guestInstsRetired = 1;
+    t.exits.push_back(ex);
+
+    const an::Findings f = an::verifyTrace(t);
+    EXPECT_TRUE(hasFinding(f, "SSA violation")) << joined(f);
+}
+
+TEST(VerifyTrace, CatchesWidthMismatch)
+{
+    ir::Trace t = loadStoreTrace();
+    t.insts[0].size = 2;   // GX86 integer accesses are 1 or 4 bytes
+    const an::Findings f = an::verifyTrace(t);
+    EXPECT_TRUE(hasFinding(f, "width mismatch")) << joined(f);
+}
+
+TEST(VerifyTrace, CatchesReorderedDependentMemoryOps)
+{
+    // Store of guest inst 1 placed before the load of guest inst 0:
+    // an unscheduled trace must keep side effects in guest order.
+    ir::Trace t;
+    t.guestEntry = 0x1000;
+    t.guestEips = {0x1000, 0x1003};
+
+    ir::IrInst st = mk(ir::IrOp::ST, 1);
+    st.src1 = ir::vGpr(1);
+    st.src2 = ir::vGpr(0);
+    st.size = 4;
+    t.append(st);
+
+    const ir::Vreg tmp = t.newTemp(ir::RegClass::Int);
+    ir::IrInst ld = mk(ir::IrOp::LD, 0);
+    ld.dst = tmp;
+    ld.src1 = ir::vGpr(0);
+    ld.size = 4;
+    t.append(ld);
+
+    ir::IrInst mov = mk(ir::IrOp::MOV, 1);
+    mov.dst = ir::vGpr(2);
+    mov.src1 = tmp;
+    t.append(mov);
+
+    ir::IrInst exit = mk(ir::IrOp::JEXIT, 1);
+    t.append(exit);
+    ir::IrExit ex;
+    ex.guestTarget = 0x2000;
+    ex.guestInstsRetired = 2;
+    t.exits.push_back(ex);
+
+    const an::Findings f = an::verifyTrace(t, /*scheduled=*/false);
+    EXPECT_TRUE(hasFinding(f, "reordered dependent memory operations"))
+        << joined(f);
+}
+
+TEST(VerifyTrace, CatchesResurrectedDeadCode)
+{
+    ir::Trace t = loadStoreTrace();
+    // Append code after the terminal exit — "resurrected" dead code
+    // a broken DCE might leave behind.
+    ir::IrInst dead = mk(ir::IrOp::LDI, 2);
+    dead.dst = ir::vGpr(3);
+    dead.imm = 7;
+    t.append(dead);
+    const an::Findings f = an::verifyTrace(t);
+    EXPECT_TRUE(hasFinding(f, "resurrected dead code")) << joined(f);
+}
+
+TEST(VerifySchedule, CleanPermutationAccepted)
+{
+    const ir::Trace before = loadStoreTrace();
+    const an::Findings f = an::verifySchedule(before, before);
+    EXPECT_TRUE(f.empty()) << joined(f);
+}
+
+TEST(VerifySchedule, CatchesReorderedDependentLoads)
+{
+    // before: ST [v1]; LD t0=[v0]; MOV v2=t0; JEXIT
+    // after:  the load hoisted above the store — violates the
+    //         conservative store->load dependence edge.
+    ir::Trace before;
+    before.guestEntry = 0x1000;
+    before.guestEips = {0x1000, 0x1003, 0x1006};
+
+    ir::IrInst st = mk(ir::IrOp::ST, 0);
+    st.src1 = ir::vGpr(1);
+    st.src2 = ir::vGpr(0);
+    st.size = 4;
+    before.append(st);
+
+    const ir::Vreg tmp = before.newTemp(ir::RegClass::Int);
+    ir::IrInst ld = mk(ir::IrOp::LD, 1);
+    ld.dst = tmp;
+    ld.src1 = ir::vGpr(0);
+    ld.size = 4;
+    before.append(ld);
+
+    ir::IrInst mov = mk(ir::IrOp::MOV, 2);
+    mov.dst = ir::vGpr(2);
+    mov.src1 = tmp;
+    before.append(mov);
+
+    ir::IrInst exit = mk(ir::IrOp::JEXIT, 2);
+    before.append(exit);
+    ir::IrExit ex;
+    ex.guestTarget = 0x2000;
+    ex.guestInstsRetired = 3;
+    before.exits.push_back(ex);
+
+    ir::Trace after = before;
+    std::swap(after.insts[0], after.insts[1]);
+
+    const an::Findings f = an::verifySchedule(before, after);
+    EXPECT_TRUE(hasFinding(f, "dependence edge violated")) << joined(f);
+}
+
+namespace {
+
+/** Ten int temps alive at once: two must spill past the 8-register
+ *  pool, giving both register and spill-slot conflicts to tamper. */
+ir::Trace
+highPressureTrace(std::vector<ir::Vreg> &temps)
+{
+    ir::Trace t;
+    t.guestEntry = 0x1000;
+    t.guestEips = {0x1000};
+    for (int i = 0; i < 10; ++i) {
+        const ir::Vreg tmp = t.newTemp(ir::RegClass::Int);
+        temps.push_back(tmp);
+        ir::IrInst def = mk(ir::IrOp::LDI, 0);
+        def.dst = tmp;
+        def.imm = i;
+        t.append(def);
+    }
+    for (int i = 0; i < 10; ++i) {
+        ir::IrInst st = mk(ir::IrOp::ST, 0);
+        st.src1 = ir::vGpr(0);
+        st.src2 = temps[i];
+        st.size = 4;
+        st.imm = 4 * i;
+        t.append(st);
+    }
+    ir::IrInst exit = mk(ir::IrOp::JEXIT, 0);
+    t.append(exit);
+    ir::IrExit ex;
+    ex.guestTarget = 0x2000;
+    ex.guestInstsRetired = 1;
+    t.exits.push_back(ex);
+    return t;
+}
+
+} // namespace
+
+TEST(VerifyAllocation, CleanAllocationAccepted)
+{
+    std::vector<ir::Vreg> temps;
+    const ir::Trace t = highPressureTrace(temps);
+    const ir::Allocation alloc = ir::allocateRegisters(t);
+    EXPECT_GT(alloc.numSpillSlots, 0u) << "test needs register pressure";
+    const an::Findings f = an::verifyAllocation(t, alloc);
+    EXPECT_TRUE(f.empty()) << joined(f);
+}
+
+TEST(VerifyAllocation, CatchesDoubleAssignedHostRegister)
+{
+    std::vector<ir::Vreg> temps;
+    const ir::Trace t = highPressureTrace(temps);
+    ir::Allocation alloc = ir::allocateRegisters(t);
+
+    // All ten intervals pairwise overlap; force two unspilled ones
+    // onto the same host register.
+    std::vector<ir::Vreg> inRegs;
+    for (ir::Vreg v : temps)
+        if (!alloc.of(v).spilled)
+            inRegs.push_back(v);
+    ASSERT_GE(inRegs.size(), 2u);
+    alloc.locs[inRegs[1]].reg = alloc.locs[inRegs[0]].reg;
+
+    const an::Findings f = an::verifyAllocation(t, alloc);
+    EXPECT_TRUE(hasFinding(f, "double-assigned")) << joined(f);
+}
+
+TEST(VerifyAllocation, CatchesDroppedSpill)
+{
+    std::vector<ir::Vreg> temps;
+    const ir::Trace t = highPressureTrace(temps);
+    ir::Allocation alloc = ir::allocateRegisters(t);
+
+    std::vector<ir::Vreg> spilled;
+    for (ir::Vreg v : temps)
+        if (alloc.of(v).spilled)
+            spilled.push_back(v);
+    ASSERT_GE(spilled.size(), 2u);
+
+    // A spill slot that was never reserved: the store would land in
+    // unowned TOL work memory.
+    ir::Allocation out_of_range = alloc;
+    out_of_range.locs[spilled[0]].slot =
+        static_cast<uint16_t>(alloc.numSpillSlots + 3);
+    an::Findings f = an::verifyAllocation(t, out_of_range);
+    EXPECT_TRUE(hasFinding(f, "dropped spill")) << joined(f);
+
+    // Two overlapping spilled temps sharing one slot.
+    ir::Allocation shared = alloc;
+    shared.locs[spilled[1]].slot = shared.locs[spilled[0]].slot;
+    f = an::verifyAllocation(t, shared);
+    EXPECT_TRUE(hasFinding(f, "double-assigned")) << joined(f);
+    EXPECT_TRUE(hasFinding(f, "dropped spill")) << joined(f);
+}
+
+// ===================================================================
+// Static CFG analyzer
+// ===================================================================
+
+namespace {
+
+/** if (eax == 0) ebx = 2; else ebx = 1; ecx = 3; halt */
+dg::Program
+diamondProgram(uint32_t *join_addr = nullptr)
+{
+    Assembler as;
+    auto els = as.newLabel();
+    auto join = as.newLabel();
+    as.cmp(dg::EAX, 0);
+    as.jcc(dg::Cond::E, els);
+    as.mov(dg::EBX, 1);
+    as.jmp(join);
+    as.bind(els);
+    as.mov(dg::EBX, 2);
+    as.bind(join);
+    as.mov(dg::ECX, 3);
+    as.halt();
+    dg::Program prog = finish(as);
+    if (join_addr)
+        *join_addr = as.labelAddr(join);
+    return prog;
+}
+
+} // namespace
+
+TEST(Cfg, DiamondBlocksDominatorsAndMix)
+{
+    uint32_t join_addr = 0;
+    const dg::Program prog = diamondProgram(&join_addr);
+    const an::Cfg cfg = an::buildCfg(prog);
+
+    // cmp+jcc | mov+jmp | mov (else) | mov+halt (join)
+    ASSERT_EQ(cfg.blocks.size(), 4u);
+    EXPECT_EQ(cfg.entryIndex, 0u);
+    EXPECT_TRUE(cfg.blocks[0].isCond);
+    EXPECT_TRUE(cfg.blocks[0].hasTarget);
+    EXPECT_TRUE(cfg.blocks[0].hasFallthrough);
+    EXPECT_TRUE(cfg.blocks[3].isHalt);
+    EXPECT_EQ(cfg.blockAt.at(join_addr), 3u);
+
+    // The branch dominates both arms and the join; the arms dominate
+    // nothing but themselves.
+    EXPECT_EQ(cfg.idom[1], 0u);
+    EXPECT_EQ(cfg.idom[2], 0u);
+    EXPECT_EQ(cfg.idom[3], 0u);
+    EXPECT_TRUE(cfg.dominates(0, 3));
+    EXPECT_FALSE(cfg.dominates(1, 3));
+    EXPECT_TRUE(cfg.loops.empty());
+
+    EXPECT_EQ(cfg.mix.total, 7u);
+    EXPECT_EQ(cfg.mix.branches, 2u);
+    EXPECT_EQ(cfg.mix.condBranches, 1u);
+    EXPECT_EQ(cfg.mix.moves, 3u);
+    EXPECT_EQ(cfg.mix.alu, 1u);
+
+    const an::Findings f = an::verifyCfg(cfg);
+    EXPECT_TRUE(f.empty()) << joined(f);
+}
+
+TEST(Cfg, FindsNaturalLoop)
+{
+    Assembler as;
+    as.mov(dg::ECX, 10);
+    auto loop = as.newLabel();
+    as.bind(loop);
+    as.dec(dg::ECX);
+    as.jcc(dg::Cond::NE, loop);
+    as.halt();
+    const an::Cfg cfg = an::buildCfg(finish(as));
+
+    ASSERT_EQ(cfg.blocks.size(), 3u);
+    ASSERT_EQ(cfg.loops.size(), 1u);
+    const an::NaturalLoop &l = cfg.loops[0];
+    EXPECT_EQ(cfg.blocks[l.header].start, cfg.blocks[1].start);
+    EXPECT_EQ(l.body, std::vector<size_t>{1});
+    EXPECT_EQ(l.latches, std::vector<size_t>{1});
+
+    const an::Findings f = an::verifyCfg(cfg);
+    EXPECT_TRUE(f.empty()) << joined(f);
+}
+
+TEST(Cfg, CatchesOrphanedBranchTarget)
+{
+    an::Cfg cfg = an::buildCfg(diamondProgram());
+    // Point the conditional branch one byte into its target
+    // instruction — no longer a block leader.
+    ASSERT_TRUE(cfg.blocks[0].hasTarget);
+    cfg.blocks[0].target += 1;
+    const an::Findings f = an::verifyCfg(cfg);
+    EXPECT_TRUE(hasFinding(f, "orphaned branch target")) << joined(f);
+}
+
+TEST(Cfg, CatchesBrokenDominatorEdge)
+{
+    an::Cfg cfg = an::buildCfg(diamondProgram());
+    // Claim the join block is dominated by the then-arm: the edge
+    // from the else-arm into the join refutes it.
+    cfg.idom[3] = 1;
+    const an::Findings f = an::verifyCfg(cfg);
+    EXPECT_TRUE(hasFinding(f, "broken dominator edge")) << joined(f);
+}
+
+// ===================================================================
+// Dynamic cross-validation
+// ===================================================================
+
+TEST(CrossCheck, CleanRunToHalt)
+{
+    Assembler as;
+    auto fn = as.newLabel();
+    auto loop = as.newLabel();
+    auto skip = as.newLabel();
+    as.mov(dg::EAX, 0);
+    as.mov(dg::ECX, 800);
+    as.bind(loop);
+    as.call(fn);
+    as.test(dg::ECX, 1);
+    as.jcc(dg::Cond::E, skip);
+    as.add(dg::EAX, 3);
+    as.bind(skip);
+    as.dec(dg::ECX);
+    as.jcc(dg::Cond::NE, loop);
+    as.halt();
+    as.bind(fn);
+    as.add(dg::EAX, dg::ECX);
+    as.ret();
+
+    const dg::Program prog = finish(as);
+    System sys(profiledConfig(1'000'000));
+    sys.load(prog);
+    const SystemResult res = sys.run();
+    ASSERT_TRUE(res.halted);
+
+    const an::Cfg cfg = an::buildCfg(prog);
+    an::Findings f = an::verifyCfg(cfg);
+    EXPECT_TRUE(f.empty()) << joined(f);
+
+    const darco::profile::GuestBranchProfile *prof =
+        sys.guestBranchProfile();
+    ASSERT_NE(prof, nullptr);
+    EXPECT_GT(prof->dynBranches, 0u);
+    EXPECT_GT(prof->dynCondBranches, 0u);
+
+    f = an::crossCheckBranchSites(cfg, *prof);
+    EXPECT_TRUE(f.empty()) << joined(f);
+    f = an::crossCheckFlowConservation(cfg, *prof,
+                                       sys.guestState().eip);
+    EXPECT_TRUE(f.empty()) << joined(f);
+}
+
+TEST(CrossCheck, CleanBudgetStop)
+{
+    // Never halts: the run stops on budget, mid-flight. Flow
+    // conservation must still balance, with the single unmatched
+    // entry allowed at the stop block.
+    Assembler as;
+    as.mov(dg::ECX, 0);
+    auto loop = as.newLabel();
+    as.bind(loop);
+    as.inc(dg::ECX);
+    as.cmp(dg::ECX, 0);
+    as.jcc(dg::Cond::NE, loop);
+    as.halt();
+
+    const dg::Program prog = finish(as);
+    System sys(profiledConfig(20000));
+    sys.load(prog);
+    const SystemResult res = sys.run();
+    ASSERT_FALSE(res.halted);
+
+    const an::Cfg cfg = an::buildCfg(prog);
+    const darco::profile::GuestBranchProfile *prof =
+        sys.guestBranchProfile();
+    ASSERT_NE(prof, nullptr);
+
+    an::Findings f = an::crossCheckBranchSites(cfg, *prof);
+    EXPECT_TRUE(f.empty()) << joined(f);
+    f = an::crossCheckFlowConservation(cfg, *prof,
+                                       sys.guestState().eip);
+    EXPECT_TRUE(f.empty()) << joined(f);
+}
+
+TEST(CrossCheck, RejectsBranchSiteAtNonBranchPc)
+{
+    const dg::Program prog = diamondProgram();
+    const an::Cfg cfg = an::buildCfg(prog);
+
+    darco::profile::GuestBranchProfile prof;
+    // The entry instruction (cmp) is not a branch.
+    darco::profile::GuestBranchSite &site = prof.sites[prog.entry];
+    site.taken = 1;
+    site.targets[prog.entry + 2] = 1;
+    prof.dynBranches = 1;
+
+    const an::Findings f = an::crossCheckBranchSites(cfg, prof);
+    EXPECT_TRUE(hasFinding(f, "not a branch")) << joined(f);
+}
+
+TEST(CrossCheck, RejectsTamperedBranchCounts)
+{
+    Assembler as;
+    as.mov(dg::ECX, 100);
+    auto loop = as.newLabel();
+    as.bind(loop);
+    as.dec(dg::ECX);
+    as.jcc(dg::Cond::NE, loop);
+    as.halt();
+
+    const dg::Program prog = finish(as);
+    System sys(profiledConfig(1'000'000));
+    sys.load(prog);
+    ASSERT_TRUE(sys.run().halted);
+
+    const an::Cfg cfg = an::buildCfg(prog);
+    darco::profile::GuestBranchProfile prof = *sys.guestBranchProfile();
+
+    an::Findings f = an::crossCheckFlowConservation(
+        cfg, prof, sys.guestState().eip);
+    ASSERT_TRUE(f.empty()) << joined(f);
+
+    // Inflate the site's execution count without a matching landing:
+    // its block now exits more often than it is entered. (Bumping
+    // taken AND the target count together on a self-loop edge would
+    // stay balanced — Kirchhoff catches inconsistent counts, not a
+    // consistently shifted execution.)
+    ASSERT_FALSE(prof.sites.empty());
+    auto &site = prof.sites.begin()->second;
+    site.taken += 1;
+
+    f = an::crossCheckFlowConservation(cfg, prof, sys.guestState().eip);
+    EXPECT_TRUE(hasFinding(f, "flow conservation violated"))
+        << joined(f);
+}
+
+// ===================================================================
+// Zero findings across every paper workload
+// ===================================================================
+
+class AnalysisWorkloadSweep : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(AnalysisWorkloadSweep, VerifiedRunCrossChecksClean)
+{
+    const wl::BenchParams &params = wl::allBenchmarks()[GetParam()];
+    const dg::Program prog = wl::buildBenchmark(params);
+
+    // The static side must be self-consistent...
+    const an::Cfg cfg = an::buildCfg(prog);
+    an::Findings f = an::verifyCfg(cfg);
+    EXPECT_TRUE(f.empty()) << params.name << "\n" << joined(f);
+
+    // ...and a verified run (TolConfig::verifyIr defaults on, so the
+    // IR/regalloc verifier gates every translation of this run) must
+    // agree with it exactly.
+    SimConfig cfg_sim = profiledConfig(60000);
+    ASSERT_TRUE(cfg_sim.tol.verifyIr);
+    System sys(cfg_sim);
+    sys.load(prog);
+    const SystemResult res = sys.run();
+    EXPECT_GE(res.guestRetired, 50000u) << params.name;
+
+    const darco::profile::GuestBranchProfile *prof =
+        sys.guestBranchProfile();
+    ASSERT_NE(prof, nullptr);
+    f = an::crossCheckBranchSites(cfg, *prof);
+    EXPECT_TRUE(f.empty()) << params.name << "\n" << joined(f);
+    f = an::crossCheckFlowConservation(cfg, *prof,
+                                       sys.guestState().eip);
+    EXPECT_TRUE(f.empty()) << params.name << "\n" << joined(f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, AnalysisWorkloadSweep,
+    ::testing::Range<size_t>(0, wl::allBenchmarks().size()),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        std::string name = wl::allBenchmarks()[info.param].name;
+        for (char &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
