@@ -168,6 +168,49 @@ BM_OptimizationPipeline(benchmark::State &state)
 BENCHMARK(BM_OptimizationPipeline);
 
 void
+BM_EventCorePipeline(benchmark::State &state)
+{
+    // Event-core record throughput with the burst dispatcher off/on
+    // (arg 1) over two stream shapes (arg 0): a serial dependence
+    // chain where bursts never form — the off/on delta there is the
+    // pure cost of the burst predicate, which the prev-full throttle
+    // must keep at zero — and an independent full-width stream where
+    // the dispatcher retires nearly every cycle, the off/on delta
+    // being its headline win.
+    const bool dense = state.range(0) != 0;
+    timing::TimingConfig cfg;
+    cfg.eventCore = true;
+    cfg.burst = state.range(1) != 0;
+
+    std::vector<timing::Record> stream;
+    for (uint32_t i = 0; i < 4096; ++i) {
+        timing::Record rec;
+        rec.pc = 0x1000 + 4 * (i % 16);
+        rec.op = host::HOp::ADD;
+        rec.rd = dense ? static_cast<uint8_t>(33 + i % 8) : 33;
+        rec.rs1 = dense ? 32 : 33;
+        rec.rs2 = rec.rs1;
+        rec.fromRegion = true;
+        stream.push_back(rec);
+    }
+
+    timing::Pipeline pipe(cfg, timing::Pipeline::Filter::All);
+    for (auto _ : state)
+        pipe.consumeBatch(stream.data(), stream.size());
+    pipe.finish();
+    benchmark::DoNotOptimize(pipe.stats().cycles);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(stream.size()));
+    state.SetLabel(std::string(dense ? "dense" : "serial") +
+                   (cfg.burst ? "/burst" : "/no-burst"));
+}
+BENCHMARK(BM_EventCorePipeline)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
+
+void
 BM_EndToEndGuestInstructions(benchmark::State &state)
 {
     // Whole-system throughput in guest instructions per host second.

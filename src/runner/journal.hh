@@ -46,7 +46,7 @@ namespace darco::runner {
  * version are ignored on resume. Bump whenever a change could alter
  * any measured quantity (same discipline as the perf baselines).
  */
-constexpr const char *kJournalEngineVersion = "darco-engine-3";
+constexpr const char *kJournalEngineVersion = "darco-engine-4";
 
 /** One completed job, as recorded in / loaded from a journal. */
 struct JournalEntry
