@@ -47,6 +47,18 @@ struct BenchArgs
     uint64_t timeoutMs = 0;
     unsigned retries = 0;
     std::string journal;
+    /**
+     * Campaign scale-out (docs/campaigns.md): a stable job-index
+     * shard of the sweep (`--shard=K/N`), a content-addressed result
+     * cache directory shared between runs and shards
+     * (`--cache-dir=`), and the fraction of cache hits to
+     * re-simulate and compare bit-for-bit (`--verify-hits=`). All
+     * off by default — and the cache MUST stay off for committed
+     * perf baselines (bench/check_perf.py).
+     */
+    runner::ShardSpec shard;
+    std::string cacheDir;
+    double verifyHits = 0.0;
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -78,6 +90,22 @@ struct BenchArgs
                     std::strtoul(v6, nullptr, 10));
             else if (const char *v7 = value("--journal="))
                 args.journal = v7;
+            else if (const char *v8 = value("--shard=")) {
+                char *end = nullptr;
+                args.shard.index = static_cast<unsigned>(
+                    std::strtoul(v8, &end, 10));
+                fatal_if(!end || *end != '/',
+                         "--shard expects K/N (e.g. --shard=0/3)");
+                args.shard.count = static_cast<unsigned>(
+                    std::strtoul(end + 1, nullptr, 10));
+                fatal_if(args.shard.count == 0 ||
+                             args.shard.index >= args.shard.count,
+                         "--shard=%s: index must be < count", v8);
+            }
+            else if (const char *v9 = value("--cache-dir="))
+                args.cacheDir = v9;
+            else if (const char *v10 = value("--verify-hits="))
+                args.verifyHits = std::strtod(v10, nullptr);
             else if (arg == "--csv")
                 args.csv = true;
             else if (arg == "--help" || arg == "-h") {
@@ -94,6 +122,12 @@ struct BenchArgs
                     "transient-failure\n    retries, crash-resumable "
                     "journal (batch path only; keep off\n    for "
                     "committed perf baselines)\n"
+                    "  --shard=K/N --cache-dir=DIR --verify-hits=F: "
+                    "campaign scale-out\n    (stable job-index shard, "
+                    "content-addressed result cache,\n    fraction of "
+                    "hits re-simulated and compared bit-for-bit;\n    "
+                    "docs/campaigns.md — keep the cache off for perf "
+                    "baselines)\n"
                     "  env: DARCO_BUDGET\n");
                 std::exit(0);
             } else {
@@ -173,6 +207,12 @@ selectWorkloads(const BenchArgs &args)
  * System, so the returned metrics are bit-identical across paths
  * and pool sizes — only wall clock changes
  * (tests/test_batch_runner.cc enforces this).
+ *
+ * `--shard=K/N` and `--cache-dir=` route through the batch path even
+ * at --jobs=1 (sharding and the result cache are BatchRunner
+ * features). A sharded sweep returns only this shard's metrics;
+ * suite averages appear only when the shard happens to cover a whole
+ * suite.
  */
 inline std::vector<sim::BenchMetrics>
 runSweep(const BenchArgs &args, sim::MetricsOptions options,
@@ -180,7 +220,11 @@ runSweep(const BenchArgs &args, sim::MetricsOptions options,
 {
     applyBudget(options, args.budget);
     std::vector<sim::BenchMetrics> all;
-    if (args.jobs == 1) {
+    // Sharding and the result cache live in the batch path; either
+    // one routes the sweep through BatchRunner even at --jobs=1.
+    const bool campaign =
+        args.shard.count > 1 || !args.cacheDir.empty();
+    if (args.jobs == 1 && !campaign) {
         // Serial reference path: unchanged semantics, no threads.
         for (const workloads::Workload &w : selectWorkloads(args)) {
             if (progress) {
@@ -212,13 +256,21 @@ runSweep(const BenchArgs &args, sim::MetricsOptions options,
         config.timeoutMs = args.timeoutMs;
         config.retries = args.retries;
         config.journalPath = args.journal;
+        config.shard = args.shard;
+        config.cacheDir = args.cacheDir;
+        config.verifyHitFraction = args.verifyHits;
         if (progress) {
             config.onJobDone = [](size_t, const runner::JobResult &r) {
+                const char *via =
+                    r.fromJournal ? "(from journal) "
+                    : r.cacheStatus == runner::CacheStatus::Hit
+                        ? "(cache hit) "
+                    : r.deduped ? "(deduped) "
+                                : "";
                 std::fprintf(stderr, "  finished %-24s %s%s\n",
                              r.name.empty() ? r.uri.c_str()
                                             : r.name.c_str(),
-                             r.fromJournal ? "(from journal) " : "",
-                             r.ok ? "" : "(FAILED)");
+                             via, r.ok ? "" : "(FAILED)");
             };
         }
         const runner::BatchRunner pool(config);
@@ -228,6 +280,10 @@ runSweep(const BenchArgs &args, sim::MetricsOptions options,
                          jobs.size(), pool.effectiveWorkers(jobs.size()));
         }
         for (runner::JobResult &r : pool.run(jobs)) {
+            // Out-of-shard slots were never executed: another shard
+            // of the same campaign owns them.
+            if (r.skipped)
+                continue;
             fatal_if(!r.ok, "sweep job %s failed (%s after %u "
                      "attempt(s)):\n%s",
                      r.uri.c_str(), r.runError.name(), r.attempts,
@@ -356,6 +412,15 @@ struct ThroughputSample
      * regression that silently stops bursts from forming fails CI.
      */
     double burstFraction = 0;
+    /**
+     * Whether the scenario could have been satisfied from a result
+     * cache: "off" or "on". A cache hit skips simulation entirely,
+     * so a committed perf baseline measured with the cache on would
+     * time file I/O instead of the engine; bench/check_perf.py
+     * requires "off" on every committed and fresh engine_speed
+     * scenario.
+     */
+    std::string cache = "off";
 
     /** Guest MIPS achieved (forward progress per host second). */
     double
@@ -458,6 +523,10 @@ class ThroughputReporter
             if (!s.verify.empty()) {
                 std::fprintf(out, ",\n      \"verify\": \"%s\"",
                              s.verify.c_str());
+            }
+            if (!s.cache.empty()) {
+                std::fprintf(out, ",\n      \"cache\": \"%s\"",
+                             s.cache.c_str());
             }
             if (!s.burst.empty()) {
                 std::fprintf(out,

@@ -122,6 +122,25 @@ VERIFY_OFF_EXPLANATION = (
     "and fig_cfg are the verification gates) and regenerate the JSON "
     "unverified.")
 
+# Why every scenario must report "cache": "off": the campaign result
+# cache (BatchConfig::cacheDir, docs/campaigns.md) replays a stored
+# RunSnapshot instead of simulating, so a cache-hit "run" takes
+# microseconds of file I/O and its seconds/guest_mips measure the
+# cache, not the engine. The simulated quantities stay bit-identical
+# either way — which is exactly why only this gate can catch a
+# cache-contaminated trajectory. The harness records the field from
+# its own configuration (engine_speed never wires a cache dir), and
+# this gate pins it on both sides so a future re-route through the
+# cached campaign path fails here before anyone commits its output.
+CACHE_OFF_EXPLANATION = (
+    "engine_speed scenarios must run with the result cache off: a "
+    "cache hit replays a stored snapshot instead of simulating, so "
+    "its seconds/guest_mips numbers time file I/O rather than the "
+    "engine and are not comparable with any committed baseline. Keep "
+    "BatchConfig::cacheDir empty on the engine_speed path "
+    "(run_benchmark --cache-dir is the campaign entry point) and "
+    "regenerate the JSON uncached.")
+
 UPDATE_HINT = (
     "If this change is intentional, regenerate the committed "
     "baseline in place:\n"
@@ -180,6 +199,10 @@ def main(argv):
             failures.append(f"{name}: committed scenario reports "
                             f"verify={base.get('verify')!r}. "
                             + VERIFY_OFF_EXPLANATION)
+        if base.get("cache") != "off":
+            failures.append(f"{name}: committed scenario reports "
+                            f"cache={base.get('cache')!r}. "
+                            + CACHE_OFF_EXPLANATION)
         cur = fresh.get(name)
         if cur is None:
             failures.append(f"{name}: scenario disappeared from the "
@@ -198,6 +221,10 @@ def main(argv):
             failures.append(f"{name}: fresh scenario reports "
                             f"verify={cur.get('verify')!r}. "
                             + VERIFY_OFF_EXPLANATION)
+        if cur.get("cache") != "off":
+            failures.append(f"{name}: fresh scenario reports "
+                            f"cache={cur.get('cache')!r}. "
+                            + CACHE_OFF_EXPLANATION)
 
         for field in DETERMINISM_FIELDS:
             if cur.get(field) != base.get(field):

@@ -334,6 +334,11 @@ main(int argc, char **argv)
             (event.profiled || stepped.profiled) ? "on" : "off";
         sample.verify =
             (event.verified || stepped.verified) ? "on" : "off";
+        // engine_speed drives System directly, never the BatchRunner,
+        // so no result cache can replay a snapshot into a timed run;
+        // the field pins that fact in the committed JSON
+        // (check_perf.py rejects anything but "off").
+        sample.cache = "off";
         // Dispatch engine actually armed in the timed event run (the
         // reference run never bursts by construction).
         sample.burst = event.burst ? "on" : "off";

@@ -59,6 +59,17 @@ usage()
         "  --journal=PATH    crash-resumable campaign journal: rerun\n"
         "                    the same command after a crash and\n"
         "                    completed workloads replay from PATH\n"
+        "  --cache-dir=DIR   content-addressed result cache: completed\n"
+        "                    (workload, config) runs are stored and a\n"
+        "                    warm re-run simulates nothing\n"
+        "                    (docs/campaigns.md)\n"
+        "  --shard=K/N       execute only workloads at index i with\n"
+        "                    i %% N == K — N runners sharing a cache\n"
+        "                    dir cover the campaign exactly once\n"
+        "  --verify-hits=F   re-simulate fraction F of cache hits and\n"
+        "                    fail unless bit-identical to the cache\n"
+        "  --require-hits    fail unless every executed workload was\n"
+        "                    a cache hit (warm-rerun assertion)\n"
         "  --capture=PATH    snapshot the run to a replayable trace\n"
         "  --cosim           verify against the authoritative emulator\n"
         "  --no-chaining --no-ibtc --no-bbm-opts --no-sbm-opts\n"
@@ -87,6 +98,10 @@ main(int argc, char **argv)
     uint64_t timeout_ms = 0;
     unsigned retries = 0;
     std::string journal_path;
+    std::string cache_dir;
+    runner::ShardSpec shard;
+    double verify_hits = 0.0;
+    bool require_hits = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -107,6 +122,29 @@ main(int argc, char **argv)
                 std::strtoul(arg.c_str() + 10, nullptr, 10));
         } else if (arg.rfind("--journal=", 0) == 0) {
             journal_path = arg.substr(10);
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            cache_dir = arg.substr(12);
+        } else if (arg.rfind("--shard=", 0) == 0) {
+            char *end = nullptr;
+            shard.index = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 8, &end, 10));
+            if (!end || *end != '/') {
+                std::fprintf(stderr,
+                             "--shard expects K/N (e.g. --shard=0/3)\n");
+                return 1;
+            }
+            shard.count = static_cast<unsigned>(
+                std::strtoul(end + 1, nullptr, 10));
+            if (shard.count == 0 || shard.index >= shard.count) {
+                std::fprintf(stderr,
+                             "--shard=%s: index must be < count\n",
+                             arg.c_str() + 8);
+                return 1;
+            }
+        } else if (arg.rfind("--verify-hits=", 0) == 0) {
+            verify_hits = std::strtod(arg.c_str() + 14, nullptr);
+        } else if (arg == "--require-hits") {
+            require_hits = true;
         } else if (arg.rfind("--capture=", 0) == 0) {
             cfg.captureTracePath = arg.substr(10);
         } else if (arg.rfind("--sb-threshold=", 0) == 0) {
@@ -164,13 +202,20 @@ main(int argc, char **argv)
         }
     }
 
-    // Fault-tolerant execution (watchdog, retry, journal) lives in
+    // Fault-tolerant execution (watchdog, retry, journal) and the
+    // campaign scale-out features (result cache, sharding) live in
     // the BatchRunner, so those flags route even a single workload
     // through the batch path (summary line instead of the detailed
     // report).
     const bool fault_tolerant =
         timeout_ms > 0 || retries > 0 || !journal_path.empty();
-    if (names.size() > 1 || fault_tolerant) {
+    const bool campaign = !cache_dir.empty() || shard.count > 1;
+    if (require_hits && cache_dir.empty()) {
+        std::fprintf(stderr,
+                     "--require-hits needs --cache-dir=\n");
+        return 1;
+    }
+    if (names.size() > 1 || fault_tolerant || campaign) {
         // Batch mode: independent Systems on a worker pool, one
         // summary line per workload in request order. The detailed
         // single-run reports (capture confirmation, cosim verdict,
@@ -215,15 +260,46 @@ main(int argc, char **argv)
         config.timeoutMs = timeout_ms;
         config.retries = retries;
         config.journalPath = journal_path;
+        config.cacheDir = cache_dir;
+        config.shard = shard;
+        config.verifyHitFraction = verify_hits;
         const runner::BatchRunner pool(config);
         std::fprintf(stderr, "running %zu workloads on %u workers\n",
                      batch.size(),
                      pool.effectiveWorkers(batch.size()));
 
         bool all_ok = true;
-        std::printf("%-24s %-10s %12s %12s %7s %6s\n", "workload",
-                    "suite", "guest insts", "cycles", "IPC", "halt");
+        size_t hits = 0, misses = 0, bypasses = 0, executed = 0;
+        std::printf("%-24s %-10s %12s %12s %7s %6s %7s\n", "workload",
+                    "suite", "guest insts", "cycles", "IPC", "halt",
+                    "cache");
         for (const runner::JobResult &r : pool.run(batch)) {
+            // Out-of-shard slots belong to another runner of the
+            // same campaign: no line, no exit-code influence.
+            if (r.skipped)
+                continue;
+            ++executed;
+            const char *cache_col = "-";
+            switch (r.cacheStatus) {
+              case runner::CacheStatus::Hit:
+                ++hits;
+                cache_col = r.verifiedHit ? "hit+v" : "hit";
+                break;
+              case runner::CacheStatus::Miss:
+                ++misses;
+                cache_col = "miss";
+                break;
+              case runner::CacheStatus::Bypass:
+                ++bypasses;
+                cache_col = "bypass";
+                break;
+              case runner::CacheStatus::None:
+                if (r.deduped)
+                    cache_col = "dedup";
+                else if (r.fromJournal)
+                    cache_col = "journal";
+                break;
+            }
             if (!r.ok) {
                 // One classified line per failure: class, whether a
                 // retry could help, attempts spent, and the detail —
@@ -242,7 +318,7 @@ main(int argc, char **argv)
             }
             const double cycles = std::max(
                 1.0, static_cast<double>(r.snapshot.result.cycles));
-            std::printf("%-24s %-10s %12llu %12llu %7.3f %6s\n",
+            std::printf("%-24s %-10s %12llu %12llu %7.3f %6s %7s\n",
                         r.name.c_str(), r.suite.c_str(),
                         static_cast<unsigned long long>(
                             r.snapshot.result.guestRetired),
@@ -250,7 +326,26 @@ main(int argc, char **argv)
                             r.snapshot.result.cycles),
                         static_cast<double>(
                             r.snapshot.result.guestRetired) / cycles,
-                        r.snapshot.result.halted ? "yes" : "no");
+                        r.snapshot.result.halted ? "yes" : "no",
+                        cache_col);
+        }
+        if (!cache_dir.empty()) {
+            const size_t looked_up = hits + misses;
+            std::printf("cache: %zu hit%s, %zu miss%s, %zu bypass "
+                        "(hit rate %.1f%%)\n",
+                        hits, hits == 1 ? "" : "s", misses,
+                        misses == 1 ? "" : "es", bypasses,
+                        looked_up
+                            ? 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(looked_up)
+                            : 0.0);
+            if (require_hits && hits != executed) {
+                std::fprintf(stderr,
+                             "--require-hits: %zu of %zu executed "
+                             "workload(s) were not cache hits\n",
+                             executed - hits, executed);
+                all_ok = false;
+            }
         }
         return all_ok ? 0 : 1;
     }

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -9,9 +10,13 @@
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "profile/profile.hh"
 #include "runner/journal.hh"
+#include "runner/result_cache.hh"
 #include "runner/watchdog.hh"
 #include "sim/system.hh"
+#include "timing/pipeline.hh"
+#include "tol/stats.hh"
 #include "workloads/source.hh"
 
 namespace darco::runner {
@@ -63,6 +68,122 @@ struct ExecContext
 };
 
 /**
+ * A job's resolved identity and effective configuration — the part
+ * of execution that defines the experiment without running it.
+ * Shared by the execute path, journal replay, cache lookup and the
+ * dedup pre-pass so all four agree on what "the same job" means.
+ */
+struct PreparedJob
+{
+    workloads::Workload workload;
+    sim::MetricsOptions options;
+    uint64_t fingerprint = 0;
+};
+
+/**
+ * Resolve the workload and build the effective options: recipe, then
+ * explicit per-job overrides, mirroring run_benchmark's
+ * single-workload semantics (the recipe supplies defaults, the
+ * command line wins). May fatal-throw (unknown scheme, unreadable
+ * trace) — callers hold a ScopedFatalThrow.
+ */
+PreparedJob
+prepareJob(const BatchJob &job)
+{
+    PreparedJob p;
+    p.workload = workloads::resolveWorkload(job.workload);
+    p.options = job.options;
+    sim::applyCaptureRecipe(p.options, p.workload);
+    if (job.guestBudgetOverride)
+        p.options.guestBudget = *job.guestBudgetOverride;
+    if (job.sbThresholdOverride)
+        p.options.tolConfig.bbToSbThreshold = *job.sbThresholdOverride;
+    p.fingerprint = configFingerprint(p.options, job.workload,
+                                      job.requireHalt);
+    return p;
+}
+
+/**
+ * Capture and isolation-pipe jobs never touch the result cache: a
+ * capture job's product is the trace file (which the cache does not
+ * carry), and isolation runs are diagnostic sweeps whose extra
+ * pipelines make them poor candidates for cross-campaign reuse.
+ */
+bool
+cacheBypass(const BatchJob &job)
+{
+    return !job.options.captureTracePath.empty() ||
+           job.options.tolOnlyPipe || job.options.appOnlyPipe ||
+           job.options.tolModulePipe;
+}
+
+/**
+ * Deterministic verify-hits selection: a splitmix64-style mix of the
+ * config fingerprint mapped to [0,1) and compared against the
+ * fraction. A pure function of the job — no RNG, no clock — so the
+ * audited subset is identical on every machine and every re-run.
+ */
+bool
+selectedForVerify(uint64_t fingerprint, double fraction)
+{
+    if (fraction <= 0.0)
+        return false;
+    if (fraction >= 1.0)
+        return true;
+    uint64_t z = fingerprint + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53 < fraction;
+}
+
+/**
+ * Full bit-identity comparison of two snapshots, one line per
+ * divergence (empty = identical). The same currency the
+ * parallel-vs-serial and kill-and-resume gates trade in.
+ */
+std::string
+diffSnapshots(const sim::RunSnapshot &fresh,
+              const sim::RunSnapshot &cached)
+{
+    std::string diff;
+    auto field = [&](const char *what, uint64_t got, uint64_t want) {
+        if (got != want) {
+            diff += strprintf("%s %llu != cached %llu\n", what,
+                              static_cast<unsigned long long>(got),
+                              static_cast<unsigned long long>(want));
+        }
+    };
+    field("guest_retired", fresh.result.guestRetired,
+          cached.result.guestRetired);
+    field("halted", fresh.result.halted, cached.result.halted);
+    field("sim_cycles", fresh.result.cycles, cached.result.cycles);
+    if (fresh.timingCore != cached.timingCore) {
+        diff += strprintf("timing_core %s != cached %s\n",
+                          fresh.timingCore.c_str(),
+                          cached.timingCore.c_str());
+    }
+    diff += timing::diffStats(fresh.stats, cached.stats);
+    auto pipe = [&](const char *what,
+                    const std::optional<timing::PipeStats> &a,
+                    const std::optional<timing::PipeStats> &b) {
+        if (a.has_value() != b.has_value())
+            diff += strprintf("%s presence differs\n", what);
+        else if (a)
+            diff += timing::diffStats(*a, *b);
+    };
+    pipe("tol_only", fresh.tolOnly, cached.tolOnly);
+    pipe("app_only", fresh.appOnly, cached.appOnly);
+    pipe("tol_module", fresh.tolModule, cached.tolModule);
+    diff += tol::diffTolStats(fresh.tolStats, cached.tolStats);
+    if (fresh.profile.has_value() != cached.profile.has_value())
+        diff += "profile presence differs\n";
+    else if (fresh.profile)
+        diff += profile::diffProfiles(*fresh.profile, *cached.profile);
+    return diff;
+}
+
+/**
  * Run one attempt of one job start to finish on the calling thread.
  * Everything a job touches is job-local (its own System, memories,
  * pipelines, cancel token); the only shared services are the
@@ -82,31 +203,17 @@ executeAttempt(const BatchJob &job, const ExecContext &ctx)
     // Outlives the WatchdogArm scope below, as Watchdog requires.
     common::CancelToken token;
     try {
-        const workloads::Workload workload =
-            workloads::resolveWorkload(job.workload);
+        PreparedJob prep = prepareJob(job);
+        const workloads::Workload &workload = prep.workload;
         r.name = workload.name;
         r.suite = workload.suite;
         r.uri = workload.uri;
-
-        // Same per-job wiring as the serial sweep reference path
-        // (bench_util::runSweep with --jobs 1): recipe, then
-        // explicit per-job overrides, then the one shared
-        // MetricsOptions -> SimConfig translation.
-        sim::MetricsOptions options = job.options;
-        sim::applyCaptureRecipe(options, workload);
-        if (job.guestBudgetOverride)
-            options.guestBudget = *job.guestBudgetOverride;
-        if (job.sbThresholdOverride) {
-            options.tolConfig.bbToSbThreshold =
-                *job.sbThresholdOverride;
-        }
         // Fingerprint before wiring the cancel token: the token is
         // runtime plumbing, not part of the experiment definition.
-        r.fingerprint = configFingerprint(options, job.workload,
-                                          job.requireHalt);
+        r.fingerprint = prep.fingerprint;
         if (ctx.timeoutMs)
-            options.cancel = &token;
-        const sim::SimConfig cfg = sim::configFromOptions(options);
+            prep.options.cancel = &token;
+        const sim::SimConfig cfg = sim::configFromOptions(prep.options);
 
         WatchdogArm deadline(ctx.watchdog, &token, ctx.timeoutMs);
         sim::System sys(cfg);
@@ -211,19 +318,8 @@ tryReplay(const BatchJob &job, size_t index, const JournalEntry &entry)
 {
     ScopedFatalThrow fatal_throws;
     try {
-        const workloads::Workload workload =
-            workloads::resolveWorkload(job.workload);
-        sim::MetricsOptions options = job.options;
-        sim::applyCaptureRecipe(options, workload);
-        if (job.guestBudgetOverride)
-            options.guestBudget = *job.guestBudgetOverride;
-        if (job.sbThresholdOverride) {
-            options.tolConfig.bbToSbThreshold =
-                *job.sbThresholdOverride;
-        }
-        const uint64_t fp = configFingerprint(options, job.workload,
-                                              job.requireHalt);
-        if (fp != entry.fingerprint) {
+        const PreparedJob prep = prepareJob(job);
+        if (prep.fingerprint != entry.fingerprint) {
             warn("journal: job %zu (%s): config fingerprint changed; "
                  "re-running",
                  index, job.workload.c_str());
@@ -231,17 +327,19 @@ tryReplay(const BatchJob &job, size_t index, const JournalEntry &entry)
         }
 
         JobResult r;
-        r.name = workload.name;
-        r.suite = workload.suite;
-        r.uri = workload.uri;
+        r.name = prep.workload.name;
+        r.suite = prep.workload.suite;
+        r.uri = prep.workload.uri;
         r.snapshot = entry.snapshot;
-        r.fingerprint = fp;
+        r.fingerprint = prep.fingerprint;
         r.fromJournal = true;
         r.attempts = 0;
 
         std::string pin_error;
-        if (job.checkCapturedPins && workload.capturedPins)
-            diffPins("capture", *workload.capturedPins, r, pin_error);
+        if (job.checkCapturedPins && prep.workload.capturedPins) {
+            diffPins("capture", *prep.workload.capturedPins, r,
+                     pin_error);
+        }
         if (job.expectedPins)
             diffPins("expected", *job.expectedPins, r, pin_error);
         if (!pin_error.empty()) {
@@ -251,13 +349,169 @@ tryReplay(const BatchJob &job, size_t index, const JournalEntry &entry)
             return std::nullopt;
         }
 
-        r.metrics = sim::collectMetrics(r.snapshot, workload.name,
-                                        workload.suite);
+        r.metrics = sim::collectMetrics(r.snapshot,
+                                        prep.workload.name,
+                                        prep.workload.suite);
         r.ok = true;
         return r;
     } catch (const std::exception &) {
         return std::nullopt;
     }
+}
+
+/**
+ * Try to satisfy @p job from the result cache. A valid, pin-clean
+ * hit returns a complete result without simulating; verify-hits mode
+ * may additionally re-simulate and either bless the hit or fail the
+ * job. nullopt = miss (absent, damaged, identity mismatch, stale
+ * pins, or resolution failure) — the caller simulates.
+ */
+std::optional<JobResult>
+tryCacheHit(const BatchJob &job, ResultCache &cache,
+            const ExecContext &ctx, const BatchConfig &cfg)
+{
+    ScopedFatalThrow fatal_throws;
+    try {
+        const PreparedJob prep = prepareJob(job);
+        const CacheKey key{prep.workload.uri, prep.fingerprint,
+                           std::string(kJournalEngineVersion)};
+        std::optional<sim::RunSnapshot> snap = cache.lookup(key);
+        if (!snap)
+            return std::nullopt;
+
+        JobResult r;
+        r.name = prep.workload.name;
+        r.suite = prep.workload.suite;
+        r.uri = prep.workload.uri;
+        r.snapshot = std::move(*snap);
+        r.fingerprint = prep.fingerprint;
+        r.cacheStatus = CacheStatus::Hit;
+        r.attempts = 0;
+
+        // Pins re-verified against the current workload resolution,
+        // exactly like journal replay: a trace whose in-file pins
+        // changed invalidates the cached result.
+        std::string pin_error;
+        if (job.checkCapturedPins && prep.workload.capturedPins) {
+            diffPins("capture", *prep.workload.capturedPins, r,
+                     pin_error);
+        }
+        if (job.expectedPins)
+            diffPins("expected", *job.expectedPins, r, pin_error);
+        if (!pin_error.empty()) {
+            warn("result cache: %s: cached result no longer matches "
+                 "pins; re-simulating:\n%s",
+                 job.workload.c_str(), pin_error.c_str());
+            return std::nullopt;
+        }
+
+        if (selectedForVerify(prep.fingerprint,
+                              cfg.verifyHitFraction)) {
+            const JobResult fresh = executeJob(job, ctx, cfg);
+            r.attempts = fresh.attempts;
+            r.durationMs = fresh.durationMs;
+            std::string diff;
+            if (!fresh.ok)
+                diff = "fresh run failed: " + fresh.error;
+            else
+                diff = diffSnapshots(fresh.snapshot, r.snapshot);
+            if (!diff.empty()) {
+                // Either the cache or the engine broke determinism;
+                // both poison the campaign. Hard-fail the job —
+                // permanent, never retried.
+                r.ok = false;
+                r.error = strprintf(
+                    "verify-hits: cached snapshot for '%s' diverges "
+                    "from fresh simulation:\n%s",
+                    job.workload.c_str(), diff.c_str());
+                r.runError = {sim::RunErrorClass::Internal, r.uri,
+                              r.error};
+                return r;
+            }
+            r.verifiedHit = true;
+        }
+
+        r.metrics = sim::collectMetrics(r.snapshot,
+                                        prep.workload.name,
+                                        prep.workload.suite);
+        r.ok = true;
+        return r;
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
+/**
+ * One dedup group: jobs whose effective config fingerprints are
+ * identical. The lowest index is the leader; FIFO dispatch claims it
+ * before any follower, so a follower blocking on the leader's
+ * completion can never deadlock the pool.
+ */
+struct DedupGroup
+{
+    size_t leader = 0;
+    /** Resolved once in the pre-pass; every member resolves to the
+     *  same workload (same workload string). */
+    workloads::Workload workload;
+
+    void
+    markDone()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            done = true;
+        }
+        cv.notify_all();
+    }
+
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [this] { return done; });
+    }
+
+  private:
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+};
+
+/**
+ * Build a follower's result from its dedup leader's successful run.
+ * The engine is deterministic, so the leader's snapshot IS what a
+ * fresh run of this slot would produce — metrics are recomputed (a
+ * pure function of the snapshot) and the follower's OWN pin
+ * expectations are re-applied, so a per-slot pin mismatch fails this
+ * slot exactly as a fresh run would have.
+ */
+JobResult
+fanOutResult(const BatchJob &job, const workloads::Workload &workload,
+             const JobResult &lead)
+{
+    JobResult r;
+    r.name = workload.name;
+    r.suite = workload.suite;
+    r.uri = workload.uri;
+    r.snapshot = lead.snapshot;
+    r.fingerprint = lead.fingerprint;
+    r.deduped = true;
+    r.attempts = 0;
+
+    std::string pin_error;
+    if (job.checkCapturedPins && workload.capturedPins)
+        diffPins("capture", *workload.capturedPins, r, pin_error);
+    if (job.expectedPins)
+        diffPins("expected", *job.expectedPins, r, pin_error);
+    if (!pin_error.empty()) {
+        r.error = pin_error;
+        r.runError = {sim::RunErrorClass::Internal, r.uri, pin_error};
+        return r;
+    }
+    r.metrics = sim::collectMetrics(r.snapshot, workload.name,
+                                    workload.suite);
+    r.ok = true;
+    return r;
 }
 
 } // namespace
@@ -280,9 +534,17 @@ BatchRunner::effectiveWorkers(size_t jobCount) const
 std::vector<JobResult>
 BatchRunner::run(const std::vector<BatchJob> &jobs) const
 {
+    fatal_if(cfg.shard.count == 0,
+             "batch runner: shard count must be >= 1");
+    fatal_if(cfg.shard.index >= cfg.shard.count,
+             "batch runner: shard index %u out of range for %u "
+             "shard(s)",
+             cfg.shard.index, cfg.shard.count);
+
     // Two jobs capturing to one path would interleave writes into the
     // same trace file; that is a batch-construction error, caught
-    // before any work starts.
+    // before any work starts (checked batch-wide, not per shard: two
+    // shards of one campaign racing on a path is the same error).
     std::set<std::string> capture_paths;
     for (const BatchJob &job : jobs) {
         if (job.options.captureTracePath.empty())
@@ -295,6 +557,13 @@ BatchRunner::run(const std::vector<BatchJob> &jobs) const
 
     std::vector<JobResult> results(jobs.size());
     std::vector<char> replayed(jobs.size(), 0);
+
+    // Stable job-index partition: slots outside this shard are marked
+    // and never executed, journaled, cached or reported.
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (i % cfg.shard.count != cfg.shard.index)
+            results[i].skipped = true;
+    }
 
     // Resume pass: satisfy jobs from an existing journal before any
     // worker starts, then keep the journal open for appends.
@@ -316,6 +585,8 @@ BatchRunner::run(const std::vector<BatchJob> &jobs) const
             for (const JournalEntry &e : load.entries)
                 by_job[e.jobIndex] = &e;  // last write wins
             for (size_t i = 0; i < jobs.size(); ++i) {
+                if (results[i].skipped)
+                    continue;
                 // Capture jobs always re-run: their product is the
                 // capture file, which the journal does not carry.
                 if (!jobs[i].options.captureTracePath.empty())
@@ -341,12 +612,99 @@ BatchRunner::run(const std::vector<BatchJob> &jobs) const
         }
     }
 
+    std::unique_ptr<ResultCache> cache;
+    if (!cfg.cacheDir.empty())
+        cache = std::make_unique<ResultCache>(cfg.cacheDir);
+
+    // Dedup pre-pass: group the still-pending jobs of this shard by
+    // effective config fingerprint. Only workload strings appearing
+    // more than once can collide (the fingerprint folds the workload
+    // string in), so resolution — which may read a trace header — is
+    // paid only for duplicated workloads. A group whose resolution
+    // fails is left ungrouped: the execute path reports the failure
+    // per job with its proper classification.
+    std::vector<std::shared_ptr<DedupGroup>> group_of(jobs.size());
+    {
+        std::unordered_map<std::string, std::vector<size_t>>
+            by_workload;
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            if (results[i].skipped || replayed[i])
+                continue;
+            // Capture jobs are never deduped: each must actually run
+            // to produce its capture file.
+            if (!jobs[i].options.captureTracePath.empty())
+                continue;
+            by_workload[jobs[i].workload].push_back(i);
+        }
+        for (auto &[wl, members] : by_workload) {
+            if (members.size() < 2)
+                continue;
+            ScopedFatalThrow fatal_throws;
+            try {
+                const workloads::Workload workload =
+                    workloads::resolveWorkload(wl);
+                std::unordered_map<uint64_t, std::vector<size_t>>
+                    by_fp;
+                for (const size_t i : members) {
+                    sim::MetricsOptions options = jobs[i].options;
+                    sim::applyCaptureRecipe(options, workload);
+                    if (jobs[i].guestBudgetOverride) {
+                        options.guestBudget =
+                            *jobs[i].guestBudgetOverride;
+                    }
+                    if (jobs[i].sbThresholdOverride) {
+                        options.tolConfig.bbToSbThreshold =
+                            *jobs[i].sbThresholdOverride;
+                    }
+                    by_fp[configFingerprint(options, wl,
+                                            jobs[i].requireHalt)]
+                        .push_back(i);
+                }
+                for (auto &[fp, dup] : by_fp) {
+                    if (dup.size() < 2)
+                        continue;
+                    auto grp = std::make_shared<DedupGroup>();
+                    grp->leader = dup.front();  // lowest index
+                    grp->workload = workload;
+                    for (const size_t i : dup)
+                        group_of[i] = grp;
+                }
+            } catch (const std::exception &) {
+                // fall through: members run (and fail) individually
+            }
+        }
+    }
+
     const unsigned workers = effectiveWorkers(jobs.size());
     std::optional<Watchdog> watchdog;
     if (cfg.timeoutMs > 0)
         watchdog.emplace();
     const ExecContext ctx{watchdog ? &*watchdog : nullptr,
                           cfg.timeoutMs};
+
+    // Cache-aware execution of one still-pending job on the calling
+    // thread: lookup-before-simulate, store-after-miss.
+    auto run_one = [&](const BatchJob &job) -> JobResult {
+        if (!cache)
+            return executeJob(job, ctx, cfg);
+        if (cacheBypass(job)) {
+            JobResult r = executeJob(job, ctx, cfg);
+            r.cacheStatus = CacheStatus::Bypass;
+            return r;
+        }
+        if (std::optional<JobResult> hit =
+                tryCacheHit(job, *cache, ctx, cfg)) {
+            return std::move(*hit);
+        }
+        JobResult r = executeJob(job, ctx, cfg);
+        r.cacheStatus = CacheStatus::Miss;
+        if (r.ok) {
+            cache->store({r.uri, r.fingerprint,
+                          std::string(kJournalEngineVersion)},
+                         r.snapshot);
+        }
+        return r;
+    };
 
     // FIFO dispatch, no stealing: the cursor hands each worker the
     // lowest unclaimed job index; each worker writes only its own
@@ -359,27 +717,48 @@ BatchRunner::run(const std::vector<BatchJob> &jobs) const
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (index >= jobs.size())
                 return;
-            if (replayed[index])
+            if (results[index].skipped || replayed[index])
                 continue;
-            results[index] = executeJob(jobs[index], ctx, cfg);
-            const JobResult &r = results[index];
+            const BatchJob &job = jobs[index];
+            const std::shared_ptr<DedupGroup> &grp = group_of[index];
+
+            JobResult r;
+            if (grp && grp->leader != index) {
+                // Follower: wait for the leader (claimed earlier by
+                // FIFO order) and fan its snapshot out. A failed
+                // leader fans nothing — the follower runs normally
+                // so its slot carries its own classified error.
+                grp->wait();
+                const JobResult &lead = results[grp->leader];
+                if (lead.ok)
+                    r = fanOutResult(job, grp->workload, lead);
+                else
+                    r = run_one(job);
+            } else {
+                r = run_one(job);
+            }
+            results[index] = std::move(r);
+            if (grp && grp->leader == index)
+                grp->markDone();
+
+            const JobResult &res = results[index];
             std::lock_guard<std::mutex> lock(done_mutex);
             // Journal before reporting: once onJobDone has seen a
             // job, a crash must not lose it.
-            if (journal && r.ok &&
-                jobs[index].options.captureTracePath.empty()) {
+            if (journal && res.ok &&
+                job.options.captureTracePath.empty()) {
                 JournalEntry entry;
                 entry.jobIndex = index;
-                entry.workload = jobs[index].workload;
-                entry.fingerprint = r.fingerprint;
-                entry.name = r.name;
-                entry.suite = r.suite;
-                entry.uri = r.uri;
-                entry.snapshot = r.snapshot;
+                entry.workload = job.workload;
+                entry.fingerprint = res.fingerprint;
+                entry.name = res.name;
+                entry.suite = res.suite;
+                entry.uri = res.uri;
+                entry.snapshot = res.snapshot;
                 journal->append(entry);
             }
             if (cfg.onJobDone)
-                cfg.onJobDone(index, r);
+                cfg.onJobDone(index, res);
         }
     };
 

@@ -33,6 +33,26 @@
  *   - a crash-resumable campaign journal (journalPath): completed
  *     jobs are appended durably and skipped when the same campaign
  *     runs again over the same journal (runner/journal.hh).
+ *
+ * Scale-out (docs/campaigns.md): on top of the fault tolerance the
+ * runner offers
+ *   - a content-addressed result cache (cacheDir): before simulating,
+ *     each job is looked up by (workload URI, config fingerprint,
+ *     engine version) and a valid entry satisfies the job without
+ *     running it — a warm re-run of an identical campaign performs
+ *     zero simulations. Capture and isolation-pipe jobs always
+ *     bypass the cache. Opt-in verify-hits re-simulates a
+ *     deterministic fraction of hits and hard-fails the job unless
+ *     the cached snapshot is bit-identical to the fresh run,
+ *   - deterministic sharding (shard): shard K of N executes exactly
+ *     the jobs whose batch index i satisfies i % N == K, so N
+ *     independent processes sharing a cache directory cover a
+ *     campaign exactly once. Out-of-shard slots are marked skipped
+ *     and never executed,
+ *   - intra-batch dedup: jobs with identical effective config
+ *     fingerprints simulate once; the leader's snapshot fans out to
+ *     every duplicate slot with per-slot pin checks re-applied, so
+ *     the batch output stays bit-identical to a serial run.
  */
 
 #ifndef DARCO_RUNNER_BATCH_RUNNER_HH
@@ -87,6 +107,19 @@ struct BatchJob
     bool requireHalt = false;
 };
 
+/** How the result cache participated in one job. */
+enum class CacheStatus : uint8_t
+{
+    /** No cache configured, or slot not executed (skipped/deduped). */
+    None,
+    /** Satisfied from the cache without simulating. */
+    Hit,
+    /** Looked up, absent or invalid; simulated and stored. */
+    Miss,
+    /** Capture/isolation job: never looked up, never stored. */
+    Bypass,
+};
+
 /** Outcome slot for one job, at the job's index in the batch. */
 struct JobResult
 {
@@ -121,6 +154,18 @@ struct JobResult
     /** journal::configFingerprint of the effective options (0 if the
      *  job failed before resolution). */
     uint64_t fingerprint = 0;
+
+    /** Result cache participation (docs/campaigns.md). */
+    CacheStatus cacheStatus = CacheStatus::None;
+    /** Cache hit that was re-simulated by verify-hits mode and
+     *  proven bit-identical. */
+    bool verifiedHit = false;
+    /** Satisfied by fanning out a dedup leader's snapshot (attempts
+     *  == 0; per-slot pins were still checked). */
+    bool deduped = false;
+    /** Slot not in this runner's shard: never executed, every other
+     *  field is default. Consumers must not treat it as a failure. */
+    bool skipped = false;
 };
 
 /**
@@ -135,6 +180,19 @@ backoffDelayMs(uint64_t base_ms, unsigned attempt)
 {
     return base_ms << std::min(attempt, 6u);
 }
+
+/**
+ * Deterministic campaign partition: this runner executes exactly the
+ * jobs whose batch index i satisfies i % count == index. The
+ * partition is a pure function of the job order, so N runners given
+ * the same batch cover it exactly once with no coordination beyond
+ * agreeing on (index, count).
+ */
+struct ShardSpec
+{
+    unsigned index = 0;
+    unsigned count = 1;
+};
 
 struct BatchConfig
 {
@@ -176,6 +234,28 @@ struct BatchConfig
      * capture file is regenerated.
      */
     std::string journalPath;
+
+    /** Shard of the batch this runner executes (default: all). */
+    ShardSpec shard;
+    /**
+     * Result cache directory; "" disables the cache. When set,
+     * non-bypass jobs are looked up by (workload URI, config
+     * fingerprint, engine version) before simulating, and successful
+     * simulations are published back via atomic rename
+     * (runner/result_cache.hh). Must be "" for perf-baseline runs
+     * (bench/check_perf.py).
+     */
+    std::string cacheDir;
+    /**
+     * Fraction of cache hits to re-simulate and compare bit-for-bit
+     * against the cached snapshot (0 = trust the cache, 1 = verify
+     * every hit). Selection is a deterministic function of the job's
+     * config fingerprint — no RNG — so the same hits are audited on
+     * every run. A divergent hit fails the job (Internal, never
+     * retried): either the cache or the engine broke determinism,
+     * and both poison the campaign.
+     */
+    double verifyHitFraction = 0.0;
 };
 
 class BatchRunner

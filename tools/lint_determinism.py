@@ -51,6 +51,19 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 # accounting). Nothing it computes from those reads feeds a measured
 # quantity — enforced by the bit-identical parallel-vs-serial and
 # kill-and-resume A/Bs in the test suite.
+#
+# The campaign scale-out layer (src/runner/ journal + result cache,
+# docs/campaigns.md) does file I/O — journal appends, cache entry
+# reads, atomic rename-on-commit writes — but needs NO allowlist
+# entry and must never grow one for clocks or randomness: its
+# temp-file uniqueness comes from getpid() plus a process-local
+# atomic sequence, its hit/verify selection hashes the config
+# fingerprint, and everything it stores or replays is a checksummed
+# snapshot of already-deterministic quantities. If cache code ever
+# appears to need a clock or RNG, that is a design smell (a
+# content-addressed cache keyed on pure inputs has no use for
+# either), not grounds for widening this list. The sim-core ban
+# (everything outside these three files) stays absolute.
 CLOCK_ALLOWLIST = {
     "src/runner/watchdog.hh",
     "src/runner/watchdog.cc",
